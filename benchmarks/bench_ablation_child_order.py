@@ -1,0 +1,49 @@
+"""ABLATION (child order) — the paper: subtree order is arbitrary.
+
+Fixing the DFS child order differently permutes the labels and the
+individual transmissions, but the total communication time is invariant
+(always n + r) and the schedule stays valid.  Measured over three
+orderings: ascending id, descending id, largest-subtree-first.
+"""
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.concurrent_updown import concurrent_updown
+from repro.networks.builders import tree_to_graph
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.simulator.engine import execute_schedule
+from repro.simulator.state import labeled_holdings
+from repro.tree.labeling import LabeledTree
+
+ORDERINGS = {
+    "ascending": lambda tree: lambda v, kids: sorted(kids),
+    "descending": lambda tree: lambda v, kids: sorted(kids, reverse=True),
+    "big-subtree-first": lambda tree: lambda v, kids: sorted(
+        kids, key=lambda c: -tree.subtree_size(c)
+    ),
+}
+
+
+@pytest.mark.parametrize("ordering", sorted(ORDERINGS))
+@pytest.mark.parametrize("family", ["grid", "random-tree"])
+def test_child_order_invariance(benchmark, report, family, ordering):
+    g = family_instance(family, 48)
+    base = minimum_depth_spanning_tree(g)
+    tree = base.with_child_order(ORDERINGS[ordering](base))
+    labeled = LabeledTree(tree)
+    schedule = benchmark(concurrent_updown, labeled)
+    assert schedule.total_time == g.n + base.height
+    execute_schedule(
+        tree_to_graph(tree),
+        schedule,
+        initial_holds=labeled_holdings(labeled.labels()),
+        require_complete=True,
+    )
+    report.row(
+        family=family,
+        ordering=ordering,
+        n=g.n,
+        rounds=schedule.total_time,
+        invariant=schedule.total_time == g.n + base.height,
+    )

@@ -1,0 +1,34 @@
+"""ABLATION (no-lip) — what the time-0 lookahead buys (Section 3.2).
+
+The paper's justification for step (U3): without it the up and down
+streams collide and messages get stuck.  Measured: the naive overlap
+conflicts on every bushy tree, and the conflict-free greedy fallback
+costs extra rounds over n + r.
+"""
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.ablations import no_lip_penalty
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.tree.labeling import LabeledTree
+
+FAMILIES = ["grid", "binary-tree", "random-tree", "gnp"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_no_lip_penalty(benchmark, report, family):
+    g = family_instance(family, 40)
+    labeled = LabeledTree(minimum_depth_spanning_tree(g))
+    penalty = benchmark.pedantic(
+        no_lip_penalty, args=(labeled,), iterations=1, rounds=1
+    )
+    assert penalty.conflicts  # bushy trees always collide
+    report.row(
+        family=family,
+        n=labeled.n,
+        conflicts=penalty.conflicts,
+        with_lip=penalty.with_lip_time,
+        without_lip=penalty.without_lip_time,
+        extra=penalty.extra_rounds,
+    )

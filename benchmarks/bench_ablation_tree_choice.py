@@ -1,0 +1,51 @@
+"""ABLATION (tree choice) — min-depth BFS tree vs cheaper alternatives.
+
+The schedule costs n + height of *whatever* spanning tree you hand it:
+
+* exact minimum-depth tree (O(mn))          -> n + r,
+* 2-approximate double-BFS heuristic        -> n + (<= 2r),
+* BFS tree from vertex 0 (no search at all) -> n + ecc(0).
+
+Measured: realised heights and schedule lengths side by side.
+"""
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.gossip import gossip
+from repro.networks.properties import radius
+from repro.networks.spanning_tree import (
+    approximate_min_depth_tree,
+    bfs_spanning_tree,
+    minimum_depth_spanning_tree,
+)
+
+BUILDERS = {
+    "min-depth": minimum_depth_spanning_tree,
+    "double-bfs-2approx": approximate_min_depth_tree,
+    "bfs-from-0": lambda g: bfs_spanning_tree(g, 0),
+}
+
+
+@pytest.mark.parametrize("builder", sorted(BUILDERS))
+@pytest.mark.parametrize("family", ["path", "grid", "gnp"])
+def test_tree_choice(benchmark, report, family, builder):
+    g = family_instance(family, 48)
+    tree = benchmark(BUILDERS[builder], g)
+    r = radius(g)
+    assert tree.height >= r  # nothing beats the radius
+    if builder == "min-depth":
+        assert tree.height == r
+    if builder == "double-bfs-2approx":
+        assert tree.height <= 2 * r
+    plan = gossip(g, tree=tree)
+    assert plan.total_time == g.n + tree.height
+    plan.execute(on_tree_only=True)
+    report.row(
+        family=family,
+        builder=builder,
+        n=g.n,
+        radius=r,
+        height=tree.height,
+        rounds=plan.total_time,
+    )

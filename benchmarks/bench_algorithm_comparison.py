@@ -1,0 +1,62 @@
+"""CMP — the headline comparison: Simple vs UpDown vs ConcurrentUpDown
+vs the greedy and telephone baselines.
+
+The reproduced *shape*: concurrent-updown wins (= n + r) everywhere
+among the uniform algorithms, Simple costs roughly 2x, the telephone
+model degrades sharply on high-degree topologies (stars), and multicast
+fan-out is what saves it.
+"""
+
+import pytest
+
+from repro.analysis.comparison import compare_algorithms
+from repro.analysis.sweep import family_instance
+
+FAMILIES = ["path", "cycle", "star", "grid", "hypercube", "random-tree", "gnp"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_comparison(benchmark, report, family):
+    g = family_instance(family, 32)
+    row = benchmark.pedantic(
+        compare_algorithms, args=(g,), kwargs={"verify": True}, iterations=1, rounds=1
+    )
+    # shape claims
+    assert row.times["concurrent-updown"] == row.concurrent_bound
+    assert row.times["simple"] == row.simple_bound
+    assert row.times["updown"] <= row.updown_bound
+    assert row.times["simple"] >= row.times["concurrent-updown"]
+    # the telephone model can never beat the multicast winner
+    assert row.times["telephone"] >= row.times["concurrent-updown"]
+    report.row(
+        family=family,
+        n=g.n,
+        r=row.radius,
+        concurrent=row.times["concurrent-updown"],
+        updown=row.times["updown"],
+        simple=row.times["simple"],
+        greedy=row.times["greedy"],
+        telephone=row.times["telephone"],
+    )
+
+
+def test_star_telephone_collapse(benchmark, report):
+    """On stars the telephone model collapses (hub unicasts everything);
+    multicasting wins by a factor ~ n/2."""
+    g = family_instance("star", 32)
+    row = benchmark.pedantic(
+        compare_algorithms,
+        args=(g,),
+        kwargs={"algorithms": ["concurrent-updown", "telephone"]},
+        iterations=1,
+        rounds=1,
+    )
+    factor = row.times["telephone"] / row.times["concurrent-updown"]
+    assert factor > 3
+    report.row(
+        family="star",
+        n=g.n,
+        concurrent=row.times["concurrent-updown"],
+        telephone=row.times["telephone"],
+        speedup=f"{factor:.1f}x",
+    )

@@ -1,0 +1,44 @@
+"""RATIO — Section 4: (n + r)/(n - 1) approaches 1.5 only on paths.
+
+Measures the realised ratio of ConcurrentUpDown's schedule to the
+trivial lower bound across families: paths are the worst case
+(r = n/2), expanders/stars sit near 1.0.
+"""
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.gossip import gossip
+
+FAMILIES = ["path", "cycle", "star", "complete", "grid", "hypercube", "gnp"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_ratio(benchmark, report, family):
+    g = family_instance(family, 64)
+    plan = benchmark(gossip, g)
+    ratio = plan.total_time / (g.n - 1)
+    assert ratio <= 1.5 * g.n / (g.n - 1)  # the r <= n/2 consequence
+    report.row(
+        family=family,
+        n=g.n,
+        r=plan.tree.height,
+        rounds=plan.total_time,
+        ratio=f"{ratio:.3f}",
+        limit=f"{1.5 * g.n / (g.n - 1):.3f}",
+    )
+
+
+def test_path_is_the_worst_family(benchmark, report):
+    """The shape claim: the path's ratio dominates every other family's."""
+
+    def sweep():
+        return {
+            family: gossip(family_instance(family, 64)).total_time
+            / (family_instance(family, 64).n - 1)
+            for family in FAMILIES
+        }
+
+    ratios = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    assert max(ratios, key=ratios.get) == "path"
+    report.row(worst_family="path", ratio=f"{ratios['path']:.3f}")

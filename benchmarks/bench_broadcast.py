@@ -1,0 +1,39 @@
+"""BCAST — Section 2: multicast broadcasting finishes in ecc(source).
+
+Times the broadcast scheduler and checks each processor is informed at
+exactly its BFS distance from the source.
+"""
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.broadcast import broadcast
+from repro.networks.bfs import bfs_levels
+from repro.simulator.engine import execute_schedule
+
+FAMILIES = ["path", "star", "grid", "hypercube", "gnp"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_broadcast_optimal(benchmark, report, family):
+    g = family_instance(family, 64)
+    source = 0
+    schedule = benchmark(broadcast, g, source)
+    ecc = int(bfs_levels(g, source).max())
+    assert schedule.total_time == ecc
+    result = execute_schedule(
+        g,
+        schedule,
+        initial_holds=[1 << source if v == source else 0 for v in range(g.n)],
+        n_messages=g.n,
+        record_arrivals=True,
+    )
+    dist = bfs_levels(g, source)
+    assert all(ev.time == dist[ev.receiver] for ev in result.arrivals)
+    report.row(
+        family=family,
+        n=g.n,
+        eccentricity=ecc,
+        rounds=schedule.total_time,
+        optimal=schedule.total_time == ecc,
+    )

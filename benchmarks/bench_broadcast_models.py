@@ -1,0 +1,33 @@
+"""BCAST-MODELS — broadcasting: multicast vs telephone (Section 2).
+
+The multicast model broadcasts in exactly ``ecc(source)``; the telephone
+model needs ``>= max(ecc, ceil(log2 n))`` and collapses to ``n - 1`` on
+stars.  The measured gap is the broadcasting face of the paper's "why
+multicast" argument.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.broadcast import broadcast, telephone_broadcast
+
+FAMILIES = ["star", "complete", "path", "hypercube", "grid", "wheel"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_broadcast_model_gap(benchmark, report, family):
+    g = family_instance(family, 32)
+    telephone = benchmark(telephone_broadcast, g, 0)
+    multicast = broadcast(g, 0)
+    assert telephone.total_time >= multicast.total_time
+    assert telephone.total_time >= math.ceil(math.log2(g.n))
+    report.row(
+        family=family,
+        n=g.n,
+        multicast=multicast.total_time,
+        telephone=telephone.total_time,
+        log2n=math.ceil(math.log2(g.n)),
+        gap=f"{telephone.total_time / max(multicast.total_time, 1):.1f}x",
+    )

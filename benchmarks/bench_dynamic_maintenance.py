@@ -1,0 +1,55 @@
+"""DYNAMIC — amortising tree construction over network churn (Section 4).
+
+A churn workload (chord insertions and removals on a ring) under the two
+maintenance policies: eager rebuilds on every change and always
+guarantees n + radius; lazy rebuilds only when a tree edge dies and pays
+a measured height gap instead.
+"""
+
+import pytest
+
+from repro.networks.dynamic import TreeMaintainer
+from repro.networks.topologies import cycle_graph
+
+
+def churn(policy: str, n: int = 24) -> TreeMaintainer:
+    m = TreeMaintainer.create(cycle_graph(n), policy=policy)
+    chords = [(i, i + n // 2) for i in range(4)]
+    for u, v in chords:
+        m = m.add_edge(u, v)
+    for u, v in chords[:2]:
+        m = m.remove_edge(u, v)
+    return m
+
+
+@pytest.mark.parametrize("policy", ["eager", "lazy"])
+def test_churn(benchmark, report, policy):
+    m = benchmark.pedantic(churn, args=(policy,), iterations=1, rounds=3)
+    plan = m.plan()
+    plan.execute(on_tree_only=True)
+    report.row(
+        policy=policy,
+        rebuilds=m.rebuilds,
+        tree_height=m.tree.height,
+        height_gap=m.height_gap,
+        schedule=plan.total_time,
+    )
+    if policy == "eager":
+        assert m.height_gap == 0
+
+
+def test_lazy_saves_rebuilds(benchmark, report):
+    lazy, eager = benchmark.pedantic(
+        lambda: (churn("lazy"), churn("eager")), iterations=1, rounds=1
+    )
+    assert lazy.rebuilds < eager.rebuilds
+    # lazy's schedule is longer by exactly the height gap
+    assert (
+        lazy.plan().total_time - eager.plan().total_time
+        == lazy.tree.height - eager.tree.height
+    )
+    report.row(
+        lazy_rebuilds=lazy.rebuilds,
+        eager_rebuilds=eager.rebuilds,
+        lazy_extra_rounds=lazy.tree.height - eager.tree.height,
+    )

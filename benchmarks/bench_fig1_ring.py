@@ -1,0 +1,31 @@
+"""FIG1 — Fig. 1: gossiping on a Hamiltonian ring is optimal (n - 1).
+
+Regenerates the Section 1 worked example across ring sizes: the rotating
+schedule solves gossiping in exactly ``n - 1`` rounds, matching the
+trivial lower bound, while the generic tree pipeline pays ``n + r`` with
+``r = floor(n / 2)``.
+"""
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.core.ring import ring_gossip
+from repro.networks.paper_networks import fig1_ring
+from repro.simulator.validator import assert_gossip_schedule
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_ring_rotation_optimal(benchmark, report, n):
+    ring = fig1_ring(n)
+    schedule = benchmark(ring_gossip, list(range(n)))
+    assert schedule.total_time == n - 1
+    assert_gossip_schedule(ring, schedule, max_total_time=n - 1)
+    tree_plan = gossip(ring)
+    report.row(
+        n=n,
+        ring_rounds=schedule.total_time,
+        lower_bound=n - 1,
+        tree_rounds=tree_plan.total_time,
+        tree_bound=f"n+r={n + n // 2}",
+    )
+    assert tree_plan.total_time == n + n // 2

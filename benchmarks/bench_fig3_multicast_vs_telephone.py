@@ -1,0 +1,46 @@
+"""FIG3 — Fig. 3: multicast strictly beats telephone on N3.
+
+N3 (reconstructed as K_{2,3}) has no Hamiltonian circuit; multicast
+gossips in n - 1 = 4 rounds, while the exact search certifies that no
+telephone schedule achieves 4 (or even 5) rounds.
+"""
+
+from repro.core.optimal import is_gossipable_within, minimum_gossip_time
+from repro.core.ring import hamiltonian_circuit
+from repro.core.store_forward import telephone_gossip_on_graph
+from repro.networks.paper_networks import n3_multicast_schedule, n3_network
+from repro.simulator.validator import assert_gossip_schedule
+
+
+def test_n3_multicast_schedule(benchmark, report):
+    g = n3_network()
+    schedule = benchmark(n3_multicast_schedule)
+    assert schedule.total_time == 4 == g.n - 1
+    assert_gossip_schedule(g, schedule, max_total_time=4)
+    telephone = telephone_gossip_on_graph(g)
+    assert_gossip_schedule(g, telephone)
+    report.row(
+        n=g.n,
+        hamiltonian=hamiltonian_circuit(g) is not None,
+        multicast=schedule.total_time,
+        telephone_greedy=telephone.total_time,
+        telephone_floor=6,
+    )
+    assert telephone.total_time >= 6  # the counting lower bound
+
+
+def test_n3_exact_multicast_optimum(benchmark):
+    assert benchmark(minimum_gossip_time, n3_network()) == 4
+
+
+def test_n3_telephone_cannot_match(benchmark):
+    """The separation certificate: exhaustive search finds no 4-round
+    telephone schedule."""
+    result = benchmark.pedantic(
+        is_gossipable_within,
+        args=(n3_network(), 4),
+        kwargs={"telephone": True},
+        iterations=1,
+        rounds=1,
+    )
+    assert result is False

@@ -1,0 +1,35 @@
+"""FIG4/FIG5 — the minimum-depth spanning tree of the worked example.
+
+Times the O(mn) construction on Fig. 4 and asserts it reproduces the
+published Fig. 5 tree (structure + DFS labels) exactly.
+"""
+
+from repro.networks.paper_networks import fig4_network, fig5_tree
+from repro.networks.properties import radius
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.tree.labeling import LabeledTree
+
+
+def test_fig4_to_fig5(benchmark, report):
+    g = fig4_network()
+    tree = benchmark(minimum_depth_spanning_tree, g)
+    assert tree == fig5_tree()
+    labeled = LabeledTree(tree)
+    assert list(labeled.labels()) == list(range(16))
+    report.row(
+        n=g.n,
+        m=g.m,
+        radius=radius(g),
+        tree_height=tree.height,
+        labels="0..15 (DFS)",
+        matches_fig5=True,
+    )
+
+
+def test_fig5_labelling(benchmark):
+    tree = fig5_tree()
+    labeled = benchmark(LabeledTree, tree)
+    # The published blocks of Tables 1-4.
+    assert (labeled.block(1).i, labeled.block(1).j, labeled.block(1).k) == (1, 3, 1)
+    assert (labeled.block(4).i, labeled.block(4).j, labeled.block(4).k) == (4, 10, 1)
+    assert (labeled.block(8).i, labeled.block(8).j, labeled.block(8).k) == (8, 10, 2)

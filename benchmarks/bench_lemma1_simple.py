@@ -1,0 +1,35 @@
+"""LEM1 — Lemma 1: procedure Simple takes exactly 2n + r - 3.
+
+Sweeps tree shapes (the bound is shape-independent beyond n and r) and
+also reports Simple's delivery redundancy, which ConcurrentUpDown avoids.
+"""
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.gossip import gossip
+from repro.core.simple import simple_gossip
+from repro.simulator.metrics import compute_metrics
+
+FAMILIES = ["path", "star", "binary-tree", "caterpillar", "random-tree", "grid"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("size", [32, 64])
+def test_lemma1(benchmark, report, family, size):
+    g = family_instance(family, size)
+    plan = gossip(g, algorithm="simple")
+    schedule = benchmark(simple_gossip, plan.labeled)
+    r = plan.tree.height
+    expected = 2 * g.n + r - 3
+    assert schedule.total_time == expected
+    execution = plan.execute(on_tree_only=True)
+    metrics = compute_metrics(schedule, execution=execution)
+    report.row(
+        family=family,
+        n=g.n,
+        r=r,
+        measured=schedule.total_time,
+        lemma1=expected,
+        redundancy=f"{metrics.redundancy:.0%}",
+    )

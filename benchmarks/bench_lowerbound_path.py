@@ -1,0 +1,41 @@
+"""LB-PATH — the odd-path lower bound n + r - 1 (Section 1 / Section 4).
+
+Every schedule for P_{2m+1} needs >= n + m - 1 rounds; ConcurrentUpDown
+delivers n + m — within ONE round of the bound, exactly as the
+Discussion states.  For tiny paths the exact search confirms the bound
+is tight.
+"""
+
+import pytest
+
+from repro.analysis.bounds import path_lower_bound
+from repro.core.gossip import gossip
+from repro.core.optimal import minimum_gossip_time
+from repro.networks.topologies import path_graph
+
+
+@pytest.mark.parametrize("m", [2, 4, 8, 16, 32])
+def test_path_gap_is_one(benchmark, report, m):
+    n = 2 * m + 1
+    g = path_graph(n)
+    plan = benchmark(gossip, g)
+    bound = path_lower_bound(n)
+    assert bound == n + m - 1
+    assert plan.total_time == bound + 1  # n + r, one above the bound
+    plan.execute(on_tree_only=True)
+    report.row(
+        n=n,
+        m=m,
+        lower_bound=bound,
+        concurrent=plan.total_time,
+        gap=plan.total_time - bound,
+    )
+
+
+@pytest.mark.parametrize("m", [1, 2])
+def test_bound_tight_by_exact_search(benchmark, report, m):
+    """For P_3 and P_5 exhaustive search meets n + r - 1 exactly."""
+    n = 2 * m + 1
+    optimum = benchmark(minimum_gossip_time, path_graph(n))
+    assert optimum == path_lower_bound(n)
+    report.row(n=n, m=m, exact_optimum=optimum, lower_bound=path_lower_bound(n))

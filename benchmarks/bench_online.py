@@ -1,0 +1,32 @@
+"""ONLINE — Section 4: the local protocol re-derives the offline schedule.
+
+Each processor knows only (i, j, k) + parent + children intervals; the
+collectively-emitted schedule must equal offline ConcurrentUpDown
+bit-for-bit.  Timed: the full online round loop.
+"""
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.concurrent_updown import concurrent_updown
+from repro.core.online import run_online_gossip
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.tree.labeling import LabeledTree
+
+FAMILIES = ["path", "star", "grid", "random-tree", "geometric"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_online_equals_offline(benchmark, report, family):
+    g = family_instance(family, 48)
+    labeled = LabeledTree(minimum_depth_spanning_tree(g))
+    online = benchmark(run_online_gossip, labeled)
+    offline = concurrent_updown(labeled)
+    assert online.rounds == offline.rounds
+    report.row(
+        family=family,
+        n=g.n,
+        rounds=online.total_time,
+        offline=offline.total_time,
+        identical=online.rounds == offline.rounds,
+    )

@@ -1,0 +1,31 @@
+"""OPT-PATH — the Discussion's 'improve by one unit' on odd paths.
+
+The non-uniform alternating schedule achieves the Section 1 lower bound
+``n + r - 1`` exactly, one round below the uniform ConcurrentUpDown —
+closing the last gap of the path instance.
+"""
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.core.optimal_path import optimal_path_gossip
+from repro.networks.topologies import path_graph
+from repro.simulator.validator import assert_gossip_schedule
+
+
+@pytest.mark.parametrize("m", [4, 8, 16, 32])
+def test_optimal_path(benchmark, report, m):
+    n = 2 * m + 1
+    graph, schedule = benchmark(optimal_path_gossip, n)
+    assert schedule.total_time == n + m - 1
+    assert_gossip_schedule(graph, schedule, max_total_time=n + m - 1)
+    uniform = gossip(path_graph(n))
+    report.row(
+        n=n,
+        m=m,
+        lower_bound=n + m - 1,
+        non_uniform=schedule.total_time,
+        concurrent=uniform.total_time,
+        gap_closed=uniform.total_time - schedule.total_time,
+    )
+    assert uniform.total_time - schedule.total_time == 1

@@ -1,0 +1,53 @@
+"""MDST — Section 4: the O(mn) tree construction dominates the O(n)
+schedule construction.
+
+Times both stages separately across sizes; the ratio must grow with n,
+supporting the paper's advice to rebuild the tree only when the network
+changes and reuse it across many gossip operations.
+"""
+
+import time
+
+import pytest
+
+from repro.core.concurrent_updown import concurrent_updown
+from repro.networks.random_graphs import random_connected_gnp
+from repro.networks.spanning_tree import (
+    approximate_min_depth_tree,
+    minimum_depth_spanning_tree,
+)
+from repro.tree.labeling import LabeledTree
+
+
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_tree_construction_scaling(benchmark, report, n):
+    g = random_connected_gnp(n, 4.0 / n, seed=1)
+    tree = benchmark(minimum_depth_spanning_tree, g)
+    # time the O(n) scheduling stage once, for the ratio column
+    labeled = LabeledTree(tree)
+    t0 = time.perf_counter()
+    schedule = concurrent_updown(labeled)
+    sched_seconds = time.perf_counter() - t0
+    assert schedule.total_time == n + tree.height
+    report.row(
+        n=n,
+        m=g.m,
+        tree_height=tree.height,
+        schedule_seconds=f"{sched_seconds * 1e3:.1f}ms",
+        note="tree timed by pytest-benchmark",
+    )
+
+
+@pytest.mark.parametrize("n", [128, 256])
+def test_approximate_tree_much_cheaper(benchmark, report, n):
+    """The 2-approximate heuristic: O(m * path) instead of O(mn)."""
+    g = random_connected_gnp(n, 4.0 / n, seed=1)
+    tree = benchmark(approximate_min_depth_tree, g)
+    exact = minimum_depth_spanning_tree(g)
+    assert tree.height <= 2 * exact.height
+    report.row(
+        n=n,
+        approx_height=tree.height,
+        exact_height=exact.height,
+        within_2x=tree.height <= 2 * exact.height,
+    )

@@ -1,0 +1,41 @@
+"""TAB1-TAB4 — regenerate the paper's per-vertex schedule tables.
+
+Runs ConcurrentUpDown on the Fig. 5 tree, extracts the four published
+per-vertex timelines, and checks them cell-for-cell against the
+algorithm-derived ground truth (EXPECTED_TABLES).
+"""
+
+import pytest
+
+from repro.analysis.tables import EXPECTED_TABLES, paper_tables
+from repro.core.concurrent_updown import concurrent_updown
+from repro.networks.paper_networks import fig5_tree
+from repro.simulator.trace import vertex_timeline
+from repro.tree.labeling import LabeledTree
+
+PUBLISHED = {0: "Table 1", 1: "Table 2", 4: "Table 3", 8: "Table 4"}
+
+
+@pytest.mark.parametrize("vertex", sorted(PUBLISHED))
+def test_published_table(benchmark, report, vertex):
+    labeled = LabeledTree(fig5_tree())
+    schedule = concurrent_updown(labeled)
+    timeline = benchmark(vertex_timeline, labeled.tree, schedule, vertex)
+    mismatches = sum(
+        timeline.row(caption) != expected
+        for caption, expected in EXPECTED_TABLES[vertex].items()
+    )
+    assert mismatches == 0
+    report.row(
+        table=PUBLISHED[vertex],
+        vertex=vertex,
+        horizon=timeline.horizon,
+        rows_checked=len(EXPECTED_TABLES[vertex]),
+        mismatches=mismatches,
+    )
+
+
+def test_all_tables_regeneration(benchmark):
+    """End-to-end cost of regenerating all four tables from scratch."""
+    tables = benchmark(paper_tables)
+    assert set(tables) == set(PUBLISHED)

@@ -1,0 +1,34 @@
+"""THM1 — Theorem 1: ConcurrentUpDown takes exactly n + r everywhere.
+
+Sweeps topology families and sizes; every point must land exactly on
+n + r, execute to completion, and waste zero deliveries.
+"""
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.concurrent_updown import concurrent_updown
+from repro.core.gossip import gossip
+from repro.networks.properties import radius
+
+FAMILIES = ["path", "cycle", "star", "grid", "hypercube", "random-tree", "gnp", "geometric"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("size", [32, 64])
+def test_theorem1(benchmark, report, family, size):
+    g = family_instance(family, size)
+    r = radius(g)
+    plan = gossip(g)  # includes tree construction (not timed)
+    schedule = benchmark(concurrent_updown, plan.labeled)
+    assert schedule.total_time == g.n + r
+    result = plan.execute(on_tree_only=True)
+    assert result.complete and result.duplicate_deliveries == 0
+    report.row(
+        family=family,
+        n=g.n,
+        r=r,
+        measured=schedule.total_time,
+        paper_bound=g.n + r,
+        exact_match=schedule.total_time == g.n + r,
+    )

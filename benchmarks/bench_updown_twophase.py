@@ -1,0 +1,36 @@
+"""UPDOWN — the reconstructed two-phase predecessor stays in budget.
+
+Measures the UpDown reconstruction against the paper's
+(n - 1 + r) + (2(r - 1) + 1) two-phase budget and against
+ConcurrentUpDown — the 'who wins' shape: concurrent <= updown <= budget.
+"""
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.gossip import gossip
+from repro.core.updown import updown_gossip, updown_total_time_bound
+
+FAMILIES = ["path", "star", "grid", "hypercube", "binary-tree", "random-tree"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("size", [32, 64])
+def test_updown_budget(benchmark, report, family, size):
+    g = family_instance(family, size)
+    plan = gossip(g, algorithm="updown")
+    schedule = benchmark(updown_gossip, plan.labeled)
+    r = plan.tree.height
+    budget = updown_total_time_bound(g.n, r)
+    concurrent = g.n + r
+    assert schedule.total_time <= budget
+    plan.execute(on_tree_only=True)
+    report.row(
+        family=family,
+        n=g.n,
+        r=r,
+        updown=schedule.total_time,
+        budget=budget,
+        concurrent=concurrent,
+        within=schedule.total_time <= budget,
+    )

@@ -1,0 +1,68 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module covers one experiment id of DESIGN.md's index and
+does two things:
+
+* *times* the schedule construction with ``pytest-benchmark`` (the
+  ``benchmark`` fixture), and
+* *records* the reproduced quantities (schedule lengths vs the paper's
+  closed forms) through the ``report`` fixture; everything recorded is
+  printed in a single table at the end of the run, which is the
+  reproduction artefact EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+_ROWS: List[Dict[str, object]] = []
+
+
+class _Reporter:
+    """Collects labelled result rows for the end-of-run summary."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+
+    def row(self, **fields: object) -> None:
+        _ROWS.append({"experiment": self.experiment, **fields})
+
+
+@pytest.fixture
+def report(request) -> _Reporter:
+    """Reporter named after the benchmark module's experiment id."""
+    module = request.module.__name__
+    experiment = module.replace("bench_", "").replace("_", "-")
+    return _Reporter(experiment)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ROWS:
+        return
+    # Persist the machine-readable artefact next to the benchmarks.
+    import json
+    from pathlib import Path
+
+    artefact = Path(__file__).parent / "reproduction_summary.json"
+    try:
+        artefact.write_text(json.dumps(_ROWS, indent=2, default=str))
+    except OSError:  # read-only checkouts should not fail the run
+        pass
+
+    tr = terminalreporter
+    tr.section("paper reproduction summary")
+    by_experiment: Dict[str, List[Dict[str, object]]] = {}
+    for row in _ROWS:
+        by_experiment.setdefault(str(row["experiment"]), []).append(row)
+    for experiment in sorted(by_experiment):
+        tr.write_line(f"\n[{experiment}]")
+        rows = by_experiment[experiment]
+        keys = [k for k in rows[0] if k != "experiment"]
+        header = "  " + "  ".join(f"{k:>14}" for k in keys)
+        tr.write_line(header)
+        for row in rows:
+            tr.write_line(
+                "  " + "  ".join(f"{str(row.get(k, '')):>14}" for k in keys)
+            )

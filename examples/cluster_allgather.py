@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""All-gather on parallel-computer interconnects.
+
+Gossiping *is* MPI's all-gather: every rank holds one block and all
+ranks need all blocks (the primitive behind dense matrix multiply,
+DFT and iterative solvers the paper cites).  This example schedules
+all-gather on classic interconnect topologies — hypercube, torus,
+cube-connected cycles, de Bruijn — and reports how close the paper's
+``n + r`` schedule gets to the ``n - 1`` wire-speed floor on each.
+
+Run:  python examples/cluster_allgather.py
+"""
+
+from repro import gossip, radius, topologies
+from repro.analysis.comparison import compare_algorithms
+
+
+def main() -> None:
+    interconnects = [
+        topologies.hypercube(5),                # 32 ranks
+        topologies.torus_2d(6, 6),              # 36 ranks
+        topologies.cube_connected_cycles(3),    # 24 ranks
+        topologies.de_bruijn(2, 5),             # 32 ranks
+        topologies.butterfly(3),                # 32 ranks
+    ]
+
+    print(f"{'interconnect':<16} {'n':>4} {'r':>3} {'n-1':>5} "
+          f"{'concurrent':>11} {'updown':>7} {'simple':>7} {'telephone':>10}")
+    for net in interconnects:
+        row = compare_algorithms(
+            net,
+            algorithms=["concurrent-updown", "updown", "simple", "telephone"],
+        )
+        print(f"{net.name:<16} {net.n:>4} {row.radius:>3} {row.lower_bound:>5} "
+              f"{row.times['concurrent-updown']:>11} {row.times['updown']:>7} "
+              f"{row.times['simple']:>7} {row.times['telephone']:>10}")
+
+    print("\nConcurrentUpDown pays exactly r rounds over the wire-speed floor")
+    print("n - 1 on every interconnect; low-diameter networks (hypercube,")
+    print("de Bruijn) keep that overhead to a handful of rounds.")
+
+    # A concrete all-gather: simulate and show when each rank finishes.
+    net = topologies.hypercube(5)
+    plan = gossip(net)
+    finish = plan.vertex_completion_times()
+    print(f"\nhypercube-5 all-gather: {plan.total_time} rounds "
+          f"(n + r = {net.n} + {radius(net)})")
+    by_time = {}
+    for rank, t in finish.items():
+        by_time.setdefault(t, []).append(rank)
+    for t in sorted(by_time):
+        print(f"  t={t:>2}: {len(by_time[t]):>2} ranks complete")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Iterative solver loop: one broadcast, then gossiping every iteration.
+
+The shape of the applications the paper cites (linear solvers, DFT):
+a coordinator broadcasts the initial data, then each iteration performs
+an all-gather (gossip) of the per-rank partial results over the *same*
+tree network — which is why Section 4 stresses that the tree is built
+once and the O(n)-per-processor schedule is reused.
+
+Demonstrates:
+
+* optimal multicast broadcast vs the telephone baseline,
+* the fixed tree reused across iterations,
+* the pipelining analysis: ConcurrentUpDown schedules are
+  receive-saturated, so successive gossips cannot overlap — the steady
+  state is n + r rounds per iteration, and the amortised savings come
+  from reusing the tree, exactly as the paper advises.
+
+Run:  python examples/iterative_solver_pipeline.py
+"""
+
+from repro import broadcast, gossip, radius, telephone_broadcast, topologies
+from repro.core.concurrent_updown import concurrent_updown
+from repro.core.repeated import minimal_pipeline_offset, repeated_gossip
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.tree.labeling import LabeledTree
+
+
+def main() -> None:
+    net = topologies.torus_2d(5, 5)
+    r = radius(net)
+    print(f"interconnect: {net.name}, n={net.n}, radius={r}")
+
+    # Step 1 — the coordinator ships the initial problem to all ranks.
+    mb = broadcast(net, source=0)
+    tb = telephone_broadcast(net, source=0)
+    print(f"\ninitial broadcast: multicast {mb.total_time} rounds "
+          f"(= eccentricity), telephone baseline {tb.total_time}")
+
+    # Step 2 — the tree is built once and shared by every iteration.
+    tree = minimum_depth_spanning_tree(net)
+    labeled = LabeledTree(tree)
+    single = concurrent_updown(labeled)
+    print(f"\nper-iteration all-gather: {single.total_time} rounds "
+          f"(n + r = {net.n} + {tree.height})")
+
+    # Step 3 — can iterations overlap?  Measure the pipelining headroom.
+    offset = minimal_pipeline_offset(single)
+    print(f"minimal safe inter-iteration offset: {offset} rounds "
+          f"(capacity floor n - 1 = {net.n - 1})")
+    if offset == single.total_time:
+        print("=> the schedule is receive-saturated: iterations cannot "
+              "overlap; reuse the tree, run gossips back to back.")
+
+    iterations = 6
+    plan = repeated_gossip(labeled, instances=iterations)
+    plan.execute()
+    print(f"\n{iterations} iterations: {plan.total_time} rounds total, "
+          f"{plan.amortised_time:.1f} per iteration "
+          f"(sequential would be {plan.sequential_time})")
+
+    # Step 4 — the full-loop cost with the generic pipeline each time
+    # (rebuilding the tree) for contrast.
+    rebuild_cost_hint = gossip(net).total_time
+    print(f"\nrebuilding the tree each iteration would add an O(mn) "
+          f"construction per iteration for the same {rebuild_cost_hint} "
+          "communication rounds — the paper's amortisation advice.")
+
+
+if __name__ == "__main__":
+    main()

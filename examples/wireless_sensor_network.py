@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Wireless sensor network gossip (the paper's Section 2 motivation).
+
+A transmission with power ``r^alpha`` reaches *every* receiver within
+distance ``r`` — multicasting is free in radio networks, which is
+exactly the communication model of the paper.  This example scatters
+sensor nodes in the unit square, links nodes within radio range, and
+compares:
+
+* the multicast ConcurrentUpDown schedule (``n + r`` rounds), against
+* the telephone-model baseline (each radio slot wasted on a single
+  receiver), and
+* the per-node energy picture: one *send* slot costs battery, so the
+  schedule's per-node send counts approximate energy drain.
+
+Run:  python examples/wireless_sensor_network.py
+"""
+
+from collections import Counter
+
+from repro import gossip, radius
+from repro.networks.random_graphs import random_geometric
+from repro.simulator.metrics import compute_metrics
+
+
+def sends_per_node(schedule, n):
+    counts = Counter()
+    for rnd in schedule:
+        for tx in rnd:
+            counts[tx.sender] += 1
+    return [counts.get(v, 0) for v in range(n)]
+
+
+def main() -> None:
+    n, radio_range, seed = 40, 0.22, 7
+    field = random_geometric(n, radio_range, seed)
+    r = radius(field)
+    print(f"sensor field: {n} nodes, radio range {radio_range}, "
+          f"{field.m} links, network radius {r}")
+
+    multicast = gossip(field, algorithm="concurrent-updown")
+    telephone = gossip(field, algorithm="telephone")
+    for plan in (multicast, telephone):
+        plan.execute(on_tree_only=True)
+
+    print(f"\n{'model':<12} {'rounds':>7} {'sends':>7} {'max fan-out':>12}")
+    for label, plan in (("multicast", multicast), ("telephone", telephone)):
+        m = compute_metrics(plan.schedule)
+        print(f"{label:<12} {m.total_time:>7} {m.total_multicasts:>7} "
+              f"{m.max_fan_out:>12}")
+    speedup = telephone.total_time / multicast.total_time
+    print(f"\nmulticast finishes {speedup:.1f}x sooner "
+          f"(n + r = {n + r} vs the unicast baseline)")
+
+    # Energy: sends per node under the multicast schedule.
+    energy = sends_per_node(multicast.schedule, n)
+    hottest = max(range(n), key=energy.__getitem__)
+    print(f"\nenergy (send slots per node): mean={sum(energy) / n:.1f}, "
+          f"max={energy[hottest]} at node {hottest} "
+          f"(level {multicast.tree.level(hottest)} of the gossip tree)")
+    print("nodes nearer the tree root relay more — battery placement advice"
+          " falls straight out of the schedule.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on modern pip builds an editable wheel, which needs
+the ``wheel`` distribution; on fully offline machines without it, use::
+
+    python setup.py develop
+
+(or drop a ``.pth`` file pointing at ``src/`` into site-packages).  All
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

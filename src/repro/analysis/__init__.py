@@ -1,0 +1,47 @@
+"""Analysis layer: bounds, comparisons, sweeps, and the paper's tables."""
+
+from .bounds import (
+    approximation_ratio_bound,
+    concurrent_updown_upper_bound,
+    gossip_lower_bound,
+    path_lower_bound,
+    simple_exact_time,
+    trivial_lower_bound,
+    updown_upper_bound,
+)
+from .profile import ActivityProfile, activity_profile, completion_curve
+from .comparison import (
+    DEFAULT_ALGORITHMS,
+    ComparisonRow,
+    compare_algorithms,
+    comparison_table,
+    format_comparison,
+)
+from .sweep import FAMILIES, SweepPoint, family_instance, small_suite, sweep
+from .tables import EXPECTED_TABLES, paper_tables, render_timeline
+
+__all__ = [
+    "trivial_lower_bound",
+    "path_lower_bound",
+    "gossip_lower_bound",
+    "concurrent_updown_upper_bound",
+    "simple_exact_time",
+    "updown_upper_bound",
+    "approximation_ratio_bound",
+    "ComparisonRow",
+    "compare_algorithms",
+    "comparison_table",
+    "format_comparison",
+    "DEFAULT_ALGORITHMS",
+    "FAMILIES",
+    "SweepPoint",
+    "family_instance",
+    "sweep",
+    "small_suite",
+    "paper_tables",
+    "render_timeline",
+    "EXPECTED_TABLES",
+    "ActivityProfile",
+    "activity_profile",
+    "completion_curve",
+]

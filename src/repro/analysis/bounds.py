@@ -1,0 +1,123 @@
+"""Closed-form bounds from the paper, as checkable functions.
+
+Collects every quantitative claim so that tests and benchmarks compare
+measured schedule lengths against named formulas rather than magic
+numbers:
+
+* ``n - 1``                      — trivial lower bound (every processor
+  must receive ``n - 1`` messages, one per round)      [Section 1]
+* ``n + r - 1``                  — lower bound on the odd path
+  ``P_{2m+1}`` (and its generalisation below)          [Section 1]
+* ``n + r``                      — ConcurrentUpDown upper bound
+  (Theorem 1)
+* ``2n + r - 3``                 — Simple's exact time (Lemma 1)
+* ``(n - 1 + r) + (2(r-1) + 1)`` — UpDown's two-phase budget
+* ``ecc(source)``                — optimal broadcast time  [Section 2]
+* ratio ``(n + r) / (n - 1) <= 1.5`` since ``r <= n/2``  [Section 4]
+"""
+
+from __future__ import annotations
+
+from ..networks.bfs import all_eccentricities
+from ..networks.graph import Graph
+from ..networks.properties import radius as graph_radius
+
+__all__ = [
+    "trivial_lower_bound",
+    "path_lower_bound",
+    "gossip_lower_bound",
+    "concurrent_updown_upper_bound",
+    "simple_exact_time",
+    "updown_upper_bound",
+    "approximation_ratio_bound",
+]
+
+
+def trivial_lower_bound(n: int) -> int:
+    """``n - 1``: each processor must receive ``n - 1`` messages."""
+    return max(n - 1, 0)
+
+
+def path_lower_bound(n: int) -> int:
+    """The odd-path argument of Section 1 for ``P_n`` with ``n = 2m + 1``.
+
+    All messages reach the center no earlier than ``n - 1``; the last one
+    then needs ``m`` more hops to the ends: ``n + m - 1 = n + r - 1``.
+    For even ``n`` the same argument (center pair) gives ``n + r - 2``
+    conservatively; we return the odd-case formula only for odd ``n``
+    and fall back to ``n - 1`` otherwise.
+    """
+    if n < 3:
+        return trivial_lower_bound(n)
+    if n % 2 == 1:
+        m = (n - 1) // 2
+        return n + m - 1
+    return n - 1
+
+
+def gossip_lower_bound(graph: Graph) -> int:
+    """The strongest generic lower bound the paper's arguments give.
+
+    ``max(n - 1, max_v (n - deg(v) - 1 + ecc(v))... )`` is tempting but
+    unsound in general, so we only combine the two the paper proves:
+
+    * the trivial ``n - 1``;
+    * the bottleneck argument specialised to *cut vertices of degree 2
+      paths* is exactly the path bound, which we do not generalise.
+
+    Hence: ``n - 1``, except for path graphs where the Section 1 bound
+    applies (detected structurally: two degree-1 vertices, rest degree 2,
+    connected).
+    """
+    n = graph.n
+    degrees = sorted(int(graph.degree(v)) for v in range(n))
+    looks_like_path = (
+        n >= 3
+        and degrees[0] == 1
+        and degrees[1] == 1
+        and all(d == 2 for d in degrees[2:])
+    )
+    if looks_like_path:
+        # a connected graph with this degree sequence is a path
+        return path_lower_bound(n)
+    return trivial_lower_bound(n)
+
+
+def concurrent_updown_upper_bound(graph: Graph) -> int:
+    """Theorem 1: ``n + r``."""
+    return graph.n + graph_radius(graph)
+
+
+def simple_exact_time(graph: Graph) -> int:
+    """Lemma 1 applied to the network: ``2n + r - 3`` (0 for n = 1)."""
+    if graph.n <= 1:
+        return 0
+    return 2 * graph.n + graph_radius(graph) - 3
+
+
+def updown_upper_bound(graph: Graph) -> int:
+    """UpDown's two-phase budget ``(n - 1 + r) + (2(r - 1) + 1)``."""
+    if graph.n <= 1:
+        return 0
+    r = graph_radius(graph)
+    return (graph.n - 1 + r) + (2 * (r - 1) + 1)
+
+
+def approximation_ratio_bound(graph: Graph) -> float:
+    """Upper bound on ConcurrentUpDown's approximation ratio.
+
+    ``(n + r) / (n - 1)``.  Since the radius of a connected graph is at
+    most ``n / 2`` (Section 4), this is at most
+    ``1.5 n / (n - 1) = 1.5 + 1.5 / (n - 1)`` — the paper's "at most 1.5
+    times optimal", exact in the limit and off by ``O(1/n)`` for small
+    networks.
+    """
+    n = graph.n
+    if n <= 1:
+        return 1.0
+    return (n + graph_radius(graph)) / trivial_lower_bound(n)
+
+
+def max_broadcast_time(graph: Graph) -> int:
+    """Worst-case optimal broadcast time over all sources: the diameter."""
+    return int(all_eccentricities(graph).max())

@@ -1,0 +1,113 @@
+"""Algorithm comparison harness.
+
+Runs several gossiping algorithms over one network (or a family of
+networks) and tabulates total communication times next to the paper's
+closed-form bounds — the engine behind
+``benchmarks/bench_algorithm_comparison.py`` and the comparison example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.gossip import gossip
+from ..networks.graph import Graph
+from ..networks.properties import radius as graph_radius
+from .bounds import (
+    concurrent_updown_upper_bound,
+    simple_exact_time,
+    trivial_lower_bound,
+    updown_upper_bound,
+)
+
+__all__ = ["ComparisonRow", "compare_algorithms", "comparison_table", "DEFAULT_ALGORITHMS"]
+
+#: The algorithms every comparison includes by default.
+DEFAULT_ALGORITHMS: Sequence[str] = (
+    "concurrent-updown",
+    "updown",
+    "simple",
+    "greedy",
+    "telephone",
+)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One network's measured schedule lengths and reference bounds."""
+
+    name: str
+    n: int
+    radius: int
+    times: Dict[str, int]
+    lower_bound: int
+    concurrent_bound: int
+    simple_bound: int
+    updown_bound: int
+
+    def winner(self) -> str:
+        """Algorithm with the shortest measured schedule (ties: registry order)."""
+        return min(self.times, key=lambda a: (self.times[a], list(self.times).index(a)))
+
+    def ratio(self, algorithm: str) -> float:
+        """Measured time over the trivial lower bound ``n - 1``."""
+        lb = max(self.lower_bound, 1)
+        return self.times[algorithm] / lb
+
+
+def compare_algorithms(
+    graph: Graph,
+    algorithms: Optional[Sequence[str]] = None,
+    verify: bool = True,
+) -> ComparisonRow:
+    """Run each algorithm on ``graph`` and collect total times.
+
+    ``verify=True`` executes every schedule on the simulator (complete
+    gossip or an exception); switch it off in timing-sensitive loops.
+    """
+    algos = DEFAULT_ALGORITHMS if algorithms is None else algorithms
+    times: Dict[str, int] = {}
+    for algo in algos:
+        plan = gossip(graph, algorithm=algo)
+        if verify:
+            plan.execute(on_tree_only=True)
+        times[algo] = plan.total_time
+    return ComparisonRow(
+        name=graph.name or f"graph-n{graph.n}",
+        n=graph.n,
+        radius=graph_radius(graph),
+        times=times,
+        lower_bound=trivial_lower_bound(graph.n),
+        concurrent_bound=concurrent_updown_upper_bound(graph),
+        simple_bound=simple_exact_time(graph),
+        updown_bound=updown_upper_bound(graph),
+    )
+
+
+def comparison_table(
+    graphs: Iterable[Graph],
+    algorithms: Optional[Sequence[str]] = None,
+    verify: bool = True,
+) -> List[ComparisonRow]:
+    """Compare algorithms across a family of networks."""
+    return [compare_algorithms(g, algorithms, verify) for g in graphs]
+
+
+def format_comparison(rows: Sequence[ComparisonRow]) -> str:
+    """Plain-text table of a comparison (benchmark report output)."""
+    if not rows:
+        return "(no rows)"
+    algos = list(rows[0].times)
+    header = (
+        f"{'network':<22} {'n':>5} {'r':>3} {'n-1':>5} {'n+r':>5} "
+        + " ".join(f"{a:>18}" for a in algos)
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = " ".join(f"{row.times[a]:>18}" for a in algos)
+        lines.append(
+            f"{row.name:<22} {row.n:>5} {row.radius:>3} "
+            f"{row.lower_bound:>5} {row.concurrent_bound:>5} {cells}"
+        )
+    return "\n".join(lines)

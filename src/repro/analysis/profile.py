@@ -1,0 +1,91 @@
+"""Per-round activity profiles of communication schedules.
+
+The paper's tables show *per-vertex* timelines; this module provides the
+orthogonal view — *per-round* network activity: how many processors
+send, how many deliveries land, and cumulative completion over time.
+These series are the line-chart data behind the benchmark reports and
+make the phase structure of the algorithms visible (Simple's idle gap
+between phases, ConcurrentUpDown's saturated middle, UpDown's phase-2
+tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.schedule import Schedule
+from ..networks.graph import Graph
+from ..simulator.engine import ExecutionResult
+
+__all__ = ["ActivityProfile", "activity_profile", "completion_curve"]
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Round-indexed series describing one schedule.
+
+    All lists have length ``total_time``; index = send time of the round.
+    """
+
+    senders_per_round: Sequence[int]
+    deliveries_per_round: Sequence[int]
+    max_fan_out_per_round: Sequence[int]
+
+    @property
+    def total_time(self) -> int:
+        """Number of rounds profiled."""
+        return len(self.senders_per_round)
+
+    @property
+    def peak_senders(self) -> int:
+        """Largest number of simultaneously sending processors."""
+        return max(self.senders_per_round, default=0)
+
+    @property
+    def idle_rounds(self) -> int:
+        """Rounds in which nothing is sent (phase gaps)."""
+        return sum(1 for s in self.senders_per_round if s == 0)
+
+    def utilisation(self, n: int) -> float:
+        """Mean fraction of processors sending per round."""
+        if not self.senders_per_round or n == 0:
+            return 0.0
+        return sum(self.senders_per_round) / (len(self.senders_per_round) * n)
+
+
+def activity_profile(schedule: Schedule) -> ActivityProfile:
+    """Compute the per-round activity series of ``schedule``."""
+    senders: List[int] = []
+    deliveries: List[int] = []
+    fan_out: List[int] = []
+    for rnd in schedule:
+        senders.append(len(rnd))
+        deliveries.append(rnd.delivery_count())
+        fan_out.append(max((tx.fan_out() for tx in rnd), default=0))
+    return ActivityProfile(
+        senders_per_round=tuple(senders),
+        deliveries_per_round=tuple(deliveries),
+        max_fan_out_per_round=tuple(fan_out),
+    )
+
+
+def completion_curve(
+    graph: Graph, execution: ExecutionResult, horizon: Optional[int] = None
+) -> List[int]:
+    """Cumulative count of complete processors at each time step.
+
+    ``curve[t]`` = processors holding all messages at time ``t``; the
+    last entry equals ``n`` for a complete execution.
+    """
+    h = execution.total_time if horizon is None else horizon
+    curve: List[int] = []
+    for t in range(h + 1):
+        curve.append(
+            sum(
+                1
+                for ct in execution.completion_times
+                if ct is not None and ct <= t
+            )
+        )
+    return curve

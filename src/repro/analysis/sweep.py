@@ -1,0 +1,110 @@
+"""Parameter sweeps: the standard topology families the benchmarks iterate.
+
+Benchmarks and bound-verification tests need the same "representative
+collection of networks at size ``n``"; defining it once here keeps
+EXPERIMENTS.md rows and test assertions in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..networks import topologies
+from ..networks.graph import Graph
+from ..networks.random_graphs import (
+    random_connected_gnp,
+    random_geometric,
+    random_tree,
+)
+
+__all__ = ["FAMILIES", "family_instance", "sweep", "SweepPoint"]
+
+
+def _grid_near(n: int) -> Graph:
+    rows = max(2, int(round(n**0.5)))
+    cols = max(2, (n + rows - 1) // rows)
+    return topologies.grid_2d(rows, cols)
+
+
+def _hypercube_near(n: int) -> Graph:
+    dim = max(1, (n - 1).bit_length())
+    return topologies.hypercube(dim)
+
+
+#: name -> generator taking a target size (actual size may differ slightly
+#: for structured families such as grids and hypercubes).
+FAMILIES: Dict[str, Callable[[int], Graph]] = {
+    "path": topologies.path_graph,
+    "cycle": lambda n: topologies.cycle_graph(max(n, 3)),
+    "star": lambda n: topologies.star_graph(max(n, 2)),
+    "complete": topologies.complete_graph,
+    "grid": _grid_near,
+    "hypercube": _hypercube_near,
+    "binary-tree": lambda n: topologies.kary_tree(2, max(1, n.bit_length() - 1)),
+    "caterpillar": lambda n: topologies.caterpillar(max(1, n // 3), 2),
+    "spider": lambda n: topologies.spider(3, max(1, (n - 1) // 3)),
+    "wheel": lambda n: topologies.wheel(max(n, 4)),
+    "random-tree": lambda n: random_tree(n, seed=7),
+    "gnp": lambda n: random_connected_gnp(n, p=min(1.0, 2.0 / max(n, 2)), seed=7),
+    "geometric": lambda n: random_geometric(n, radius=0.35, seed=7),
+    "debruijn": lambda n: topologies.de_bruijn(2, max(2, (n - 1).bit_length())),
+    "torus": lambda n: topologies.torus_2d(
+        max(3, int(round(n**0.5))), max(3, int(round(n**0.5)))
+    ),
+    "ccc": lambda n: topologies.cube_connected_cycles(
+        max(3, (max(n, 24) // 3 - 1).bit_length())
+    ),
+    "butterfly": lambda n: topologies.butterfly(
+        max(1, (max(n, 4) // 4).bit_length())
+    ),
+    "barbell": lambda n: topologies.barbell(max(2, n // 3), max(0, n // 3)),
+    "lollipop": lambda n: topologies.lollipop(max(2, n // 2), max(0, n // 2)),
+    "broom": lambda n: topologies.broom(max(1, n // 2), max(0, n - n // 2)),
+}
+
+
+def family_instance(family: str, n: int) -> Graph:
+    """One instance of ``family`` at (approximately) size ``n``."""
+    return FAMILIES[family](n)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (family, size) point of a sweep, with the realised graph."""
+
+    family: str
+    requested_n: int
+    graph: Graph
+
+
+def sweep(
+    sizes: Sequence[int],
+    families: Optional[Sequence[str]] = None,
+) -> Iterator[SweepPoint]:
+    """Yield every (family, size) instance of the sweep."""
+    chosen = list(FAMILIES) if families is None else list(families)
+    for family in chosen:
+        for n in sizes:
+            yield SweepPoint(family=family, requested_n=n, graph=FAMILIES[family](n))
+
+
+def small_suite() -> List[Graph]:
+    """The compact default collection used by bound tests (n <= ~40)."""
+    return [
+        topologies.path_graph(9),
+        topologies.path_graph(10),
+        topologies.cycle_graph(11),
+        topologies.star_graph(12),
+        topologies.complete_graph(8),
+        topologies.grid_2d(4, 5),
+        topologies.hypercube(4),
+        topologies.kary_tree(3, 2),
+        topologies.caterpillar(6, 2),
+        topologies.spider(4, 3),
+        topologies.wheel(9),
+        topologies.de_bruijn(2, 4),
+        random_tree(25, seed=3),
+        random_connected_gnp(20, 0.12, seed=3),
+        random_geometric(18, 0.35, seed=3),
+    ]

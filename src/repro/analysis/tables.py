@@ -1,0 +1,153 @@
+"""Rendering of the paper's Tables 1–4 (and any vertex's timeline).
+
+:func:`render_timeline` prints a :class:`~repro.simulator.trace.VertexTimeline`
+in the paper's layout — one column per time step, rows *Receive from
+Parent / Receive from Child / Send to Parent / Send to Child*, ``-`` for
+idle cells.  :func:`paper_tables` regenerates all four published tables
+from the reconstructed Fig. 5 tree, and :data:`EXPECTED_TABLES` records
+the ground-truth rows (derived from the algorithm; the scan of the
+original tables is partly illegible — see DESIGN.md) that the test suite
+asserts against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.concurrent_updown import concurrent_updown
+from ..simulator.trace import VertexTimeline, vertex_timeline
+from ..tree.labeling import LabeledTree
+
+__all__ = ["render_timeline", "paper_tables", "EXPECTED_TABLES"]
+
+
+def render_timeline(
+    timeline: VertexTimeline, horizon: Optional[int] = None, title: str = ""
+) -> str:
+    """Format one vertex timeline as the paper's table layout."""
+    rows = timeline.as_lists(horizon)
+    h = len(next(iter(rows.values()))) - 1
+    captions = list(rows)
+    width = max(len(str(h)), 2)
+    name_w = max(len("Time"), *(len(c) for c in captions))
+    header = (
+        f"{'Time':<{name_w}} | "
+        + " | ".join(f"{t:>{width}}" for t in range(h + 1))
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for caption in captions:
+        cells = " | ".join(
+            f"{('-' if m is None else str(m)):>{width}}" for m in rows[caption]
+        )
+        lines.append(f"{caption:<{name_w}} | {cells}")
+    return "\n".join(lines)
+
+
+def paper_tables(vertices: Optional[List[int]] = None) -> Dict[int, VertexTimeline]:
+    """Regenerate the paper's Tables 1–4 from the Fig. 5 tree.
+
+    Returns timelines keyed by vertex (default: the published vertices
+    0, 1, 4 and 8).
+    """
+    from ..networks.paper_networks import fig5_tree
+
+    labeled = LabeledTree(fig5_tree())
+    schedule = concurrent_updown(labeled)
+    chosen = [0, 1, 4, 8] if vertices is None else vertices
+    return {
+        v: vertex_timeline(labeled.tree, schedule, v) for v in chosen
+    }
+
+
+def _row(entries: Dict[int, int]) -> Dict[int, int]:
+    return dict(entries)
+
+
+#: Ground-truth rows of Tables 1–4, keyed by vertex then row caption.
+#: Derived by hand from steps (U1)–(U4)/(D1)–(D3) applied to the Fig. 5
+#: blocks (vertex 0: i=0, j=15, k=0;  vertex 1: i=1, j=3, k=1;
+#: vertex 4: i=4, j=10, k=1;  vertex 8: i=8, j=10, k=2), matching every
+#: legible cell of the published scan.
+EXPECTED_TABLES: Dict[int, Dict[str, Dict[int, int]]] = {
+    # Table 1 — the root (message 0).  Receives message m at time m from a
+    # child; sends m at time m to the children lacking it; its own
+    # message 0 goes out at time n = 16 (the i == k rule).
+    0: {
+        "receive_from_child": _row({m: m for m in range(1, 16)}),
+        "receive_from_parent": {},
+        "send_to_parent": {},
+        "send_to_child": _row({**{m: m for m in range(1, 16)}, 16: 0}),
+    },
+    # Table 2 — vertex 1 (i=1, j=3, k=1): lip 1 at time 0, rip 2, 3 at
+    # times 1, 2; receives o-messages 4..15 at 5..16 and 0 at 17; being on
+    # the leftmost spine (i == k) its s-message goes down at j - k + 1 = 3.
+    1: {
+        "receive_from_parent": _row({**{m + 1: m for m in range(4, 16)}, 17: 0}),
+        "receive_from_child": _row({1: 2, 2: 3}),
+        "send_to_parent": _row({0: 1, 1: 2, 2: 3}),
+        "send_to_child": _row(
+            {1: 2, 2: 3, 3: 1, **{m + 1: m for m in range(4, 16)}, 17: 0}
+        ),
+    },
+    # Table 3 — vertex 4 (i=4, j=10, k=1): o-messages 2, 3 arrive at times
+    # i - k = 3 and i - k + 1 = 4 and are delayed to j - k + 1 = 10 and
+    # j - k + 2 = 11.
+    4: {
+        "receive_from_parent": _row(
+            {2: 1, 3: 2, 4: 3, **{m + 1: m for m in range(11, 16)}, 17: 0}
+        ),
+        "receive_from_child": _row({1: 5, **{m - 1: m for m in range(6, 11)}}),
+        "send_to_parent": _row({m - 1: m for m in range(4, 11)}),
+        "send_to_child": _row(
+            {
+                2: 1,
+                **{m - 1: m for m in range(4, 11)},
+                10: 2,
+                11: 3,
+                **{m + 1: m for m in range(11, 16)},
+                17: 0,
+            }
+        ),
+    },
+    # Table 4 — vertex 8 (i=8, j=10, k=2): o-messages 6, 7 arrive at times
+    # i - k = 6 and i - k + 1 = 7 and are delayed to j - k + 1 = 9 and
+    # j - k + 2 = 10; messages 2, 3 (delayed upstream at vertex 4) arrive
+    # at times 11, 12.
+    8: {
+        "receive_from_parent": _row(
+            {
+                3: 1,
+                4: 4,
+                5: 5,
+                6: 6,
+                7: 7,
+                11: 2,
+                12: 3,
+                **{m + 2: m for m in range(11, 16)},
+                18: 0,
+            }
+        ),
+        "receive_from_child": _row({1: 9, 8: 10}),
+        "send_to_parent": _row({6: 8, 7: 9, 8: 10}),
+        "send_to_child": _row(
+            {
+                3: 1,
+                4: 4,
+                5: 5,
+                6: 8,
+                7: 9,
+                8: 10,
+                9: 6,
+                10: 7,
+                11: 2,
+                12: 3,
+                **{m + 2: m for m in range(11, 16)},
+                18: 0,
+            }
+        ),
+    },
+}

@@ -1,0 +1,318 @@
+"""Command-line interface: ``python -m repro.cli`` (or ``repro-gossip``).
+
+Subcommands:
+
+* ``gossip``  — build and report a gossip schedule for a named topology;
+* ``tables``  — regenerate the paper's Tables 1–4;
+* ``compare`` — compare algorithms across the standard suite;
+* ``paper``   — verify every paper figure claim and print a summary.
+
+Examples
+--------
+::
+
+    python -m repro.cli gossip --topology grid --n 16 --algorithm simple
+    python -m repro.cli gossip --topology cycle --n 12 --show-schedule
+    python -m repro.cli tables --vertex 4
+    python -m repro.cli compare --sizes 16 32 64
+    python -m repro.cli paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.comparison import comparison_table, format_comparison
+from .analysis.sweep import FAMILIES, family_instance
+from .analysis.tables import paper_tables, render_timeline
+from .core.gossip import ALGORITHMS, gossip, _populate_registry
+from .networks.properties import summarize
+from .viz.ascii import render_schedule, render_tree
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the test suite)."""
+    _populate_registry()
+    parser = argparse.ArgumentParser(
+        prog="repro-gossip",
+        description="Gossiping in the multicasting communication environment",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gossip = sub.add_parser("gossip", help="schedule gossip on a topology")
+    p_gossip.add_argument(
+        "--topology", choices=sorted(FAMILIES), default="grid",
+        help="topology family (size is approximate for structured families)",
+    )
+    p_gossip.add_argument("--n", type=int, default=16, help="target processor count")
+    p_gossip.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="concurrent-updown"
+    )
+    p_gossip.add_argument(
+        "--show-tree", action="store_true", help="print the labelled spanning tree"
+    )
+    p_gossip.add_argument(
+        "--show-schedule", action="store_true", help="print every round"
+    )
+
+    p_tables = sub.add_parser("tables", help="regenerate the paper's Tables 1-4")
+    p_tables.add_argument(
+        "--vertex", type=int, action="append", default=None,
+        help="vertex to tabulate (repeatable; default: 0 1 4 8)",
+    )
+
+    p_cmp = sub.add_parser("compare", help="compare algorithms across the suite")
+    p_cmp.add_argument("--sizes", type=int, nargs="+", default=[16, 32])
+    p_cmp.add_argument(
+        "--families", nargs="+", choices=sorted(FAMILIES), default=None
+    )
+
+    sub.add_parser("paper", help="verify all paper-figure claims")
+
+    p_bcast = sub.add_parser(
+        "broadcast", help="broadcast from a source (multicast vs telephone)"
+    )
+    p_bcast.add_argument("--topology", choices=sorted(FAMILIES), default="grid")
+    p_bcast.add_argument("--n", type=int, default=16)
+    p_bcast.add_argument("--source", type=int, default=0)
+
+    p_weighted = sub.add_parser(
+        "weighted", help="weighted gossiping via chain splitting (Section 4)"
+    )
+    p_weighted.add_argument("--topology", choices=sorted(FAMILIES), default="grid")
+    p_weighted.add_argument("--n", type=int, default=16)
+    p_weighted.add_argument(
+        "--max-weight", type=int, default=3,
+        help="per-processor message counts drawn from 1..max-weight (seeded)",
+    )
+
+    p_online = sub.add_parser(
+        "online", help="run the online protocol and diff against offline"
+    )
+    p_online.add_argument("--topology", choices=sorted(FAMILIES), default="grid")
+    p_online.add_argument("--n", type=int, default=16)
+
+    p_rep = sub.add_parser(
+        "repeated", help="pipeline k gossip instances on one tree"
+    )
+    p_rep.add_argument("--topology", choices=sorted(FAMILIES), default="star")
+    p_rep.add_argument("--n", type=int, default=16)
+    p_rep.add_argument("--instances", type=int, default=4)
+
+    p_bounds = sub.add_parser(
+        "bounds", help="measured vs closed-form bounds across families"
+    )
+    p_bounds.add_argument("--sizes", type=int, nargs="+", default=[32])
+    p_bounds.add_argument(
+        "--families", nargs="+", choices=sorted(FAMILIES),
+        default=["path", "star", "grid", "hypercube", "random-tree"],
+    )
+    return parser
+
+
+def _cmd_gossip(args: argparse.Namespace) -> int:
+    graph = family_instance(args.topology, args.n)
+    plan = gossip(graph, algorithm=args.algorithm)
+    result = plan.execute()
+    info = summarize(graph)
+    print(f"network   : {graph.name} (n={graph.n}, m={graph.m}, radius={info.radius})")
+    print(f"algorithm : {args.algorithm}")
+    print(f"total time: {plan.total_time}   (n + r = {graph.n + info.radius}, "
+          f"lower bound n - 1 = {graph.n - 1})")
+    print(f"complete  : {result.complete}   duplicates: {result.duplicate_deliveries}")
+    if args.show_tree:
+        print()
+        print(render_tree(plan.tree, plan.labeled))
+    if args.show_schedule:
+        print()
+        print(render_schedule(plan.schedule))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    vertices = args.vertex if args.vertex else [0, 1, 4, 8]
+    tables = paper_tables(vertices)
+    published = {0: "Table 1", 1: "Table 2", 4: "Table 3", 8: "Table 4"}
+    for v in vertices:
+        title = published.get(v, f"timeline of vertex {v}")
+        print(render_timeline(tables[v], title=f"{title} — vertex with message {v}:"))
+        print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graphs = [
+        family_instance(fam, n)
+        for fam in (args.families or sorted(FAMILIES))
+        for n in args.sizes
+    ]
+    rows = comparison_table(graphs)
+    print(format_comparison(rows))
+    return 0
+
+
+def _cmd_paper(_args: argparse.Namespace) -> int:
+    from .networks.paper_networks import (
+        fig1_ring,
+        fig4_network,
+        fig5_tree,
+        n3_multicast_schedule,
+        n3_network,
+        petersen,
+        petersen_gossip_schedule,
+    )
+    from .core.ring import hamiltonian_circuit, ring_gossip
+    from .networks.spanning_tree import minimum_depth_spanning_tree
+    from .simulator.validator import assert_gossip_schedule
+
+    ring = fig1_ring()
+    assert_gossip_schedule(ring, ring_gossip(list(range(ring.n))), max_total_time=ring.n - 1)
+    print(f"Fig. 1  ring n={ring.n}: gossip in n-1 = {ring.n - 1} rounds  OK")
+
+    p = petersen()
+    assert hamiltonian_circuit(p) is None
+    assert_gossip_schedule(p, petersen_gossip_schedule(), max_total_time=9)
+    print("Fig. 2  Petersen: no Hamiltonian circuit; telephone gossip in 9 rounds  OK")
+
+    n3 = n3_network()
+    assert hamiltonian_circuit(n3) is None
+    assert_gossip_schedule(n3, n3_multicast_schedule(), max_total_time=4)
+    print("Fig. 3  N3: no Hamiltonian circuit; multicast gossip in n-1 = 4 rounds  OK")
+
+    tree = minimum_depth_spanning_tree(fig4_network())
+    assert tree == fig5_tree()
+    print("Fig. 4/5: minimum-depth spanning tree reproduces the labelled example  OK")
+
+    plan = gossip(fig4_network())
+    plan.execute()
+    print(
+        f"Theorem 1 on Fig. 4: ConcurrentUpDown finishes in "
+        f"{plan.total_time} = n + r = {plan.graph.n + tree.height} rounds  OK"
+    )
+    return 0
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    from .core.broadcast import broadcast, broadcast_time, telephone_broadcast
+
+    graph = family_instance(args.topology, args.n)
+    source = args.source % graph.n
+    multicast = broadcast(graph, source)
+    telephone = telephone_broadcast(graph, source)
+    print(f"network  : {graph.name}  n={graph.n}  source={source} "
+          f"(eccentricity {broadcast_time(graph, source)})")
+    print(f"multicast: {multicast.total_time} rounds (optimal: = eccentricity)")
+    print(f"telephone: {telephone.total_time} rounds "
+          f"(>= max(ecc, ceil(log2 n)))")
+    return 0
+
+
+def _cmd_weighted(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .core.weighted import weighted_gossip
+
+    graph = family_instance(args.topology, args.n)
+    rng = np.random.default_rng(0)
+    weights = [int(w) for w in rng.integers(1, args.max_weight + 1, size=graph.n)]
+    plan = weighted_gossip(graph, weights)
+    result = plan.execute()
+    print(f"network : {graph.name}  n={graph.n}  weights 1..{args.max_weight}")
+    print(f"messages: N = {plan.total_messages}   expanded height r' = "
+          f"{plan.expanded.height}")
+    print(f"schedule: {plan.total_time} rounds = N + r'   complete={result.complete}")
+    print(f"mimicking: at most {max(plan.real_round_load().values())} virtual "
+          "sends per real processor per round")
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from .core.concurrent_updown import concurrent_updown
+    from .core.online import run_online_gossip
+    from .networks.spanning_tree import minimum_depth_spanning_tree
+    from .tree.labeling import LabeledTree
+
+    graph = family_instance(args.topology, args.n)
+    labeled = LabeledTree(minimum_depth_spanning_tree(graph))
+    online = run_online_gossip(labeled)
+    offline = concurrent_updown(labeled)
+    identical = online.rounds == offline.rounds
+    print(f"network : {graph.name}  n={graph.n}")
+    print(f"online  : {online.total_time} rounds from (i, j, k)-local knowledge")
+    print(f"offline : {offline.total_time} rounds")
+    print(f"schedules identical: {identical}")
+    return 0 if identical else 1
+
+
+def _cmd_repeated(args: argparse.Namespace) -> int:
+    from .core.repeated import repeated_gossip
+    from .networks.spanning_tree import minimum_depth_spanning_tree
+    from .tree.labeling import LabeledTree
+
+    graph = family_instance(args.topology, args.n)
+    labeled = LabeledTree(minimum_depth_spanning_tree(graph))
+    plan = repeated_gossip(labeled, instances=args.instances)
+    result = plan.execute()
+    print(f"network  : {graph.name}  n={graph.n}  instances={args.instances}")
+    print(f"offset   : {plan.offset} rounds between instance starts "
+          f"(capacity floor n-1 = {graph.n - 1})")
+    print(f"total    : {plan.total_time} rounds vs sequential "
+          f"{plan.sequential_time}; amortised {plan.amortised_time:.1f}/instance")
+    print(f"complete : {result.complete}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    """Measured schedule lengths vs every closed form the paper states."""
+    from .core.updown import updown_total_time_bound
+    from .networks.properties import radius as graph_radius
+
+    header = (f"{'network':<18} {'n':>4} {'r':>3} "
+              f"{'concurrent':>11} {'=n+r':>5} "
+              f"{'simple':>7} {'=2n+r-3':>8} "
+              f"{'updown':>7} {'<=n+3r-2':>9}")
+    print(header)
+    print("-" * len(header))
+    exact = True
+    for family in args.families:
+        for n in args.sizes:
+            g = family_instance(family, n)
+            r = graph_radius(g)
+            concurrent = gossip(g).total_time
+            simple = gossip(g, algorithm="simple").total_time
+            updown = gossip(g, algorithm="updown").total_time
+            budget = updown_total_time_bound(g.n, r)
+            print(f"{g.name:<18} {g.n:>4} {r:>3} "
+                  f"{concurrent:>11} {g.n + r:>5} "
+                  f"{simple:>7} {2 * g.n + r - 3:>8} "
+                  f"{updown:>7} {budget:>9}")
+            exact &= concurrent == g.n + r and simple == 2 * g.n + r - 3
+            exact &= updown <= budget
+    print()
+    print("all bounds hold exactly" if exact else "BOUND VIOLATION — see above")
+    return 0 if exact else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "gossip": _cmd_gossip,
+        "tables": _cmd_tables,
+        "compare": _cmd_compare,
+        "paper": _cmd_paper,
+        "broadcast": _cmd_broadcast,
+        "weighted": _cmd_weighted,
+        "online": _cmd_online,
+        "repeated": _cmd_repeated,
+        "bounds": _cmd_bounds,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

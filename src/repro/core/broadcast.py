@@ -1,0 +1,113 @@
+"""Multicast broadcasting (paper Section 2).
+
+Broadcasting one message under the multicasting model is "trivial to
+solve": the source multicasts to all neighbours at time 0; afterwards
+every processor that just received the message multicasts it to the
+neighbours that still lack it, with ties (several candidates wanting to
+inform the same processor) broken offline.  Processor ``v`` receives the
+message exactly at time ``dist(source, v)``, so the schedule completes in
+``ecc(source)`` rounds — optimal, since a message traverses one edge per
+round.
+
+We break ties deterministically: a frontier vertex is informed by its
+smallest-id informed neighbour (the BFS-tree parent), and each sender
+multicasts once to all the frontier vertices assigned to it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set
+
+from ..exceptions import DisconnectedGraphError
+from ..networks.bfs import UNREACHED, bfs_tree
+from ..networks.graph import Graph
+from ..types import Message, Vertex
+from .schedule import Round, Schedule, Transmission
+
+__all__ = ["broadcast", "broadcast_time", "telephone_broadcast"]
+
+
+def broadcast(graph: Graph, source: Vertex, message: Message | None = None) -> Schedule:
+    """Schedule broadcasting ``message`` from ``source`` to everyone.
+
+    ``message`` defaults to ``source`` (the paper's convention that
+    processor ``v`` originates message ``v``).  The schedule has exactly
+    ``eccentricity(source)`` rounds; processor ``v`` receives the message
+    at time ``dist(source, v)``.
+    """
+    msg = source if message is None else message
+    dist, parent = bfs_tree(graph, source)
+    if (dist == UNREACHED).any():
+        raise DisconnectedGraphError("cannot broadcast over a disconnected graph")
+    horizon = int(dist.max())
+    rounds: List[Round] = []
+    for t in range(horizon):
+        # Vertices at distance t+1 are informed this round, each by its
+        # BFS parent; group the frontier by sender into multicasts.
+        by_sender: Dict[int, Set[int]] = defaultdict(set)
+        for v in range(graph.n):
+            if dist[v] == t + 1:
+                by_sender[int(parent[v])].add(v)
+        rounds.append(
+            Round(
+                Transmission(sender=s, message=msg, destinations=frozenset(dests))
+                for s, dests in by_sender.items()
+            )
+        )
+    return Schedule(rounds, name=f"broadcast-from-{source}")
+
+
+def broadcast_time(graph: Graph, source: Vertex) -> int:
+    """The optimal broadcast time from ``source``: its eccentricity."""
+    dist = bfs_tree(graph, source)[0]
+    if (dist == UNREACHED).any():
+        raise DisconnectedGraphError("cannot broadcast over a disconnected graph")
+    return int(dist.max())
+
+
+def telephone_broadcast(
+    graph: Graph, source: Vertex, message: Message | None = None
+) -> Schedule:
+    """Greedy broadcasting under the telephone (unicast) model.
+
+    The classical doubling strategy: each round, every informed processor
+    calls one uninformed neighbour (earliest-informed processors choose
+    first; each picks its smallest-id unclaimed uninformed neighbour).
+    At best the informed set doubles, so the schedule needs at least
+    ``max(ecc(source), ceil(log2 n))`` rounds — in contrast with the
+    multicast model's exact ``ecc(source)`` (:func:`broadcast`).  On a
+    star the gap is extreme: 1 round multicast vs ``n - 1`` telephone.
+    """
+    msg = source if message is None else message
+    dist = bfs_tree(graph, source)[0]
+    if (dist == UNREACHED).any():
+        raise DisconnectedGraphError("cannot broadcast over a disconnected graph")
+    informed_order: List[int] = [int(source)]
+    informed: Set[int] = {int(source)}
+    rounds: List[Round] = []
+    while len(informed) < graph.n:
+        claimed: Set[int] = set()
+        txs = []
+        for caller in informed_order:
+            target = next(
+                (
+                    u
+                    for u in graph.neighbors(caller)
+                    if u not in informed and u not in claimed
+                ),
+                None,
+            )
+            if target is not None:
+                claimed.add(target)
+                txs.append(
+                    Transmission(
+                        sender=caller, message=msg, destinations=frozenset({target})
+                    )
+                )
+        if not txs:  # pragma: no cover - impossible on connected graphs
+            raise DisconnectedGraphError("broadcast stalled; graph disconnected?")
+        rounds.append(Round(txs))
+        informed_order.extend(sorted(claimed))
+        informed |= claimed
+    return Schedule(rounds, name=f"telephone-broadcast-from-{source}")

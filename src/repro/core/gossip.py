@@ -1,0 +1,175 @@
+"""End-to-end gossiping pipeline: network in, verified schedule out.
+
+This is the library's front door.  :func:`gossip` reproduces the paper's
+two-stage procedure:
+
+1. build the minimum-depth spanning tree of the network (Section 3.1),
+2. DFS-label it and run the selected tree-gossiping algorithm
+   (Section 3.2) — ConcurrentUpDown by default.
+
+The result object bundles every intermediate artefact (tree, labelling,
+schedule) plus :meth:`GossipPlan.execute`, which replays the schedule on
+the round-based simulator and checks completeness, and
+:meth:`GossipPlan.vertex_completion_times` for per-processor analysis.
+
+Message ids in the schedule are DFS labels; :attr:`GossipPlan.labeled`
+maps them back to vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..exceptions import ReproError
+from ..networks.bfs import require_connected
+from ..networks.builders import tree_to_graph
+from ..networks.graph import Graph
+from ..networks.spanning_tree import minimum_depth_spanning_tree
+from ..tree.labeling import LabeledTree
+from ..tree.tree import Tree
+from .schedule import Schedule
+
+__all__ = ["GossipPlan", "gossip", "gossip_on_tree", "ALGORITHMS", "register_algorithm"]
+
+#: Registry of tree-gossiping algorithms: name -> (LabeledTree -> Schedule).
+ALGORITHMS: Dict[str, Callable[[LabeledTree], Schedule]] = {}
+
+
+def register_algorithm(name: str) -> Callable:
+    """Decorator registering a tree-gossiping algorithm under ``name``."""
+
+    def wrap(fn: Callable[[LabeledTree], Schedule]) -> Callable[[LabeledTree], Schedule]:
+        ALGORITHMS[name] = fn
+        return fn
+
+    return wrap
+
+
+def _populate_registry() -> None:
+    """Late import so the registry sees every algorithm module."""
+    if ALGORITHMS:
+        return
+    from .concurrent_updown import concurrent_updown
+    from .simple import simple_gossip
+    from .store_forward import (
+        greedy_multicast_gossip,
+        greedy_updown_gossip,
+        telephone_gossip,
+    )
+    from .updown import updown_gossip
+
+    ALGORITHMS.update(
+        {
+            "concurrent-updown": concurrent_updown,
+            "simple": simple_gossip,
+            "updown": updown_gossip,
+            "updown-greedy": greedy_updown_gossip,
+            "greedy": greedy_multicast_gossip,
+            "telephone": telephone_gossip,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class GossipPlan:
+    """A gossiping solution for one network.
+
+    Attributes
+    ----------
+    graph:
+        The original communication network.
+    tree:
+        The spanning tree all communications use.
+    labeled:
+        The tree's DFS labelling (message id <-> vertex map).
+    schedule:
+        The communication schedule; message ids are DFS labels.
+    algorithm:
+        Registry name of the algorithm that produced the schedule.
+    """
+
+    graph: Graph
+    tree: Tree
+    labeled: LabeledTree
+    schedule: Schedule
+    algorithm: str
+
+    @property
+    def total_time(self) -> int:
+        """Total communication time of the schedule."""
+        return self.schedule.total_time
+
+    @property
+    def radius_bound(self) -> int:
+        """Theorem 1's guarantee ``n + height`` for this tree."""
+        return self.graph.n + self.tree.height
+
+    def execute(self, record_arrivals: bool = False, on_tree_only: bool = False):
+        """Replay the schedule on the simulator; raises if anything breaks.
+
+        Parameters
+        ----------
+        record_arrivals:
+            Log every delivery (needed for per-vertex timelines).
+        on_tree_only:
+            Validate transmissions against the *tree* edges instead of the
+            full network — a stricter check, since the paper's algorithms
+            only ever use tree edges.
+        """
+        from ..simulator.engine import execute_schedule
+        from ..simulator.state import labeled_holdings
+
+        network = tree_to_graph(self.tree) if on_tree_only else self.graph
+        return execute_schedule(
+            network,
+            self.schedule,
+            initial_holds=labeled_holdings(self.labeled.labels()),
+            require_complete=True,
+            record_arrivals=record_arrivals,
+        )
+
+    def vertex_completion_times(self) -> Dict[int, int]:
+        """Per-vertex first time holding all messages (vertex id keyed)."""
+        result = self.execute()
+        return {
+            v: t for v, t in enumerate(result.completion_times) if t is not None
+        }
+
+
+def gossip(
+    graph: Graph,
+    algorithm: str = "concurrent-updown",
+    tree: Optional[Tree] = None,
+) -> GossipPlan:
+    """Solve gossiping on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        A connected network.
+    algorithm:
+        One of :data:`ALGORITHMS` (default the paper's ConcurrentUpDown).
+    tree:
+        Override the spanning tree (e.g. for the tree-choice ablation);
+        by default the minimum-depth spanning tree is built, making the
+        schedule at most ``n + radius`` rounds long.
+    """
+    _populate_registry()
+    if algorithm not in ALGORITHMS:
+        raise ReproError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    require_connected(graph, "gossiping")
+    if tree is None:
+        tree = minimum_depth_spanning_tree(graph)
+    labeled = LabeledTree(tree)
+    schedule = ALGORITHMS[algorithm](labeled)
+    return GossipPlan(
+        graph=graph, tree=tree, labeled=labeled, schedule=schedule, algorithm=algorithm
+    )
+
+
+def gossip_on_tree(tree: Tree, algorithm: str = "concurrent-updown") -> GossipPlan:
+    """Solve gossiping directly on a tree network."""
+    return gossip(tree_to_graph(tree), algorithm=algorithm, tree=tree)

@@ -1,0 +1,98 @@
+"""Algorithm Propagate-Down (paper Section 3.2, steps D1–D3).
+
+Generates the *downward* half of the ConcurrentUpDown schedule: every
+vertex relays towards the leaves the messages originating elsewhere.
+
+Per vertex ``v`` with block ``(i, j, k)`` and children in DFS order:
+
+* **(D3)** — distribute the subtree's own body messages: message ``m`` of
+  ``i..j`` leaves at time ``m - k`` towards every child except the one
+  whose subtree originated ``m`` (that child already carries it upward);
+  only the s-message ``i`` goes to *all* children.  Special case
+  ``i == k`` (``v`` lies on the leftmost root-to-leaf spine): the
+  s-message cannot leave at time ``i - k = 0`` — that slot is taken by
+  the (U3) lip send (or, at the root, by the children's time-1 lookahead
+  receive) — so it is postponed to time ``j - k + 1``.
+* **(D2)** — cut-through forwarding: every o-message received from the
+  parent is multicast to all children *in the same round it arrives*,
+  except the arrivals at times ``i - k`` and ``i - k + 1`` (the parent's
+  last body messages below ``i``), which would collide with (D3); they
+  are held and flushed at times ``j - k + 1`` and ``j - k + 2``.
+* **(D1)** is the receive side: o-messages arrive during
+  ``2 .. i-k+1`` and ``j-k+3 .. n+k`` (Lemma 3); it generates no events.
+
+The implementation walks the tree level by level: a vertex's (D2) events
+are derived from the *actual* downward sends of its parent, so the
+generated schedule is exactly the recursive object Lemma 3 reasons
+about — including the arrival gaps visible in the paper's Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..tree.labeling import LabeledTree
+from ..types import Message, Time
+from .schedule import Schedule, ScheduleBuilder
+
+__all__ = ["propagate_down_builder", "propagate_down"]
+
+
+def propagate_down_builder(labeled: LabeledTree) -> ScheduleBuilder:
+    """Emit all (D2)/(D3) send events into a fresh builder."""
+    builder = ScheduleBuilder()
+    tree = labeled.tree
+    # Downward sends already emitted, per vertex, so each child can
+    # reconstruct its arrival stream: (send_time, message, destinations).
+    down_sends: Dict[int, List[Tuple[Time, Message, FrozenSet[int]]]] = {
+        v: [] for v in range(labeled.n)
+    }
+
+    def emit(v: int, time: Time, message: Message, dests: Tuple[int, ...]) -> None:
+        if dests:
+            builder.send(time, v, message, dests)
+            down_sends[v].append((time, message, frozenset(dests)))
+
+    for v in tree.bfs_order():
+        kids = tree.children(v)
+        if not kids:
+            continue  # leaves relay nothing downward
+        block = labeled.block(v)
+        i, j, k = block.i, block.j, block.k
+
+        # (D3): body messages i..j at times i-k .. j-k.
+        for m in range(i, j + 1):
+            if m == i:
+                send_time = (j - k + 1) if i == k else (i - k)
+                emit(v, send_time, m, kids)
+            else:
+                owner = labeled.owner_child(v, m)
+                emit(v, m - k, m, tuple(c for c in kids if c != owner))
+
+        # (D2): forward o-messages arriving from the parent.
+        if not tree.is_root(v):
+            parent = tree.parent(v)
+            arrivals = sorted(
+                (send_time + 1, message)
+                for (send_time, message, dests) in down_sends[parent]
+                if v in dests
+            )
+            held: List[Message] = []
+            for arrival_time, m in arrivals:
+                if arrival_time in (i - k, i - k + 1):
+                    held.append(m)
+                else:
+                    emit(v, arrival_time, m, kids)
+            for offset, m in enumerate(held):
+                emit(v, j - k + 1 + offset, m, kids)
+    return builder
+
+
+def propagate_down(labeled: LabeledTree) -> Schedule:
+    """The standalone Propagate-Down schedule (for inspection and tests).
+
+    Alone it distributes o-messages and body messages downward but never
+    moves a message towards the root; it is the second half of the
+    ConcurrentUpDown overlap (Lemma 3).
+    """
+    return propagate_down_builder(labeled).build(name="Propagate-Down")

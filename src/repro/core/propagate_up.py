@@ -1,0 +1,61 @@
+"""Algorithm Propagate-Up (paper Section 3.2, steps U1–U4).
+
+Generates the *upward* half of the ConcurrentUpDown schedule: every
+message travels from its origin to the root so that the root receives
+message ``m`` exactly at time ``m`` (for ``m >= 1``; it owns message 0).
+
+Per nonroot vertex ``v`` with block ``(i, j, k)``:
+
+* **(U3)** at time 0, ``v`` sends its lip-message to its parent — the
+  message ``i`` when ``v`` is its parent's first child.  Sending the
+  lookahead one round early is the paper's key trick: without it the
+  downward stream would collide with the upward stream and messages would
+  get stuck at every level (see the ``no_lip`` ablation).
+* **(U4)** with ``w`` the number of lip-messages (0 or 1), ``v`` sends its
+  rip-messages ``i+w .. j`` to its parent in increasing label order;
+  message ``m`` leaves at time ``m - k``.
+
+Steps (U1) and (U2) are the *receive* side of the same transmissions
+(l-message at time 1, r-message ``m`` at time ``m - k``) and need no
+separate events; Lemma 2 proves the two sides line up, and the test
+suite checks it by simulation.
+"""
+
+from __future__ import annotations
+
+from ..tree.labeling import LabeledTree
+from .schedule import Schedule, ScheduleBuilder
+
+__all__ = ["propagate_up_builder", "propagate_up"]
+
+
+def propagate_up_builder(labeled: LabeledTree) -> ScheduleBuilder:
+    """Emit all (U3)/(U4) send events into a fresh builder.
+
+    Every event is a unicast to the parent; the builder representation
+    lets :func:`repro.core.concurrent_updown.concurrent_updown` merge the
+    coinciding (U4)/(D3) sends into single multicasts.
+    """
+    builder = ScheduleBuilder()
+    tree = labeled.tree
+    for v in range(labeled.n):
+        if tree.is_root(v):
+            continue
+        block = labeled.block(v)
+        parent = tree.parent(v)
+        # (U3): the lip-message, one round ahead of the rip stream.
+        if block.is_first_child:
+            builder.send(0, v, block.i, (parent,))
+        # (U4): rip-messages i+w .. j, message m at time m - k.
+        for m in range(block.i + block.w, block.j + 1):
+            builder.send(m - block.k, v, m, (parent,))
+    return builder
+
+
+def propagate_up(labeled: LabeledTree) -> Schedule:
+    """The standalone Propagate-Up schedule (for inspection and tests).
+
+    On its own this schedule delivers every message to the root by time
+    ``n - 1`` (Lemma 2); it is one half of the ConcurrentUpDown overlap.
+    """
+    return propagate_up_builder(labeled).build(name="Propagate-Up")

@@ -1,0 +1,180 @@
+"""Repeated (pipelined) gossiping on a fixed tree.
+
+Section 4: *"In many applications, one has to execute the gossiping
+algorithms a large number of times, so that is why it is important to
+perform gossiping in a tree efficiently.  The construction of the tree
+is performed only when there is a change in the network."*
+
+This module takes the amortisation one step further: when ``k`` gossip
+operations run back to back (each processor contributes one fresh
+message per *instance* — think iterative solvers doing one all-gather
+per iteration), the instances can be **pipelined**: instance ``q`` starts
+``q * offset`` rounds after instance 0 rather than waiting for it to
+finish.  The minimal safe offset is found by calendar search: the
+smallest shift at which instance 1's sends and receives collide with
+instance 0's nowhere (then, because every instance is an identical
+time-shifted copy, *all* pairs are conflict-free at multiples of that
+offset — verified by construction when the combined schedule is built).
+
+Message ids: instance ``q``'s message with DFS label ``m`` becomes
+``q * n + m``.
+
+Capacity says the offset cannot beat ``n - 1`` (every processor must
+receive ``n - 1`` fresh messages per instance, one per round), so at most
+``r + 1`` rounds per instance could ever be saved.  The measured finding
+(``benchmarks/bench_repeated_gossip.py``) is that ConcurrentUpDown leaves
+almost none of even that slack: a level-``k`` vertex's receive calendar
+is the full interval ``[1, n + k]`` minus just two holes, so a shifted
+copy collides at every offset below ≈ ``n + r`` — the schedules are
+*receive-saturated*.  Consequence: the paper's amortisation advice
+("construct the tree only when the network changes") is about the O(mn)
+tree construction, not about overlapping successive gossips; steady-state
+cost per gossip stays ``n + r`` (the star, whose leaves sit at level 1,
+is the one family that squeezes out a round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from ..exceptions import ReproError, ScheduleConflictError
+from ..tree.labeling import LabeledTree
+from .concurrent_updown import concurrent_updown
+from .schedule import Schedule, ScheduleBuilder
+
+__all__ = ["RepeatedGossipPlan", "minimal_pipeline_offset", "repeated_gossip"]
+
+
+def _calendars(schedule: Schedule) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
+    """Per-vertex send-time and receive-time sets of a schedule."""
+    sends: Dict[int, Set[int]] = {}
+    recvs: Dict[int, Set[int]] = {}
+    for t, rnd in enumerate(schedule):
+        for tx in rnd:
+            sends.setdefault(tx.sender, set()).add(t)
+            for d in tx.destinations:
+                recvs.setdefault(d, set()).add(t + 1)
+    return sends, recvs
+
+
+def minimal_pipeline_offset(schedule: Schedule) -> int:
+    """Smallest shift at which a time-shifted copy never collides.
+
+    Checks sender and receiver calendars of the schedule against its own
+    copy shifted by each candidate offset, starting from the capacity
+    floor (no processor may receive two messages in one round, so the
+    offset is at least the maximum per-vertex receive count).
+    """
+    sends, recvs = _calendars(schedule)
+    if not sends:
+        return 0
+    floor = max(len(times) for times in recvs.values()) if recvs else 1
+    floor = max(floor, 1)
+    horizon = schedule.total_time
+
+    def clashes(delta: int) -> bool:
+        return any(
+            (t + delta) in times for times in sends.values() for t in times
+        ) or any(
+            (t + delta) in times for times in recvs.values() for t in times
+        )
+
+    for offset in range(floor, horizon + 1):
+        # Instances q < q' are shifted by (q' - q) * offset; only shifts
+        # below the horizon can ever overlap, so check those multiples.
+        deltas = range(offset, horizon + 1, offset)
+        if not any(clashes(delta) for delta in deltas):
+            return offset
+    return horizon  # sequential fallback: no overlap possible
+
+
+@dataclass(frozen=True)
+class RepeatedGossipPlan:
+    """``k`` pipelined gossip instances on one labelled tree.
+
+    Attributes
+    ----------
+    labeled:
+        The communication tree (fixed across instances, per Section 4).
+    instances:
+        Number of gossip operations ``k``.
+    offset:
+        Rounds between consecutive instance starts.
+    schedule:
+        The combined schedule; message ``q * n + m`` is instance ``q``'s
+        message with DFS label ``m``.
+    """
+
+    labeled: LabeledTree
+    instances: int
+    offset: int
+    schedule: Schedule
+
+    @property
+    def total_time(self) -> int:
+        """Makespan of all ``k`` instances."""
+        return self.schedule.total_time
+
+    @property
+    def sequential_time(self) -> int:
+        """What running the instances back to back would cost."""
+        single = concurrent_updown(self.labeled).total_time
+        return self.instances * single
+
+    @property
+    def amortised_time(self) -> float:
+        """Average rounds per gossip instance in steady state."""
+        return self.total_time / self.instances
+
+    def execute(self):
+        """Validate on the simulator with per-instance message spaces."""
+        from ..networks.builders import tree_to_graph
+        from ..simulator.engine import execute_schedule
+
+        n = self.labeled.n
+        holds = [0] * n
+        for v in range(n):
+            for q in range(self.instances):
+                holds[v] |= 1 << (q * n + self.labeled.label_of(v))
+        return execute_schedule(
+            tree_to_graph(self.labeled.tree),
+            self.schedule,
+            initial_holds=holds,
+            n_messages=self.instances * n,
+            require_complete=True,
+        )
+
+
+def repeated_gossip(
+    labeled: LabeledTree, instances: int, offset: int | None = None
+) -> RepeatedGossipPlan:
+    """Pipeline ``instances`` ConcurrentUpDown gossips on one tree.
+
+    ``offset`` defaults to :func:`minimal_pipeline_offset` of the single
+    schedule.  Raises :class:`ReproError` when a supplied offset causes a
+    collision (the builder proves safety as a side effect of merging).
+    """
+    if instances < 1:
+        raise ReproError("need at least one gossip instance")
+    single = concurrent_updown(labeled)
+    if offset is None:
+        offset = minimal_pipeline_offset(single)
+    n = labeled.n
+    builder = ScheduleBuilder()
+    try:
+        for q in range(instances):
+            base = q * offset
+            for t, rnd in enumerate(single):
+                for tx in rnd:
+                    builder.send(
+                        base + t, tx.sender, q * n + tx.message, tx.destinations
+                    )
+        schedule = builder.build(name=f"ConcurrentUpDown-x{instances}")
+    except ScheduleConflictError as exc:
+        raise ReproError(
+            f"offset {offset} is unsafe for pipelined gossip: {exc}"
+        ) from exc
+    return RepeatedGossipPlan(
+        labeled=labeled, instances=instances, offset=offset, schedule=schedule
+    )

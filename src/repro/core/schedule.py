@@ -1,0 +1,335 @@
+"""Communication schedules — the paper's central object (Section 1).
+
+A *communication round* ``C`` is a set of tuples ``(m, l, D)``: message
+``m`` is multicast from processor ``P_l`` to the processors in ``D``.  A
+round must satisfy the network rules:
+
+1. every pair of ``D`` sets in ``C`` is disjoint (each processor receives
+   at most one message per round), and
+2. all sender indices ``l`` are distinct (each processor sends at most one
+   message per round).
+
+A *communication schedule* is a sequence of rounds.  Round ``t`` is sent
+at time ``t`` and received at time ``t + 1``; the *total communication
+time* is the number of rounds (equivalently, the latest time at which a
+communication happens).
+
+The classes here enforce the two structural rules at construction time;
+the *semantic* rules (the sender actually holds the message, every
+destination is an adjacent processor) depend on the network and on the
+execution history and are checked by :mod:`repro.simulator.validator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from ..exceptions import ScheduleConflictError, ScheduleError
+from ..types import Message, Time, Vertex, VertexSet
+
+__all__ = ["Transmission", "Round", "Schedule", "ScheduleBuilder", "merge_schedules"]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One multicast: ``message`` goes from ``sender`` to ``destinations``.
+
+    ``destinations`` must be non-empty and must not contain the sender
+    (the sender keeps every message it ever held; self-delivery is
+    meaningless in the model).
+
+    Ordering compares ``(sender, message)`` only: within one round
+    senders are unique, so that is a total order — comparing the
+    destination frozensets would be a subset *partial* order, unsafe for
+    sorting.  Equality still covers all three fields.
+    """
+
+    sender: Vertex
+    message: Message
+    destinations: FrozenSet[Vertex]
+
+    def __lt__(self, other: "Transmission") -> bool:
+        if not isinstance(other, Transmission):
+            return NotImplemented
+        return (self.sender, self.message) < (other.sender, other.message)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.destinations, frozenset):
+            object.__setattr__(self, "destinations", frozenset(self.destinations))
+        if not self.destinations:
+            raise ScheduleError(
+                f"transmission of message {self.message} from {self.sender} "
+                "has an empty destination set"
+            )
+        if self.sender in self.destinations:
+            raise ScheduleError(
+                f"processor {self.sender} cannot send message {self.message} to itself"
+            )
+
+    def fan_out(self) -> int:
+        """Number of simultaneous receivers (1 = unicast)."""
+        return len(self.destinations)
+
+    def __repr__(self) -> str:
+        dests = ",".join(map(str, sorted(self.destinations)))
+        return f"({self.message}, {self.sender} -> {{{dests}}})"
+
+
+class Round:
+    """An immutable communication round: a conflict-free set of transmissions.
+
+    Enforces the two structural rules of the model at construction and
+    offers O(1) lookup of "who sends what" and "who receives what".
+    """
+
+    __slots__ = ("_transmissions", "_by_sender", "_by_receiver")
+
+    def __init__(self, transmissions: Iterable[Transmission] = ()) -> None:
+        txs = tuple(sorted(transmissions, key=lambda tx: (tx.sender, tx.message)))
+        by_sender: Dict[int, Transmission] = {}
+        by_receiver: Dict[int, Transmission] = {}
+        for tx in txs:
+            if tx.sender in by_sender:
+                raise ScheduleConflictError(
+                    f"processor {tx.sender} sends two messages in one round: "
+                    f"{by_sender[tx.sender].message} and {tx.message}"
+                )
+            by_sender[tx.sender] = tx
+            for d in tx.destinations:
+                if d in by_receiver:
+                    raise ScheduleConflictError(
+                        f"processor {d} receives two messages in one round: "
+                        f"{by_receiver[d].message} and {tx.message}"
+                    )
+                by_receiver[d] = tx
+        self._transmissions = txs
+        self._by_sender = by_sender
+        self._by_receiver = by_receiver
+
+    @property
+    def transmissions(self) -> Tuple[Transmission, ...]:
+        """All transmissions, sorted by (sender, message)."""
+        return self._transmissions
+
+    def sent_by(self, v: Vertex) -> Optional[Transmission]:
+        """The transmission ``v`` performs this round, if any."""
+        return self._by_sender.get(v)
+
+    def received_by(self, v: Vertex) -> Optional[Transmission]:
+        """The transmission delivering a message to ``v`` this round, if any."""
+        return self._by_receiver.get(v)
+
+    def senders(self) -> FrozenSet[int]:
+        """All processors that send this round."""
+        return frozenset(self._by_sender)
+
+    def receivers(self) -> FrozenSet[int]:
+        """All processors that receive this round."""
+        return frozenset(self._by_receiver)
+
+    def message_count(self) -> int:
+        """Number of distinct multicasts this round."""
+        return len(self._transmissions)
+
+    def delivery_count(self) -> int:
+        """Total point-to-point deliveries (sum of fan-outs)."""
+        return sum(tx.fan_out() for tx in self._transmissions)
+
+    def is_empty(self) -> bool:
+        """Whether no communication happens this round."""
+        return not self._transmissions
+
+    def __iter__(self) -> Iterator[Transmission]:
+        return iter(self._transmissions)
+
+    def __len__(self) -> int:
+        return len(self._transmissions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Round):
+            return NotImplemented
+        return self._transmissions == other._transmissions
+
+    def __hash__(self) -> int:
+        return hash(self._transmissions)
+
+    def __repr__(self) -> str:
+        return f"Round({list(self._transmissions)!r})"
+
+
+class Schedule:
+    """An immutable sequence of rounds.
+
+    Round ``t`` (0-based) is *sent* at time ``t`` and *received* at time
+    ``t + 1``.  Trailing empty rounds are trimmed so
+    :attr:`total_time` matches the paper's "latest time there is a
+    communication".
+    """
+
+    __slots__ = ("_rounds", "_name")
+
+    def __init__(self, rounds: Iterable[Round], name: str = "") -> None:
+        rnds = list(rounds)
+        while rnds and rnds[-1].is_empty():
+            rnds.pop()
+        self._rounds: Tuple[Round, ...] = tuple(rnds)
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """Name of the producing algorithm (used in reports)."""
+        return self._name
+
+    @property
+    def rounds(self) -> Tuple[Round, ...]:
+        """All rounds, index = send time."""
+        return self._rounds
+
+    @property
+    def total_time(self) -> int:
+        """The paper's total communication time (number of rounds).
+
+        The last round is sent at ``total_time - 1`` and received at
+        ``total_time``.
+        """
+        return len(self._rounds)
+
+    def round_at(self, t: Time) -> Round:
+        """The round sent at time ``t`` (empty if past the end)."""
+        if 0 <= t < len(self._rounds):
+            return self._rounds[t]
+        return _EMPTY_ROUND
+
+    def transmissions_at(self, t: Time) -> Tuple[Transmission, ...]:
+        """Transmissions sent at time ``t``."""
+        return self.round_at(t).transmissions
+
+    def total_messages(self) -> int:
+        """Total multicasts across all rounds."""
+        return sum(len(r) for r in self._rounds)
+
+    def total_deliveries(self) -> int:
+        """Total point-to-point deliveries across all rounds."""
+        return sum(r.delivery_count() for r in self._rounds)
+
+    def max_fan_out(self) -> int:
+        """Largest multicast fan-out anywhere in the schedule (0 if empty)."""
+        return max(
+            (tx.fan_out() for r in self._rounds for tx in r), default=0
+        )
+
+    def with_name(self, name: str) -> "Schedule":
+        """Same schedule carrying a different name."""
+        return Schedule(self._rounds, name=name)
+
+    def __iter__(self) -> Iterator[Round]:
+        return iter(self._rounds)
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._rounds == other._rounds
+
+    def __hash__(self) -> int:
+        return hash(self._rounds)
+
+    def __repr__(self) -> str:
+        label = f" name={self._name!r}" if self._name else ""
+        return f"Schedule(total_time={self.total_time}{label})"
+
+
+_EMPTY_ROUND = Round(())
+
+
+class ScheduleBuilder:
+    """Accumulates ``send(time, sender, message, destinations)`` events.
+
+    The builder is how the Propagate-Up and Propagate-Down schedules are
+    *overlapped* into the ConcurrentUpDown schedule: when the same sender
+    sends the same message at the same time in both (steps (U4) and (D3)
+    deliberately coincide — Theorem 1), the destination sets are merged
+    into a single multicast.  A same-time same-sender event with a
+    *different* message raises :class:`ScheduleConflictError` immediately,
+    which is exactly the no-interference condition the theorem proves.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self) -> None:
+        # time -> sender -> (message, set of destinations)
+        self._events: Dict[int, Dict[int, Tuple[int, set]]] = {}
+
+    def send(
+        self, time: Time, sender: Vertex, message: Message, destinations: VertexSet
+    ) -> "ScheduleBuilder":
+        """Record that ``sender`` multicasts ``message`` at ``time``.
+
+        Merges with an existing same-time event of the same sender when the
+        message matches; raises otherwise.
+        """
+        if time < 0:
+            raise ScheduleError(f"negative send time {time}")
+        dests = set(int(d) for d in destinations)
+        if not dests:
+            return self  # nothing to do; empty multicasts are dropped
+        at_time = self._events.setdefault(int(time), {})
+        existing = at_time.get(int(sender))
+        if existing is None:
+            at_time[int(sender)] = (int(message), dests)
+        else:
+            prev_message, prev_dests = existing
+            if prev_message != int(message):
+                raise ScheduleConflictError(
+                    f"processor {sender} would send both message {prev_message} "
+                    f"and message {message} at time {time}"
+                )
+            prev_dests.update(dests)
+        return self
+
+    def merge(self, other: "ScheduleBuilder") -> "ScheduleBuilder":
+        """Overlap all events of ``other`` into this builder."""
+        for time, at_time in other._events.items():
+            for sender, (message, dests) in at_time.items():
+                self.send(time, sender, message, dests)
+        return self
+
+    def build(self, name: str = "") -> Schedule:
+        """Freeze into a :class:`Schedule`, validating every round."""
+        if not self._events:
+            return Schedule((), name=name)
+        horizon = max(self._events) + 1
+        rounds: List[Round] = []
+        for t in range(horizon):
+            at_time = self._events.get(t, {})
+            rounds.append(
+                Round(
+                    Transmission(sender=s, message=m, destinations=frozenset(d))
+                    for s, (m, d) in at_time.items()
+                )
+            )
+        return Schedule(rounds, name=name)
+
+    @staticmethod
+    def from_schedule(schedule: Schedule) -> "ScheduleBuilder":
+        """Builder pre-loaded with every event of an existing schedule."""
+        builder = ScheduleBuilder()
+        for t, rnd in enumerate(schedule):
+            for tx in rnd:
+                builder.send(t, tx.sender, tx.message, tx.destinations)
+        return builder
+
+
+def merge_schedules(first: Schedule, second: Schedule, name: str = "") -> Schedule:
+    """Overlap two schedules into one (the ConcurrentUpDown combination).
+
+    Raises :class:`ScheduleConflictError` when the overlap breaks a model
+    rule — by Theorem 1 this never happens for the Propagate-Up /
+    Propagate-Down pair.
+    """
+    builder = ScheduleBuilder.from_schedule(first)
+    builder.merge(ScheduleBuilder.from_schedule(second))
+    return builder.build(name=name)

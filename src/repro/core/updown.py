@@ -1,0 +1,171 @@
+"""Algorithm UpDown (Gonzalez 2000 [15]) — two-phase reconstruction.
+
+The paper describes UpDown by its phase structure and cost: a first
+phase that propagates all messages to the root while already pushing
+messages down, taking ``n - 1 + r`` steps, and a clean-up second phase
+flushing "some messages that got stuck in the network", taking
+``2(r - 1) + 1`` steps — total budget ``n + 3r - 2``.  ConcurrentUpDown
+is then introduced as the observation that "all the operations can be
+carried out in a single stage".
+
+That sentence pins the reconstruction (full pseudo-code is in the
+companion paper, which is not part of the supplied text — see
+DESIGN.md): UpDown runs the *same* upward stream (U1–U4) and the same
+cut-through downward stream (D2/D3), except that the two o-messages per
+vertex that land on the busy (D3) slots ``i - k`` and ``i - k + 1`` are
+not squeezed into the tight inline slots ``j - k + 1`` / ``j - k + 2``
+(ConcurrentUpDown's single-stage trick) — they stay *stuck* until a
+dedicated flush phase:
+
+* **Phase 1** (the overlap of Propagate-Up and the non-stuck part of
+  Propagate-Down): the root holds all messages by time ``n - 1``; every
+  message except the stuck ones reaches everyone on the
+  ConcurrentUpDown timetable.
+* **Phase 2** (starting at ``T0 = n - 1 + r``): every vertex flushes its
+  stuck queue and relays its ancestors' flushed messages at the first
+  conflict-free slot.  A level-``k`` vertex relays at most ``2k``
+  phase-2 messages, and the pipeline drains within ``2(r - 1) + 1``
+  rounds — the paper's phase-2 budget.
+
+The measured totals are checked against ``n + 3r - 2`` across topology
+sweeps in the test suite and ``benchmarks/bench_updown_twophase.py``.
+
+A *greedy* store-and-forward variant (no timetable, no lookahead) is
+kept as :func:`~repro.core.store_forward.greedy_updown_gossip`; it is
+the constructive fallback quantified by the no-lip ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..tree.labeling import LabeledTree
+from ..tree.tree import Tree
+from ..types import Message, Time
+from .propagate_up import propagate_up_builder
+from .schedule import Schedule
+
+__all__ = ["updown_gossip", "updown_gossip_on_tree", "updown_total_time_bound"]
+
+
+def updown_total_time_bound(n: int, height: int) -> int:
+    """The paper's two-phase budget ``(n - 1 + r) + (2(r - 1) + 1)``.
+
+    Equals ``n + 3r - 2``; degenerates to 0 for single-vertex trees.
+    """
+    if n <= 1:
+        return 0
+    return (n - 1 + height) + (2 * (height - 1) + 1)
+
+
+def updown_gossip(labeled: LabeledTree) -> Schedule:
+    """Build the two-phase UpDown schedule for a labelled tree.
+
+    Phase 1 emits the Propagate-Up events plus the immediate (D2)/(D3)
+    downward events; the per-vertex stuck messages are collected instead
+    of being inlined.  Phase 2 flushes them level by level using
+    explicit send/receive calendars, so the result is conflict-free by
+    construction (and re-checked by the builder).
+    """
+    tree = labeled.tree
+    n = labeled.n
+    if n <= 1:
+        return Schedule((), name="UpDown")
+
+    builder = propagate_up_builder(labeled)
+    # Calendars of *all* phase-1 activity, so phase 2 can slot around it.
+    send_busy: List[Set[Time]] = [set() for _ in range(n)]
+    recv_busy: List[Set[Time]] = [set() for _ in range(n)]
+    _record_up_calendars(labeled, send_busy, recv_busy)
+
+    stuck: Dict[int, List[Tuple[Time, Message]]] = {}
+    down_sends: Dict[int, List[Tuple[Time, Message, frozenset]]] = {
+        v: [] for v in range(n)
+    }
+
+    def emit(v: int, time: Time, message: Message, dests: Tuple[int, ...]) -> None:
+        if dests:
+            builder.send(time, v, message, dests)
+            send_busy[v].add(time)
+            for d in dests:
+                recv_busy[d].add(time + 1)
+            down_sends[v].append((time, message, frozenset(dests)))
+
+    # ------------------------------------------------------------------
+    # Phase 1 downward stream: (D3) plus immediate (D2); stuck held back.
+    # ------------------------------------------------------------------
+    for v in tree.bfs_order():
+        kids = tree.children(v)
+        if not kids:
+            continue
+        block = labeled.block(v)
+        i, j, k = block.i, block.j, block.k
+        for m in range(i, j + 1):
+            if m == i:
+                send_time = (j - k + 1) if i == k else (i - k)
+                emit(v, send_time, m, kids)
+            else:
+                owner = labeled.owner_child(v, m)
+                emit(v, m - k, m, tuple(c for c in kids if c != owner))
+        if not tree.is_root(v):
+            parent = tree.parent(v)
+            arrivals = sorted(
+                (t + 1, message)
+                for (t, message, dests) in down_sends[parent]
+                if v in dests
+            )
+            for arrival_time, m in arrivals:
+                if arrival_time in (i - k, i - k + 1):
+                    stuck.setdefault(v, []).append((arrival_time, m))
+                else:
+                    emit(v, arrival_time, m, kids)
+
+    # ------------------------------------------------------------------
+    # Phase 2: flush stuck messages from T0 = n - 1 + r downward.
+    # ------------------------------------------------------------------
+    t0 = (n - 1) + tree.height
+    flushed_arrivals: Dict[int, List[Tuple[Time, Message]]] = {
+        v: [] for v in range(n)
+    }
+    for v in tree.bfs_order():
+        kids = tree.children(v)
+        if not kids:
+            continue
+        items = sorted(
+            [(max(t0, arrival), m) for arrival, m in stuck.get(v, [])]
+            + flushed_arrivals[v]
+        )
+        for avail, m in items:
+            t = avail
+            while t in send_busy[v] or any(t + 1 in recv_busy[c] for c in kids):
+                t += 1
+            emit(v, t, m, kids)
+            for c in kids:
+                flushed_arrivals[c].append((t + 1, m))
+
+    return builder.build(name="UpDown")
+
+
+def _record_up_calendars(
+    labeled: LabeledTree,
+    send_busy: List[Set[Time]],
+    recv_busy: List[Set[Time]],
+) -> None:
+    """Mark the (U3)/(U4) send and receive times in the calendars."""
+    tree = labeled.tree
+    for v in range(labeled.n):
+        if tree.is_root(v):
+            continue
+        block = labeled.block(v)
+        parent = tree.parent(v)
+        if block.is_first_child:
+            send_busy[v].add(0)
+            recv_busy[parent].add(1)
+        for m in range(block.i + block.w, block.j + 1):
+            send_busy[v].add(m - block.k)
+            recv_busy[parent].add(m - block.k + 1)
+
+
+def updown_gossip_on_tree(tree: Tree) -> Schedule:
+    """Convenience wrapper: label ``tree`` then run UpDown."""
+    return updown_gossip(LabeledTree(tree))

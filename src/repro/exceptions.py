@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being
+able to distinguish graph-construction problems from schedule violations.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "TreeError",
+    "LabelingError",
+    "ScheduleError",
+    "ScheduleConflictError",
+    "ModelViolationError",
+    "IncompleteGossipError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Malformed graph input (bad vertex ids, self-loops, duplicate edges, ...)."""
+
+
+class DisconnectedGraphError(GraphError):
+    """The operation requires a connected graph but the input is not connected.
+
+    Gossiping is impossible on a disconnected network: a message can never
+    cross between components, so every algorithm in :mod:`repro.core`
+    rejects disconnected inputs with this error.
+    """
+
+
+class TreeError(ReproError):
+    """Malformed tree structure (cycle, multiple roots, orphan vertices, ...)."""
+
+
+class LabelingError(TreeError):
+    """DFS labelling invariants are violated (non-contiguous subtree interval...)."""
+
+
+class ScheduleError(ReproError):
+    """A communication schedule is structurally invalid."""
+
+
+class ScheduleConflictError(ScheduleError):
+    """Two transmissions in one round violate the communication rules.
+
+    Raised when a round contains two tuples whose destination sets
+    intersect (a processor would receive two messages at once) or two
+    tuples with the same sender (a processor would send two messages at
+    once).
+    """
+
+
+class ModelViolationError(ScheduleError):
+    """A transmission breaks the multicasting communication model.
+
+    Examples: sending a message the sender does not hold yet, multicasting
+    to a non-neighbour, or sending to the sender itself.
+    """
+
+
+class IncompleteGossipError(ScheduleError):
+    """After executing the whole schedule some processor misses a message."""
+
+
+class SimulationError(ReproError):
+    """The round-based simulator was driven into an inconsistent state."""

@@ -1,0 +1,206 @@
+"""Breadth-first traversal primitives.
+
+Everything in the paper's preprocessing stage reduces to BFS: shortest
+path distances, eccentricities, the radius/center, and the minimum-depth
+spanning tree (one BFS per vertex, keep the shallowest — Section 3.1).
+
+The level-synchronous frontier expansion below is written against the
+graph's CSR arrays with numpy so the per-round work is a handful of
+vectorised operations instead of a Python loop over edges.  A pure-Python
+reference implementation is kept alongside for cross-checking in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DisconnectedGraphError, GraphError
+from ..types import Vertex
+from .graph import Graph
+
+__all__ = [
+    "bfs_levels",
+    "bfs_tree",
+    "bfs_levels_reference",
+    "eccentricity",
+    "all_eccentricities",
+    "distance_matrix",
+    "is_connected",
+    "connected_components",
+    "require_connected",
+    "shortest_path",
+    "UNREACHED",
+]
+
+#: Sentinel distance for vertices not reached by a traversal.
+UNREACHED: int = -1
+
+
+def bfs_levels(graph: Graph, source: Vertex) -> np.ndarray:
+    """Distances (in edges) from ``source`` to every vertex.
+
+    Returns an ``int64`` array ``dist`` with ``dist[v]`` the length of the
+    shortest path from ``source`` to ``v``, or :data:`UNREACHED` when no
+    path exists.
+
+    Implementation: level-synchronous frontier expansion on the CSR
+    arrays.  Each round gathers all neighbours of the current frontier in
+    one vectorised pass, filters out already-visited vertices, and
+    deduplicates with ``np.unique``.
+    """
+    n = graph.n
+    if not 0 <= source < n:
+        raise GraphError(f"source {source} out of range for n={n}")
+    indptr, indices = graph.indptr, graph.indices
+    dist = np.full(n, UNREACHED, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        # Gather all CSR slices of the frontier in one shot.
+        starts = indptr[frontier]
+        stops = indptr[frontier + 1]
+        counts = stops - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Build the concatenated neighbour array without a Python loop:
+        # offsets[i] enumerates positions, shifted into each CSR slice.
+        offsets = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        neighbours = indices[np.arange(total, dtype=np.int64) + offsets]
+        fresh = neighbours[dist[neighbours] == UNREACHED]
+        if fresh.size == 0:
+            break
+        frontier = np.unique(fresh)
+        dist[frontier] = level
+    return dist
+
+
+def bfs_tree(graph: Graph, source: Vertex) -> Tuple[np.ndarray, np.ndarray]:
+    """BFS distances and a deterministic parent array rooted at ``source``.
+
+    Returns ``(dist, parent)`` where ``parent[v]`` is the *smallest-id*
+    neighbour of ``v`` on a shortest path back to the source
+    (``parent[source] == -1``; unreachable vertices also get ``-1``).
+
+    The smallest-id tie-break makes tree construction reproducible, which
+    the paper leaves unspecified ("fix the ordering of the subtrees in any
+    arbitrary order") — see the child-order ablation benchmark.
+    """
+    dist = bfs_levels(graph, source)
+    n = graph.n
+    parent = np.full(n, -1, dtype=np.int64)
+    for v in range(n):
+        if v == source or dist[v] == UNREACHED:
+            continue
+        target = dist[v] - 1
+        # neighbors(v) is sorted ascending, so the first hit is smallest-id.
+        for u in graph.neighbors(v):
+            if dist[u] == target:
+                parent[v] = u
+                break
+    return dist, parent
+
+
+def bfs_levels_reference(graph: Graph, source: Vertex) -> List[int]:
+    """Textbook deque-based BFS used to cross-check :func:`bfs_levels`."""
+    n = graph.n
+    if not 0 <= source < n:
+        raise GraphError(f"source {source} out of range for n={n}")
+    dist = [UNREACHED] * n
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if dist[v] == UNREACHED:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def eccentricity(graph: Graph, v: Vertex) -> int:
+    """Largest shortest-path distance from ``v`` to any vertex.
+
+    Raises :class:`~repro.exceptions.DisconnectedGraphError` when some
+    vertex is unreachable from ``v``.
+    """
+    dist = bfs_levels(graph, v)
+    if (dist == UNREACHED).any():
+        raise DisconnectedGraphError(
+            f"vertex {v} cannot reach the whole graph; eccentricity undefined"
+        )
+    return int(dist.max())
+
+
+def all_eccentricities(graph: Graph) -> np.ndarray:
+    """Eccentricity of every vertex (the paper's O(mn) sweep).
+
+    One BFS per vertex.  Raises
+    :class:`~repro.exceptions.DisconnectedGraphError` on disconnected
+    input.
+    """
+    n = graph.n
+    ecc = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        dist = bfs_levels(graph, v)
+        if (dist == UNREACHED).any():
+            raise DisconnectedGraphError("graph is disconnected; eccentricities undefined")
+        ecc[v] = dist.max()
+    return ecc
+
+
+def distance_matrix(graph: Graph) -> np.ndarray:
+    """All-pairs shortest path distances as an ``(n, n)`` int64 matrix.
+
+    Unreachable pairs hold :data:`UNREACHED`.  Intended for analysis and
+    tests on small graphs; costs one BFS per vertex.
+    """
+    return np.stack([bfs_levels(graph, v) for v in range(graph.n)])
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether every vertex is reachable from vertex 0."""
+    return not (bfs_levels(graph, 0) == UNREACHED).any()
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components as sorted vertex lists, ordered by min vertex."""
+    n = graph.n
+    seen = np.zeros(n, dtype=bool)
+    components: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        dist = bfs_levels(graph, start)
+        members = [v for v in range(n) if dist[v] != UNREACHED]
+        for v in members:
+            seen[v] = True
+        components.append(members)
+    return components
+
+
+def require_connected(graph: Graph, context: str = "operation") -> None:
+    """Raise :class:`DisconnectedGraphError` unless ``graph`` is connected."""
+    if not is_connected(graph):
+        raise DisconnectedGraphError(f"{context} requires a connected graph")
+
+
+def shortest_path(graph: Graph, source: Vertex, target: Vertex) -> Optional[List[int]]:
+    """One shortest path from ``source`` to ``target`` (or ``None``).
+
+    Uses the deterministic smallest-id parent tree, so repeated calls
+    return the same path.
+    """
+    dist, parent = bfs_tree(graph, source)
+    if target != source and parent[target] == -1:
+        return None
+    path = [int(target)]
+    while path[-1] != source:
+        path.append(int(parent[path[-1]]))
+    path.reverse()
+    return path

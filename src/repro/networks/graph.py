@@ -1,0 +1,318 @@
+"""Immutable undirected graph used as the network substrate.
+
+The paper's communication network ``N`` is an undirected, unweighted,
+connected graph on ``n >= 1`` processors.  :class:`Graph` stores the
+adjacency structure twice:
+
+* as per-vertex sorted tuples (``graph.neighbors(v)``) for readable
+  algorithmic code, and
+* as a CSR-style pair of numpy arrays (``indptr`` / ``indices``) so the
+  hot traversals in :mod:`repro.networks.bfs` can run over contiguous
+  memory (see the HPC guide: group memory accesses, avoid per-edge Python
+  objects in inner loops).
+
+Instances are immutable and hashable; all mutating construction goes
+through :class:`GraphBuilder` or the helpers in
+:mod:`repro.networks.builders`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..types import Edge, EdgeList, Vertex
+
+__all__ = ["Graph", "GraphBuilder"]
+
+
+class Graph:
+    """An immutable, simple, undirected graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.  Must be at least 1.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are rejected; duplicate
+        edges (in either orientation) are rejected so accidental
+        multi-edges surface immediately instead of silently skewing
+        degree-based heuristics.
+    name:
+        Optional human-readable topology name (used in benchmark reports).
+
+    Examples
+    --------
+    >>> g = Graph(3, [(0, 1), (1, 2)])
+    >>> g.n, g.m
+    (3, 2)
+    >>> g.neighbors(1)
+    (0, 2)
+    """
+
+    __slots__ = (
+        "_n",
+        "_m",
+        "_adj",
+        "_edge_set",
+        "_indptr",
+        "_indices",
+        "_name",
+        "_hash",
+    )
+
+    def __init__(self, n: int, edges: EdgeList, name: str = "") -> None:
+        if n < 1:
+            raise GraphError(f"graph needs at least one vertex, got n={n}")
+        adj: List[Set[int]] = [set() for _ in range(n)]
+        edge_set: Set[Tuple[int, int]] = set()
+        for e in edges:
+            try:
+                u, v = e
+            except (TypeError, ValueError) as exc:
+                raise GraphError(f"edge {e!r} is not a pair") from exc
+            u, v = int(u), int(v)
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise GraphError(f"self-loop at vertex {u} is not allowed")
+            key = (u, v) if u < v else (v, u)
+            if key in edge_set:
+                raise GraphError(f"duplicate edge ({u}, {v})")
+            edge_set.add(key)
+            adj[u].add(v)
+            adj[v].add(u)
+        self._n = n
+        self._m = len(edge_set)
+        self._adj: Tuple[Tuple[int, ...], ...] = tuple(tuple(sorted(s)) for s in adj)
+        self._edge_set: FrozenSet[Tuple[int, int]] = frozenset(edge_set)
+        # CSR arrays for vectorised traversal.
+        degrees = np.fromiter((len(a) for a in self._adj), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(self._m * 2, dtype=np.int64)
+        for v, neigh in enumerate(self._adj):
+            indices[indptr[v] : indptr[v + 1]] = neigh
+        self._indptr = indptr
+        self._indices = indices
+        self._name = name
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices (processors)."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges (communication links)."""
+        return self._m
+
+    @property
+    def name(self) -> str:
+        """Human-readable topology name (may be empty)."""
+        return self._name
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array of shape ``(n + 1,)`` (read-only view)."""
+        view = self._indptr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column-index array of shape ``(2 m,)`` (read-only view)."""
+        view = self._indices.view()
+        view.flags.writeable = False
+        return view
+
+    def vertices(self) -> range:
+        """All vertex ids as a ``range`` object."""
+        return range(self._n)
+
+    def neighbors(self, v: Vertex) -> Tuple[int, ...]:
+        """Sorted tuple of the neighbours of ``v``."""
+        return self._adj[self._check_vertex(v)]
+
+    def degree(self, v: Vertex) -> int:
+        """Number of neighbours of ``v``."""
+        return len(self._adj[self._check_vertex(v)])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex as an ``int64`` array of shape ``(n,)``."""
+        return np.diff(self._indptr)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        u, v = int(u), int(v)
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_set
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as ``(u, v)`` with ``u < v``, sorted."""
+        return iter(sorted(self._edge_set))
+
+    def edge_list(self) -> List[Edge]:
+        """Sorted list of edges as ``(u, v)`` with ``u < v``."""
+        return sorted(self._edge_set)
+
+    def adjacency(self) -> Dict[int, Tuple[int, ...]]:
+        """Adjacency mapping ``vertex -> sorted neighbour tuple``."""
+        return {v: self._adj[v] for v in range(self._n)}
+
+    # ------------------------------------------------------------------
+    # Derived constructions
+    # ------------------------------------------------------------------
+    def with_name(self, name: str) -> "Graph":
+        """Return a copy of this graph carrying a different name."""
+        return Graph(self._n, self.edge_list(), name=name)
+
+    def add_edges(self, extra: EdgeList, name: str | None = None) -> "Graph":
+        """Return a new graph with ``extra`` edges added."""
+        return Graph(
+            self._n,
+            self.edge_list() + [tuple(e) for e in extra],
+            name=self._name if name is None else name,
+        )
+
+    def remove_edges(self, gone: EdgeList, name: str | None = None) -> "Graph":
+        """Return a new graph with the given edges removed.
+
+        Raises :class:`~repro.exceptions.GraphError` if an edge to remove
+        is absent, so typos in experiment scripts fail loudly.
+        """
+        gone_keys = set()
+        for u, v in gone:
+            key = (u, v) if u < v else (v, u)
+            if key not in self._edge_set:
+                raise GraphError(f"cannot remove absent edge ({u}, {v})")
+            gone_keys.add(key)
+        kept = [e for e in self.edge_list() if e not in gone_keys]
+        return Graph(self._n, kept, name=self._name if name is None else name)
+
+    def relabeled(self, permutation: Sequence[int], name: str | None = None) -> "Graph":
+        """Return the graph with vertex ``v`` renamed ``permutation[v]``.
+
+        ``permutation`` must be a permutation of ``range(n)``.
+        """
+        if sorted(permutation) != list(range(self._n)):
+            raise GraphError("relabeled() needs a permutation of range(n)")
+        new_edges = [(permutation[u], permutation[v]) for u, v in self.edge_list()]
+        return Graph(self._n, new_edges, name=self._name if name is None else name)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edge_set == other._edge_set
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._n, self._edge_set))
+        return self._hash
+
+    def __contains__(self, v: object) -> bool:
+        return isinstance(v, int) and 0 <= v < self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        label = f" name={self._name!r}" if self._name else ""
+        return f"Graph(n={self._n}, m={self._m}{label})"
+
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: Vertex) -> int:
+        v = int(v)
+        if not 0 <= v < self._n:
+            raise GraphError(f"vertex {v} out of range for n={self._n}")
+        return v
+
+
+class GraphBuilder:
+    """Mutable helper for incrementally assembling a :class:`Graph`.
+
+    Useful inside topology generators where edges are discovered one at a
+    time; duplicate inserts are tolerated (idempotent) unlike the strict
+    :class:`Graph` constructor.
+
+    Examples
+    --------
+    >>> b = GraphBuilder(4)
+    >>> b.add_edge(0, 1).add_edge(1, 2).add_edge(1, 2)
+    GraphBuilder(n=4, m=2)
+    >>> b.build().m
+    2
+    """
+
+    __slots__ = ("_n", "_edges", "_name")
+
+    def __init__(self, n: int, name: str = "") -> None:
+        if n < 1:
+            raise GraphError(f"graph needs at least one vertex, got n={n}")
+        self._n = n
+        self._edges: Set[Tuple[int, int]] = set()
+        self._name = name
+
+    def add_edge(self, u: Vertex, v: Vertex) -> "GraphBuilder":
+        """Insert the undirected edge ``{u, v}`` (idempotent)."""
+        u, v = int(u), int(v)
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphError(f"edge ({u}, {v}) out of range for n={self._n}")
+        if u == v:
+            raise GraphError(f"self-loop at vertex {u} is not allowed")
+        self._edges.add((u, v) if u < v else (v, u))
+        return self
+
+    def add_path(self, vertices: Sequence[Vertex]) -> "GraphBuilder":
+        """Insert edges of the path visiting ``vertices`` in order."""
+        for u, v in zip(vertices, vertices[1:]):
+            self.add_edge(u, v)
+        return self
+
+    def add_cycle(self, vertices: Sequence[Vertex]) -> "GraphBuilder":
+        """Insert edges of the cycle visiting ``vertices`` in order."""
+        self.add_path(vertices)
+        if len(vertices) >= 3:
+            self.add_edge(vertices[-1], vertices[0])
+        return self
+
+    def add_clique(self, vertices: Sequence[Vertex]) -> "GraphBuilder":
+        """Insert every edge between distinct members of ``vertices``."""
+        verts = list(vertices)
+        for a in range(len(verts)):
+            for b in range(a + 1, len(verts)):
+                self.add_edge(verts[a], verts[b])
+        return self
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the edge has been inserted already."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edges
+
+    @property
+    def n(self) -> int:
+        """Number of vertices the built graph will have."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges inserted so far."""
+        return len(self._edges)
+
+    def build(self, name: str | None = None) -> Graph:
+        """Freeze into an immutable :class:`Graph`."""
+        return Graph(
+            self._n, sorted(self._edges), name=self._name if name is None else name
+        )
+
+    def __repr__(self) -> str:
+        return f"GraphBuilder(n={self._n}, m={len(self._edges)})"

@@ -1,0 +1,109 @@
+"""Serialisation of graphs, trees and schedules.
+
+Plain-text edge lists for interop with classic graph tooling, and a JSON
+envelope that round-trips a whole gossip artefact (network + tree +
+schedule) so benchmark outputs can be archived and re-validated later
+without re-running the construction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..core.schedule import Round, Schedule, Transmission
+from ..exceptions import GraphError
+from ..tree.tree import Tree
+from .graph import Graph
+
+__all__ = [
+    "graph_to_edgelist",
+    "graph_from_edgelist",
+    "graph_to_json",
+    "graph_from_json",
+    "tree_to_json",
+    "tree_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+]
+
+
+def graph_to_edgelist(graph: Graph) -> str:
+    """Classic whitespace edge list; first line is ``n m``."""
+    lines = [f"{graph.n} {graph.m}"]
+    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    return "\n".join(lines) + "\n"
+
+
+def graph_from_edgelist(text: str, name: str = "") -> Graph:
+    """Parse the :func:`graph_to_edgelist` format."""
+    rows = [line.split() for line in text.strip().splitlines() if line.strip()]
+    if not rows or len(rows[0]) != 2:
+        raise GraphError("edge list must start with a 'n m' header line")
+    n, m = int(rows[0][0]), int(rows[0][1])
+    edges = [(int(u), int(v)) for u, v in rows[1:]]
+    if len(edges) != m:
+        raise GraphError(f"header declares {m} edges but {len(edges)} found")
+    return Graph(n, edges, name=name)
+
+
+def graph_to_json(graph: Graph) -> str:
+    """JSON envelope: ``{"n", "name", "edges"}``."""
+    return json.dumps(
+        {"n": graph.n, "name": graph.name, "edges": graph.edge_list()}
+    )
+
+
+def graph_from_json(text: str) -> Graph:
+    """Parse the :func:`graph_to_json` envelope."""
+    data = json.loads(text)
+    return Graph(data["n"], [tuple(e) for e in data["edges"]], name=data.get("name", ""))
+
+
+def tree_to_json(tree: Tree) -> str:
+    """JSON envelope: parent array + root + explicit child order."""
+    return json.dumps(
+        {
+            "parents": list(tree.parents()),
+            "root": tree.root,
+            "children": [list(tree.children(v)) for v in range(tree.n)],
+            "name": tree.name,
+        }
+    )
+
+
+def tree_from_json(text: str) -> Tree:
+    """Parse the :func:`tree_to_json` envelope, restoring child order."""
+    data = json.loads(text)
+    order = {v: list(kids) for v, kids in enumerate(data["children"])}
+    return Tree(
+        data["parents"],
+        root=data["root"],
+        child_order=lambda v, kids: order[v],
+        name=data.get("name", ""),
+    )
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """JSON envelope: rounds as ``[[message, sender, [dests]], ...]``."""
+    payload: Dict[str, Any] = {
+        "name": schedule.name,
+        "rounds": [
+            [[tx.message, tx.sender, sorted(tx.destinations)] for tx in rnd]
+            for rnd in schedule
+        ],
+    }
+    return json.dumps(payload)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Parse the :func:`schedule_to_json` envelope."""
+    data = json.loads(text)
+    rounds = [
+        Round(
+            Transmission(sender=s, message=m, destinations=frozenset(d))
+            for m, s, d in rnd
+        )
+        for rnd in data["rounds"]
+    ]
+    return Schedule(rounds, name=data.get("name", ""))

@@ -1,0 +1,113 @@
+"""Global graph properties: radius, diameter, center, periphery.
+
+The paper's schedule-length guarantee is stated in terms of the network
+*radius* ``r``: the least integer such that some vertex is within ``r``
+edges of every vertex.  The vertex realising it is a *center* and becomes
+the root of the minimum-depth spanning tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .bfs import all_eccentricities
+from .graph import Graph
+
+__all__ = [
+    "radius",
+    "diameter",
+    "center",
+    "periphery",
+    "GraphSummary",
+    "summarize",
+]
+
+
+def radius(graph: Graph) -> int:
+    """Network radius: the minimum eccentricity over all vertices."""
+    return int(all_eccentricities(graph).min())
+
+
+def diameter(graph: Graph) -> int:
+    """Network diameter: the maximum eccentricity over all vertices."""
+    return int(all_eccentricities(graph).max())
+
+
+def center(graph: Graph) -> List[int]:
+    """All vertices whose eccentricity equals the radius, sorted."""
+    ecc = all_eccentricities(graph)
+    r = ecc.min()
+    return [int(v) for v in np.flatnonzero(ecc == r)]
+
+
+def periphery(graph: Graph) -> List[int]:
+    """All vertices whose eccentricity equals the diameter, sorted."""
+    ecc = all_eccentricities(graph)
+    d = ecc.max()
+    return [int(v) for v in np.flatnonzero(ecc == d)]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Bundle of the global properties a benchmark report needs.
+
+    Attributes
+    ----------
+    n, m:
+        Vertex and edge counts.
+    radius, diameter:
+        Min / max eccentricity.
+    center, periphery:
+        Vertices attaining the radius / diameter.
+    min_degree, max_degree:
+        Degree extremes.
+    """
+
+    n: int
+    m: int
+    radius: int
+    diameter: int
+    center: Tuple[int, ...]
+    periphery: Tuple[int, ...]
+    min_degree: int
+    max_degree: int
+
+    @property
+    def trivial_lower_bound(self) -> int:
+        """The universal gossiping lower bound ``n - 1`` (Section 1)."""
+        return self.n - 1
+
+    @property
+    def concurrent_updown_bound(self) -> int:
+        """Theorem 1's guarantee ``n + r`` for ConcurrentUpDown."""
+        return self.n + self.radius
+
+    @property
+    def simple_bound(self) -> int:
+        """Lemma 1's exact total time ``2n + r - 3`` for algorithm Simple."""
+        return 2 * self.n + self.radius - 3
+
+    @property
+    def updown_bound(self) -> int:
+        """UpDown's two-phase total ``(n - 1 + r) + (2(r - 1) + 1)``."""
+        return (self.n - 1 + self.radius) + (2 * (self.radius - 1) + 1)
+
+
+def summarize(graph: Graph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` (one BFS per vertex)."""
+    ecc = all_eccentricities(graph)
+    r, d = int(ecc.min()), int(ecc.max())
+    degs = graph.degrees()
+    return GraphSummary(
+        n=graph.n,
+        m=graph.m,
+        radius=r,
+        diameter=d,
+        center=tuple(int(v) for v in np.flatnonzero(ecc == r)),
+        periphery=tuple(int(v) for v in np.flatnonzero(ecc == d)),
+        min_degree=int(degs.min()),
+        max_degree=int(degs.max()),
+    )

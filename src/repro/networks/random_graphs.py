@@ -1,0 +1,213 @@
+"""Seeded random graph families for sweeps and property tests.
+
+All generators take an explicit ``seed`` and route randomness through
+``numpy.random.default_rng``, so every benchmark row is reproducible.
+Families:
+
+* :func:`random_tree` — uniform labelled trees via Prüfer sequences;
+* :func:`random_connected_gnp` — Erdős–Rényi ``G(n, p)`` conditioned on
+  connectivity (a random spanning tree is overlaid, preserving sparse
+  regimes without rejection loops);
+* :func:`random_geometric` — the wireless-motivation model of Section 2:
+  processors scattered in the unit square, linked within transmission
+  radius (connectivity enforced by linking consecutive nearest
+  components);
+* :func:`random_regular` — configuration-model ``d``-regular graphs
+  (retry until simple and connected);
+* :func:`random_caterpillar`, :func:`random_power_law_tree` — skewed
+  tree shapes exercising extreme radii.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .bfs import is_connected
+from .graph import Graph, GraphBuilder
+
+__all__ = [
+    "random_tree",
+    "random_connected_gnp",
+    "random_geometric",
+    "random_regular",
+    "random_caterpillar",
+    "random_power_law_tree",
+]
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """A uniformly random labelled tree on ``n`` vertices (Prüfer decode)."""
+    if n < 1:
+        raise GraphError("need n >= 1")
+    if n == 1:
+        return Graph(1, [], name=f"random-tree-{n}-s{seed}")
+    if n == 2:
+        return Graph(2, [(0, 1)], name=f"random-tree-{n}-s{seed}")
+    rng = np.random.default_rng(seed)
+    pruefer = [int(v) for v in rng.integers(0, n, size=n - 2)]
+    degree = [1] * n
+    for v in pruefer:
+        degree[v] += 1
+    # Standard Prüfer decoding: repeatedly join the smallest current leaf
+    # to the next sequence entry.
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    edges: List[Tuple[int, int]] = []
+    for v in pruefer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, v))
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u, w = heapq.heappop(leaves), heapq.heappop(leaves)
+    edges.append((u, w))
+    return Graph(n, edges, name=f"random-tree-{n}-s{seed}")
+
+
+def random_connected_gnp(n: int, p: float, seed: int = 0) -> Graph:
+    """``G(n, p)`` conditioned on connectivity.
+
+    A uniformly random spanning tree (random-parent attachment over a
+    random permutation) is unioned with independent Bernoulli(p) edges;
+    for small ``p`` the result stays near-tree-like.
+    """
+    if n < 1:
+        raise GraphError("need n >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(n, name=f"gnp-{n}-p{p}-s{seed}")
+    order = rng.permutation(n)
+    for idx in range(1, n):
+        parent_pos = int(rng.integers(0, idx))
+        b.add_edge(int(order[idx]), int(order[parent_pos]))
+    if p > 0:
+        upper = rng.random((n, n)) < p
+        for u in range(n):
+            for v in range(u + 1, n):
+                if upper[u, v]:
+                    b.add_edge(u, v)
+    return b.build()
+
+
+def random_geometric(n: int, radius: float, seed: int = 0) -> Graph:
+    """Random geometric graph in the unit square (wireless model, §2).
+
+    Processors at uniform positions; a link wherever the Euclidean
+    distance is at most ``radius`` (a broadcast with power ``r^alpha``
+    reaches all receivers within ``r``).  Components are stitched
+    together by their closest cross pair so the result is connected.
+    """
+    if n < 1:
+        raise GraphError("need n >= 1")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+    b = GraphBuilder(n, name=f"geometric-{n}-r{radius}-s{seed}")
+    limit = radius * radius
+    for u in range(n):
+        for v in range(u + 1, n):
+            if d2[u, v] <= limit:
+                b.add_edge(u, v)
+    # Stitch components with their globally closest cross pairs.
+    while True:
+        g = b.build()
+        from .bfs import connected_components
+
+        comps = connected_components(g)
+        if len(comps) == 1:
+            return g
+        comp_id = np.empty(n, dtype=np.int64)
+        for cid, members in enumerate(comps):
+            for v in members:
+                comp_id[v] = cid
+        best = None
+        for u in range(n):
+            for v in range(u + 1, n):
+                if comp_id[u] != comp_id[v] and (
+                    best is None or d2[u, v] < best[0]
+                ):
+                    best = (d2[u, v], u, v)
+        assert best is not None
+        b.add_edge(best[1], best[2])
+
+
+def random_regular(n: int, degree: int, seed: int = 0, max_tries: int = 200) -> Graph:
+    """A random connected ``degree``-regular simple graph.
+
+    Configuration model with rejection: re-draw the stub pairing until it
+    is simple and connected.  ``n * degree`` must be even and
+    ``degree < n``.
+    """
+    if degree < 2 or degree >= n or (n * degree) % 2:
+        raise GraphError(f"no {degree}-regular simple graph on {n} vertices")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        stubs = np.repeat(np.arange(n), degree)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        edge_set = set()
+        simple = True
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if u == v:
+                simple = False
+                break
+            key = (u, v) if u < v else (v, u)
+            if key in edge_set:
+                simple = False
+                break
+            edge_set.add(key)
+        if not simple:
+            continue
+        g = Graph(n, sorted(edge_set), name=f"regular-{n}-d{degree}-s{seed}")
+        if is_connected(g):
+            return g
+    raise GraphError(
+        f"failed to sample a connected {degree}-regular graph on {n} "
+        f"vertices within {max_tries} tries"
+    )
+
+
+def random_caterpillar(spine: int, max_legs: int, seed: int = 0) -> Graph:
+    """A caterpillar whose per-spine-vertex leg counts are random."""
+    if spine < 1 or max_legs < 0:
+        raise GraphError("spine >= 1 and max_legs >= 0 required")
+    rng = np.random.default_rng(seed)
+    legs = rng.integers(0, max_legs + 1, size=spine)
+    n = spine + int(legs.sum())
+    b = GraphBuilder(n, name=f"random-caterpillar-{spine}-s{seed}")
+    b.add_path(range(spine))
+    nxt = spine
+    for s in range(spine):
+        for _ in range(int(legs[s])):
+            b.add_edge(s, nxt)
+            nxt += 1
+    return b.build()
+
+
+def random_power_law_tree(n: int, gamma: float = 2.5, seed: int = 0) -> Graph:
+    """A preferential-attachment tree (hub-dominated, tiny radius).
+
+    Vertex ``v >= 1`` attaches to an earlier vertex drawn proportionally
+    to ``(degree + 1) ** (1 / (gamma - 1))`` — skewed towards hubs.
+    """
+    if n < 1:
+        raise GraphError("need n >= 1")
+    if gamma <= 1.0:
+        raise GraphError("gamma must exceed 1")
+    rng = np.random.default_rng(seed)
+    degree = np.zeros(n)
+    edges: List[Tuple[int, int]] = []
+    for v in range(1, n):
+        weights = (degree[:v] + 1.0) ** (1.0 / (gamma - 1.0))
+        target = int(rng.choice(v, p=weights / weights.sum()))
+        edges.append((target, v))
+        degree[target] += 1
+        degree[v] += 1
+    return Graph(n, edges, name=f"plaw-tree-{n}-g{gamma}-s{seed}")

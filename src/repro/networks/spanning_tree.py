@@ -1,0 +1,144 @@
+"""Minimum-depth spanning tree construction (paper Section 3.1).
+
+The first stage of the gossiping algorithm: *"construct a minimum-depth
+spanning tree ... by performing n breadth-first search traversals of the
+graph starting at each vertex and then selecting the tree with least
+height.  This procedure takes O(mn) time."*
+
+The resulting tree height equals the network radius ``r``, which is the
+quantity appearing in the ``n + r`` schedule-length guarantee.
+
+Besides the paper's exhaustive procedure this module offers:
+
+* :func:`bfs_spanning_tree` — the BFS tree from a chosen root (height =
+  eccentricity of the root);
+* :func:`minimum_depth_spanning_tree` — the paper's O(mn) sweep with a
+  deterministic tie-break (smallest center vertex id);
+* :func:`approximate_min_depth_tree` — a 2-approximate single/double-BFS
+  heuristic useful on large graphs (height ≤ 2r because any BFS tree has
+  height ≤ diameter ≤ 2r);
+* root-choice ablation hooks used by ``benchmarks/bench_ablation_*``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DisconnectedGraphError
+from ..tree.tree import Tree
+from ..types import Vertex
+from .bfs import UNREACHED, bfs_levels, bfs_tree
+from .graph import Graph
+
+__all__ = [
+    "bfs_spanning_tree",
+    "minimum_depth_spanning_tree",
+    "approximate_min_depth_tree",
+    "best_root",
+    "RootSelector",
+]
+
+#: Signature of a root-selection policy: graph -> chosen root vertex.
+RootSelector = Callable[[Graph], Vertex]
+
+
+def bfs_spanning_tree(graph: Graph, root: Vertex) -> Tree:
+    """Spanning tree of shortest paths from ``root``.
+
+    The parent of each vertex is its smallest-id neighbour one level
+    closer to the root, so the construction is deterministic.  Raises
+    :class:`~repro.exceptions.DisconnectedGraphError` when some vertex is
+    unreachable.
+    """
+    dist, parent = bfs_tree(graph, root)
+    if (dist == UNREACHED).any():
+        raise DisconnectedGraphError(
+            "cannot span a disconnected graph from vertex %d" % root
+        )
+    return Tree(parent.tolist(), root=int(root), name=graph.name)
+
+
+def best_root(graph: Graph) -> Vertex:
+    """Smallest vertex id attaining the minimum eccentricity (a center).
+
+    This is the deterministic tie-break used by
+    :func:`minimum_depth_spanning_tree`; alternative policies are ablated
+    in ``benchmarks/bench_ablation_root_choice.py``.
+    """
+    best_v, best_ecc = 0, None
+    for v in range(graph.n):
+        dist = bfs_levels(graph, v)
+        if (dist == UNREACHED).any():
+            raise DisconnectedGraphError("graph is disconnected; no spanning tree")
+        ecc = int(dist.max())
+        if best_ecc is None or ecc < best_ecc:
+            best_v, best_ecc = v, ecc
+    return best_v
+
+
+def minimum_depth_spanning_tree(
+    graph: Graph, root_selector: Optional[RootSelector] = None
+) -> Tree:
+    """The paper's O(mn) minimum-depth (minimum-height) spanning tree.
+
+    Runs BFS from every vertex, keeps the tree of least height.  The
+    returned tree's height equals the network radius.  ``root_selector``
+    overrides the default smallest-center-id policy (used for ablations);
+    a custom selector may return a non-center root, in which case the tree
+    height is that root's eccentricity instead of the radius.
+    """
+    root = best_root(graph) if root_selector is None else root_selector(graph)
+    return bfs_spanning_tree(graph, root)
+
+
+def approximate_min_depth_tree(graph: Graph, start: Vertex = 0) -> Tree:
+    """Cheap 2-approximation: BFS tree from the midpoint of a far pair.
+
+    Two BFS passes: find the farthest vertex ``a`` from ``start``, then
+    root the tree at the midpoint of a shortest ``start``–``a`` path...
+    in practice simply rooting at ``a``'s BFS-farthest-midpoint is
+    overkill, so we root at the vertex minimising eccentricity *among the
+    vertices of one shortest path* between two mutually far vertices.
+    Height is at most ``diameter <= 2 * radius``, at the cost of O(m·L)
+    instead of O(mn) where ``L`` is the path length.
+    """
+    dist_a = bfs_levels(graph, start)
+    if (dist_a == UNREACHED).any():
+        raise DisconnectedGraphError("graph is disconnected; no spanning tree")
+    a = int(dist_a.argmax())
+    dist_b, parent_b = bfs_tree(graph, a)
+    b = int(dist_b.argmax())
+    # Walk the a--b shortest path and try each vertex on it as a root.
+    path: List[int] = [b]
+    while path[-1] != a:
+        path.append(int(parent_b[path[-1]]))
+    best_v, best_ecc = a, int(bfs_levels(graph, a).max())
+    for v in path:
+        ecc = int(bfs_levels(graph, v).max())
+        if ecc < best_ecc or (ecc == best_ecc and v < best_v):
+            best_v, best_ecc = v, ecc
+    return bfs_spanning_tree(graph, best_v)
+
+
+def tree_height_profile(graph: Graph) -> np.ndarray:
+    """Height of the BFS spanning tree rooted at each vertex.
+
+    ``profile[v]`` equals the eccentricity of ``v``; the minimum entry is
+    the radius.  Used by benchmarks to show how much the root choice
+    matters for the ``n + height`` schedule bound.
+    """
+    n = graph.n
+    profile = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        dist = bfs_levels(graph, v)
+        if (dist == UNREACHED).any():
+            raise DisconnectedGraphError("graph is disconnected")
+        profile[v] = dist.max()
+    return profile
+
+
+def spanning_tree_edges(tree: Tree) -> Sequence[tuple[int, int]]:
+    """The (parent, child) edge list of a tree, sorted by child id."""
+    return [(tree.parent(v), v) for v in range(tree.n) if v != tree.root]

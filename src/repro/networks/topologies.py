@@ -1,0 +1,312 @@
+"""Deterministic topology generators.
+
+A broad family of interconnection networks to sweep the benchmarks over:
+classic HPC topologies (rings, meshes, tori, hypercubes, butterflies,
+cube-connected cycles, de Bruijn graphs), tree-like extremes (paths,
+stars, caterpillars, spiders, k-ary trees), and the pathological shapes
+used in the paper's arguments (the odd path realising the ``n + r - 1``
+lower bound; the Hamiltonian ring of Fig. 1).
+
+Every generator returns an immutable named :class:`~repro.networks.graph.Graph`
+with vertices ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import GraphError
+from .graph import Graph, GraphBuilder
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "grid_2d",
+    "torus_2d",
+    "hypercube",
+    "kary_tree",
+    "binary_tree",
+    "caterpillar",
+    "spider",
+    "broom",
+    "wheel",
+    "barbell",
+    "lollipop",
+    "de_bruijn",
+    "cube_connected_cycles",
+    "butterfly",
+    "double_star",
+    "friendship",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` (straight line network of Section 1).
+
+    With ``n = 2m + 1`` odd this is the paper's lower-bound instance:
+    every gossip schedule needs at least ``n + r - 1 = n + m - 1`` rounds.
+    """
+    return GraphBuilder(n, name=f"path-{n}").add_path(range(n)).build()
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` — Fig. 1's network with a Hamiltonian circuit.
+
+    Gossiping completes in the optimal ``n - 1`` rounds by rotating every
+    message one step clockwise per round.
+    """
+    if n < 3:
+        raise GraphError("a cycle needs at least 3 vertices")
+    return GraphBuilder(n, name=f"cycle-{n}").add_cycle(range(n)).build()
+
+
+def star_graph(n: int) -> Graph:
+    """The star ``K_{1,n-1}`` with center 0 — radius 1, the multicast best case."""
+    if n < 2:
+        raise GraphError("a star needs at least 2 vertices")
+    b = GraphBuilder(n, name=f"star-{n}")
+    for v in range(1, n):
+        b.add_edge(0, v)
+    return b.build()
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n`` (fully connected processors)."""
+    return GraphBuilder(n, name=f"complete-{n}").add_clique(range(n)).build()
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """``K_{a,b}``: parts ``0..a-1`` and ``a..a+b-1``."""
+    if a < 1 or b < 1:
+        raise GraphError("both parts need at least one vertex")
+    builder = GraphBuilder(a + b, name=f"bipartite-{a}x{b}")
+    for u in range(a):
+        for v in range(a, a + b):
+            builder.add_edge(u, v)
+    return builder.build()
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` mesh; vertex ``(r, c)`` is ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    b = GraphBuilder(rows * cols, name=f"grid-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                b.add_edge(v, v + 1)
+            if r + 1 < rows:
+                b.add_edge(v, v + cols)
+    return b.build()
+
+
+def torus_2d(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` torus (mesh with wraparound links)."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus dimensions must be at least 3 to stay simple")
+    b = GraphBuilder(rows * cols, name=f"torus-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            b.add_edge(v, r * cols + (c + 1) % cols)
+            b.add_edge(v, ((r + 1) % rows) * cols + c)
+    return b.build()
+
+
+def hypercube(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube ``Q_dim`` on ``2^dim`` vertices."""
+    if dim < 1:
+        raise GraphError("hypercube dimension must be at least 1")
+    n = 1 << dim
+    b = GraphBuilder(n, name=f"hypercube-{dim}")
+    for v in range(n):
+        for bit in range(dim):
+            u = v ^ (1 << bit)
+            if u > v:
+                b.add_edge(v, u)
+    return b.build()
+
+
+def kary_tree(arity: int, height: int) -> Graph:
+    """The complete ``arity``-ary tree of the given height, as a graph.
+
+    Vertex 0 is the root; children of ``v`` are ``arity*v + 1 ..
+    arity*v + arity`` (heap layout).
+    """
+    if arity < 1 or height < 0:
+        raise GraphError("arity must be >= 1 and height >= 0")
+    n = sum(arity**lvl for lvl in range(height + 1))
+    b = GraphBuilder(n, name=f"{arity}ary-tree-h{height}")
+    for v in range(1, n):
+        b.add_edge(v, (v - 1) // arity)
+    return b.build()
+
+
+def binary_tree(height: int) -> Graph:
+    """The complete binary tree of the given height."""
+    return kary_tree(2, height).with_name(f"binary-tree-h{height}")
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
+    """A caterpillar: a path of ``spine`` vertices, each with pendant legs.
+
+    Spine vertices are ``0..spine-1``; legs follow.
+    """
+    if spine < 1 or legs_per_vertex < 0:
+        raise GraphError("spine must be >= 1, legs >= 0")
+    n = spine * (1 + legs_per_vertex)
+    b = GraphBuilder(n, name=f"caterpillar-{spine}x{legs_per_vertex}")
+    b.add_path(range(spine))
+    leg = spine
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            b.add_edge(s, leg)
+            leg += 1
+    return b.build()
+
+
+def spider(legs: int, leg_length: int) -> Graph:
+    """A spider: ``legs`` disjoint paths of ``leg_length`` joined at vertex 0."""
+    if legs < 1 or leg_length < 1:
+        raise GraphError("legs and leg_length must be >= 1")
+    n = 1 + legs * leg_length
+    b = GraphBuilder(n, name=f"spider-{legs}x{leg_length}")
+    nxt = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_length):
+            b.add_edge(prev, nxt)
+            prev = nxt
+            nxt += 1
+    return b.build()
+
+
+def broom(handle: int, bristles: int) -> Graph:
+    """A broom: a path of ``handle`` vertices with ``bristles`` leaves at the end."""
+    if handle < 1 or bristles < 0:
+        raise GraphError("handle must be >= 1, bristles >= 0")
+    n = handle + bristles
+    b = GraphBuilder(n, name=f"broom-{handle}+{bristles}")
+    b.add_path(range(handle))
+    for leaf in range(handle, n):
+        b.add_edge(handle - 1, leaf)
+    return b.build()
+
+
+def wheel(n: int) -> Graph:
+    """The wheel ``W_n``: a hub (vertex 0) joined to a cycle of ``n - 1``."""
+    if n < 4:
+        raise GraphError("a wheel needs at least 4 vertices")
+    b = GraphBuilder(n, name=f"wheel-{n}")
+    b.add_cycle(range(1, n))
+    for v in range(1, n):
+        b.add_edge(0, v)
+    return b.build()
+
+
+def barbell(clique: int, bridge: int) -> Graph:
+    """Two ``clique``-cliques joined by a path of ``bridge`` extra vertices."""
+    if clique < 2:
+        raise GraphError("cliques need at least 2 vertices")
+    n = 2 * clique + bridge
+    b = GraphBuilder(n, name=f"barbell-{clique}+{bridge}")
+    b.add_clique(range(clique))
+    b.add_clique(range(clique + bridge, n))
+    b.add_path(range(clique - 1, clique + bridge + 1))
+    return b.build()
+
+
+def lollipop(clique: int, tail: int) -> Graph:
+    """A ``clique``-clique with a path of ``tail`` vertices hanging off it."""
+    if clique < 2 or tail < 0:
+        raise GraphError("clique >= 2 and tail >= 0 required")
+    n = clique + tail
+    b = GraphBuilder(n, name=f"lollipop-{clique}+{tail}")
+    b.add_clique(range(clique))
+    b.add_path(range(clique - 1, n))
+    return b.build()
+
+
+def de_bruijn(symbols: int, length: int) -> Graph:
+    """Undirected de Bruijn graph ``B(symbols, length)``.
+
+    Vertices are length-``length`` words over ``symbols`` letters; edges
+    join words overlapping in ``length - 1`` letters.  Self-loops and
+    parallel edges of the directed version are discarded.
+    """
+    if symbols < 2 or length < 1:
+        raise GraphError("need symbols >= 2 and length >= 1")
+    n = symbols**length
+    b = GraphBuilder(n, name=f"debruijn-{symbols}-{length}")
+    for v in range(n):
+        shifted = (v * symbols) % n
+        for s in range(symbols):
+            u = shifted + s
+            if u != v:
+                b.add_edge(v, u)
+    return b.build()
+
+
+def cube_connected_cycles(dim: int) -> Graph:
+    """CCC(dim): each hypercube corner replaced by a ``dim``-cycle.
+
+    Vertex ``(corner, position)`` is ``corner * dim + position``.
+    """
+    if dim < 3:
+        raise GraphError("CCC needs dimension >= 3")
+    b = GraphBuilder(dim * (1 << dim), name=f"ccc-{dim}")
+    for corner in range(1 << dim):
+        for pos in range(dim):
+            v = corner * dim + pos
+            b.add_edge(v, corner * dim + (pos + 1) % dim)
+            b.add_edge(v, (corner ^ (1 << pos)) * dim + pos)
+    return b.build()
+
+
+def butterfly(dim: int) -> Graph:
+    """The (wrapped-around-free) butterfly network BF(dim).
+
+    ``dim + 1`` levels of ``2^dim`` columns; vertex ``(level, column)`` is
+    ``level * 2^dim + column``; level ``l`` connects to level ``l + 1``
+    straight and with bit ``l`` flipped.
+    """
+    if dim < 1:
+        raise GraphError("butterfly needs dimension >= 1")
+    cols = 1 << dim
+    b = GraphBuilder((dim + 1) * cols, name=f"butterfly-{dim}")
+    for level in range(dim):
+        for col in range(cols):
+            v = level * cols + col
+            b.add_edge(v, (level + 1) * cols + col)
+            b.add_edge(v, (level + 1) * cols + (col ^ (1 << level)))
+    return b.build()
+
+
+def double_star(a: int, b: int) -> Graph:
+    """Two adjacent centers with ``a`` and ``b`` leaves respectively."""
+    if a < 0 or b < 0:
+        raise GraphError("leaf counts must be non-negative")
+    n = 2 + a + b
+    builder = GraphBuilder(n, name=f"double-star-{a}+{b}")
+    builder.add_edge(0, 1)
+    for leaf in range(2, 2 + a):
+        builder.add_edge(0, leaf)
+    for leaf in range(2 + a, n):
+        builder.add_edge(1, leaf)
+    return builder.build()
+
+
+def friendship(triangles: int) -> Graph:
+    """The friendship graph: ``triangles`` triangles sharing vertex 0."""
+    if triangles < 1:
+        raise GraphError("need at least one triangle")
+    n = 1 + 2 * triangles
+    b = GraphBuilder(n, name=f"friendship-{triangles}")
+    for t in range(triangles):
+        u, v = 1 + 2 * t, 2 + 2 * t
+        b.add_edge(0, u)
+        b.add_edge(0, v)
+        b.add_edge(u, v)
+    return b.build()

@@ -1,0 +1,36 @@
+"""Execution substrate: the synchronous round-based network simulator.
+
+Ground truth for schedule correctness: :func:`~repro.simulator.engine.execute_schedule`
+enforces the two communication rules of Section 1, and
+:mod:`~repro.simulator.validator` wraps it with structural checks.
+:mod:`~repro.simulator.trace` extracts per-vertex timelines (the paper's
+Tables 1–4); :mod:`~repro.simulator.metrics` summarises executions;
+:mod:`~repro.simulator.faults` perturbs schedules for robustness tests.
+"""
+
+from .engine import ArrivalEvent, ExecutionResult, execute_schedule
+from .metrics import ScheduleMetrics, compute_metrics, link_loads
+from .reference import ReferenceResult, reference_execute
+from .state import HoldState, identity_holdings, labeled_holdings
+from .trace import VertexTimeline, all_timelines, vertex_timeline
+from .validator import assert_gossip_schedule, check_static, validate_schedule
+
+__all__ = [
+    "execute_schedule",
+    "ExecutionResult",
+    "ArrivalEvent",
+    "reference_execute",
+    "ReferenceResult",
+    "HoldState",
+    "identity_holdings",
+    "labeled_holdings",
+    "VertexTimeline",
+    "vertex_timeline",
+    "all_timelines",
+    "ScheduleMetrics",
+    "compute_metrics",
+    "link_loads",
+    "check_static",
+    "validate_schedule",
+    "assert_gossip_schedule",
+]

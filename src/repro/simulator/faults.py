@@ -1,0 +1,159 @@
+"""Schedule perturbation — failure injection for the validator tests.
+
+The engine and validator claim to catch every violation of the
+communication model.  The mutators here produce *minimally broken*
+variants of a correct schedule so the test suite can verify each failure
+mode is actually detected (and that an unperturbed copy still passes):
+
+* :func:`drop_round` — delete one round: gossip ends incomplete;
+* :func:`drop_transmission` — delete one multicast: incomplete, or a
+  later sender no longer holds what it sends;
+* :func:`corrupt_message` — change a message id: possession violation;
+* :func:`redirect_to_nonneighbor` — retarget a destination off-edge:
+  adjacency violation;
+* :func:`duplicate_receiver` — aim two same-round transmissions at one
+  processor: rejected at :class:`~repro.core.schedule.Round` level.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.schedule import Round, Schedule, Transmission
+from ..exceptions import ScheduleError
+from ..networks.graph import Graph
+
+__all__ = [
+    "drop_round",
+    "drop_transmission",
+    "corrupt_message",
+    "redirect_to_nonneighbor",
+    "duplicate_receiver",
+    "swap_rounds",
+]
+
+
+def _rounds(schedule: Schedule) -> List[List[Transmission]]:
+    return [list(rnd.transmissions) for rnd in schedule]
+
+
+def _rebuild(rounds: List[List[Transmission]], name: str) -> Schedule:
+    return Schedule((Round(txs) for txs in rounds), name=name)
+
+
+def drop_round(schedule: Schedule, index: int) -> Schedule:
+    """Remove the round at ``index`` entirely (later rounds shift earlier)."""
+    rounds = _rounds(schedule)
+    if not 0 <= index < len(rounds):
+        raise ScheduleError(f"no round {index} in a {len(rounds)}-round schedule")
+    del rounds[index]
+    return _rebuild(rounds, f"{schedule.name}-dropped-round-{index}")
+
+
+def drop_transmission(schedule: Schedule, round_index: int, tx_index: int) -> Schedule:
+    """Remove one multicast from one round."""
+    rounds = _rounds(schedule)
+    try:
+        del rounds[round_index][tx_index]
+    except IndexError as exc:
+        raise ScheduleError(
+            f"no transmission ({round_index}, {tx_index}) in schedule"
+        ) from exc
+    return _rebuild(rounds, f"{schedule.name}-dropped-tx")
+
+
+def corrupt_message(
+    schedule: Schedule, round_index: int, tx_index: int, new_message: int
+) -> Schedule:
+    """Replace the message id of one transmission."""
+    rounds = _rounds(schedule)
+    try:
+        tx = rounds[round_index][tx_index]
+    except IndexError as exc:
+        raise ScheduleError(
+            f"no transmission ({round_index}, {tx_index}) in schedule"
+        ) from exc
+    rounds[round_index][tx_index] = Transmission(
+        sender=tx.sender, message=new_message, destinations=tx.destinations
+    )
+    return _rebuild(rounds, f"{schedule.name}-corrupt-msg")
+
+
+def redirect_to_nonneighbor(
+    schedule: Schedule, graph: Graph, round_index: int, tx_index: int
+) -> Schedule:
+    """Retarget one destination of one transmission to a non-neighbour.
+
+    Raises :class:`ScheduleError` when the sender is adjacent to every
+    other vertex (no off-edge target exists).
+    """
+    rounds = _rounds(schedule)
+    try:
+        tx = rounds[round_index][tx_index]
+    except IndexError as exc:
+        raise ScheduleError(
+            f"no transmission ({round_index}, {tx_index}) in schedule"
+        ) from exc
+    receiving = {
+        d
+        for other in rounds[round_index]
+        for d in other.destinations
+    }
+    strangers = [
+        v
+        for v in range(graph.n)
+        if v != tx.sender
+        and not graph.has_edge(tx.sender, v)
+        and v not in receiving  # keep the round structurally valid
+    ]
+    if not strangers:
+        raise ScheduleError(f"vertex {tx.sender} is adjacent to everyone")
+    dests = set(tx.destinations)
+    dests.remove(max(dests))
+    dests.add(strangers[0])
+    rounds[round_index][tx_index] = Transmission(
+        sender=tx.sender, message=tx.message, destinations=frozenset(dests)
+    )
+    return _rebuild(rounds, f"{schedule.name}-offedge")
+
+
+def swap_rounds(schedule: Schedule, a: int, b: int) -> Schedule:
+    """Exchange the rounds at positions ``a`` and ``b``.
+
+    Reordering a pipelined schedule typically makes some vertex send a
+    message before it arrives — a possession violation the engine must
+    catch (or, rarely, the swap is harmless and the schedule still
+    completes; the tests accept either verdict but never a silent wrong
+    result).
+    """
+    rounds = _rounds(schedule)
+    if not (0 <= a < len(rounds) and 0 <= b < len(rounds)):
+        raise ScheduleError(f"cannot swap rounds ({a}, {b}) of {len(rounds)}")
+    rounds[a], rounds[b] = rounds[b], rounds[a]
+    return _rebuild(rounds, f"{schedule.name}-swapped-{a}-{b}")
+
+
+def duplicate_receiver(schedule: Schedule, round_index: int) -> Schedule:
+    """Make two transmissions of one round target the same receiver.
+
+    Needs a round with at least two transmissions; the resulting rounds
+    raise :class:`~repro.exceptions.ScheduleConflictError` at
+    construction, proving rule 1 is enforced structurally.
+    """
+    rounds = _rounds(schedule)
+    txs = rounds[round_index]
+    if len(txs) < 2:
+        raise ScheduleError(f"round {round_index} has fewer than two transmissions")
+    for a in range(len(txs)):
+        for b in range(len(txs)):
+            if a == b:
+                continue
+            for victim in sorted(txs[a].destinations):
+                if victim != txs[b].sender and victim not in txs[b].destinations:
+                    txs[b] = Transmission(
+                        sender=txs[b].sender,
+                        message=txs[b].message,
+                        destinations=txs[b].destinations | {victim},
+                    )
+                    return _rebuild(rounds, f"{schedule.name}-dup-receiver")
+    raise ScheduleError(f"round {round_index} admits no receiver duplication")

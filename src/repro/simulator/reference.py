@@ -1,0 +1,100 @@
+"""An independent reference implementation of the communication model.
+
+A deliberately naive executor — plain dict-of-set hold sets, explicit
+per-round receive maps, no bitset tricks — maintained *separately* from
+:mod:`repro.simulator.engine` so the two can cross-check each other.
+The property test ``tests/property/test_property_reference.py`` asserts
+both backends agree (violation-or-not, completeness, per-vertex
+completion times) on every schedule the library generates; a bug would
+have to be introduced twice, identically, to slip through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.schedule import Schedule
+from ..exceptions import ModelViolationError
+from ..networks.graph import Graph
+
+__all__ = ["ReferenceResult", "reference_execute"]
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Outcome of a reference execution (mirrors ExecutionResult's core)."""
+
+    complete: bool
+    completion_times: Tuple[Optional[int], ...]
+    final_holds: Tuple[frozenset, ...]
+
+
+def reference_execute(
+    graph: Graph,
+    schedule: Schedule,
+    initial_holds: Optional[Sequence[Set[int]]] = None,
+    n_messages: Optional[int] = None,
+) -> ReferenceResult:
+    """Execute ``schedule`` with the naive reference semantics.
+
+    ``initial_holds`` is a list of *sets* of message ids (default:
+    processor ``v`` holds ``{v}``).  Raises
+    :class:`~repro.exceptions.ModelViolationError` on any rule violation,
+    phrased independently from the main engine.
+    """
+    n = graph.n
+    total = n if n_messages is None else n_messages
+    universe = set(range(total))
+    holds: List[Set[int]] = (
+        [{v} for v in range(n)]
+        if initial_holds is None
+        else [set(h) for h in initial_holds]
+    )
+    completion: List[Optional[int]] = [
+        0 if holds[v] == universe else None for v in range(n)
+    ]
+    # in_flight[receiver] = (message) delivered at the *next* round start
+    in_flight: Dict[int, int] = {}
+
+    for t, rnd in enumerate(schedule):
+        # deliveries from round t - 1 land now (receive before send)
+        for receiver, message in in_flight.items():
+            holds[receiver].add(message)
+            if completion[receiver] is None and holds[receiver] == universe:
+                completion[receiver] = t
+        in_flight = {}
+        senders_seen: Set[int] = set()
+        receivers_seen: Set[int] = set()
+        for tx in rnd:
+            if tx.sender in senders_seen:
+                raise ModelViolationError(
+                    f"reference: double send by {tx.sender} at {t}"
+                )
+            senders_seen.add(tx.sender)
+            if tx.message not in holds[tx.sender]:
+                raise ModelViolationError(
+                    f"reference: {tx.sender} lacks message {tx.message} at {t}"
+                )
+            for d in tx.destinations:
+                if d in receivers_seen:
+                    raise ModelViolationError(
+                        f"reference: double receive at {d} at time {t + 1}"
+                    )
+                receivers_seen.add(d)
+                if not graph.has_edge(tx.sender, d):
+                    raise ModelViolationError(
+                        f"reference: {tx.sender} -> {d} is not a link"
+                    )
+                in_flight[d] = tx.message
+    final_t = schedule.total_time
+    for receiver, message in in_flight.items():
+        holds[receiver].add(message)
+        if completion[receiver] is None and holds[receiver] == universe:
+            completion[receiver] = final_t
+
+    return ReferenceResult(
+        complete=all(h == universe for h in holds),
+        completion_times=tuple(completion),
+        final_holds=tuple(frozenset(h) for h in holds),
+    )

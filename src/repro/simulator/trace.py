@@ -1,0 +1,109 @@
+"""Per-vertex communication timelines (the paper's Tables 1–4).
+
+The paper illustrates ConcurrentUpDown with four tables, one per selected
+vertex of the Fig. 5 tree, each showing four rows indexed by time:
+*Receive from Parent*, *Receive from Child*, *Send to Parent*, and
+*Send to Child(ren)*.  :func:`vertex_timeline` extracts exactly those
+rows from any schedule, given the tree that orients parent/child.
+
+Convention (matching the paper): a message *sent* during round ``t``
+appears in the send rows at time ``t`` and in the receiver's receive rows
+at time ``t + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.schedule import Schedule
+from ..tree.tree import Tree
+from ..types import Message, Time, Vertex
+
+__all__ = ["VertexTimeline", "vertex_timeline", "all_timelines"]
+
+
+@dataclass
+class VertexTimeline:
+    """The four table rows of one vertex, as ``time -> message`` maps.
+
+    ``horizon`` is the largest time index that carries an entry in any
+    row (the table's last column).
+    """
+
+    vertex: Vertex
+    receive_from_parent: Dict[Time, Message] = field(default_factory=dict)
+    receive_from_child: Dict[Time, Message] = field(default_factory=dict)
+    send_to_parent: Dict[Time, Message] = field(default_factory=dict)
+    send_to_child: Dict[Time, Message] = field(default_factory=dict)
+
+    @property
+    def horizon(self) -> int:
+        """Last time index with any entry (-1 when all rows are empty)."""
+        times = [
+            t
+            for row in (
+                self.receive_from_parent,
+                self.receive_from_child,
+                self.send_to_parent,
+                self.send_to_child,
+            )
+            for t in row
+        ]
+        return max(times) if times else -1
+
+    def row(self, name: str) -> Dict[Time, Message]:
+        """Access a row by its paper caption (case/space insensitive)."""
+        key = name.lower().replace(" ", "_")
+        aliases = {
+            "receive_from_parent": self.receive_from_parent,
+            "receive_from_child": self.receive_from_child,
+            "send_to_parent": self.send_to_parent,
+            "send_to_child": self.send_to_child,
+            "send_to_children": self.send_to_child,
+        }
+        if key not in aliases:
+            raise KeyError(f"unknown timeline row {name!r}")
+        return aliases[key]
+
+    def as_lists(self, horizon: Optional[int] = None) -> Dict[str, List[Optional[int]]]:
+        """Dense row lists (``None`` = the paper's '-' cells), for rendering."""
+        h = self.horizon if horizon is None else horizon
+        out: Dict[str, List[Optional[int]]] = {}
+        for caption, row in (
+            ("Receive from Parent", self.receive_from_parent),
+            ("Receive from Child", self.receive_from_child),
+            ("Send to Parent", self.send_to_parent),
+            ("Send to Child", self.send_to_child),
+        ):
+            out[caption] = [row.get(t) for t in range(h + 1)]
+        return out
+
+
+def vertex_timeline(tree: Tree, schedule: Schedule, vertex: Vertex) -> VertexTimeline:
+    """Extract the paper-style timeline of ``vertex`` from ``schedule``.
+
+    Only transmissions along tree edges incident to ``vertex`` are
+    recorded (for the paper's algorithms that is all of them).
+    """
+    tl = VertexTimeline(vertex=vertex)
+    parent = tree.parent(vertex)
+    children = set(tree.children(vertex))
+    for t, rnd in enumerate(schedule):
+        for tx in rnd:
+            if tx.sender == vertex:
+                if parent in tx.destinations:
+                    tl.send_to_parent[t] = tx.message
+                if children & tx.destinations:
+                    tl.send_to_child[t] = tx.message
+            elif vertex in tx.destinations:
+                if tx.sender == parent:
+                    tl.receive_from_parent[t + 1] = tx.message
+                elif tx.sender in children:
+                    tl.receive_from_child[t + 1] = tx.message
+    return tl
+
+
+def all_timelines(tree: Tree, schedule: Schedule) -> List[VertexTimeline]:
+    """Timelines of every vertex, indexed by vertex id."""
+    return [vertex_timeline(tree, schedule, v) for v in range(tree.n)]

@@ -1,0 +1,91 @@
+"""Static and dynamic schedule validation.
+
+:class:`~repro.core.schedule.Round` already rejects per-round rule
+violations at construction.  This module adds:
+
+* :func:`check_static` — network-level checks that need no execution:
+  all endpoints in range, every transmission along an existing edge;
+* :func:`validate_schedule` — the full dynamic check: run the
+  round-based engine and verify possession, adjacency and (optionally)
+  completeness;
+* :func:`assert_gossip_schedule` — one call asserting everything the
+  paper requires of a gossip schedule, returning the execution result.
+
+Keeping validation separate from construction lets the test suite verify
+that *deliberately broken* schedules are caught (failure-injection tests
+in ``tests/simulator/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.schedule import Schedule
+from ..exceptions import ModelViolationError, ScheduleError
+from ..networks.graph import Graph
+from .engine import ExecutionResult, execute_schedule
+
+__all__ = ["check_static", "validate_schedule", "assert_gossip_schedule"]
+
+
+def check_static(graph: Graph, schedule: Schedule) -> None:
+    """Raise unless every transmission uses existing vertices and edges."""
+    n = graph.n
+    for t, rnd in enumerate(schedule):
+        for tx in rnd:
+            if not 0 <= tx.sender < n:
+                raise ScheduleError(
+                    f"round {t}: sender {tx.sender} out of range for n={n}"
+                )
+            for d in tx.destinations:
+                if not 0 <= d < n:
+                    raise ScheduleError(
+                        f"round {t}: destination {d} out of range for n={n}"
+                    )
+                if not graph.has_edge(tx.sender, d):
+                    raise ModelViolationError(
+                        f"round {t}: transmission {tx.sender} -> {d} does not "
+                        "follow an edge of the network"
+                    )
+
+
+def validate_schedule(
+    graph: Graph,
+    schedule: Schedule,
+    initial_holds: Optional[Sequence[int]] = None,
+    require_complete: bool = True,
+) -> ExecutionResult:
+    """Statically and dynamically validate ``schedule`` on ``graph``.
+
+    Returns the engine's :class:`~repro.simulator.engine.ExecutionResult`
+    on success; raises a :class:`~repro.exceptions.ScheduleError` subclass
+    describing the first violation otherwise.
+    """
+    check_static(graph, schedule)
+    return execute_schedule(
+        graph,
+        schedule,
+        initial_holds=initial_holds,
+        require_complete=require_complete,
+    )
+
+
+def assert_gossip_schedule(
+    graph: Graph,
+    schedule: Schedule,
+    initial_holds: Optional[Sequence[int]] = None,
+    max_total_time: Optional[int] = None,
+) -> ExecutionResult:
+    """Assert ``schedule`` solves gossiping on ``graph`` within a budget.
+
+    ``max_total_time`` (e.g. the paper's ``n + r``) is checked when given.
+    """
+    result = validate_schedule(
+        graph, schedule, initial_holds=initial_holds, require_complete=True
+    )
+    if max_total_time is not None and schedule.total_time > max_total_time:
+        raise ScheduleError(
+            f"schedule takes {schedule.total_time} rounds, exceeding the "
+            f"budget {max_total_time}"
+        )
+    return result

@@ -1,0 +1,23 @@
+"""Tree substrate: rooted ordered trees, DFS labelling, message classes.
+
+The communication tree of Section 3.2: after the minimum-depth spanning
+tree reduction, every algorithm works on a :class:`~repro.tree.tree.Tree`
+whose messages are labelled in DFS preorder
+(:class:`~repro.tree.labeling.LabeledTree`) and classified per vertex
+(:mod:`~repro.tree.message_classes`).
+"""
+
+from .labeling import LabeledTree, VertexLabel, label_tree
+from .message_classes import MessageClasses, class_name_of, classify
+from .tree import ChildOrder, Tree
+
+__all__ = [
+    "Tree",
+    "ChildOrder",
+    "LabeledTree",
+    "VertexLabel",
+    "label_tree",
+    "MessageClasses",
+    "classify",
+    "class_name_of",
+]

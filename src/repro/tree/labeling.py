@@ -1,0 +1,229 @@
+"""DFS preorder message labelling (paper Section 3.2).
+
+The algorithm "proceeds by labeling the message originating at each
+vertex in depth-first search order starting with the one at the root
+(label 0) and ending at some leaf (label n-1)".
+
+Because the labelling is a DFS preorder, the set of labels inside any
+subtree is a *contiguous interval* ``[i, j]``:
+
+* ``i``  — label of the subtree's root ``v`` (its *s-message*),
+* ``j``  — largest label in the subtree (``i + |subtree| - 1``),
+* ``k``  — the level (depth) of ``v``.
+
+The triple ``(i, j, k)`` is the only information a processor needs to run
+the online protocol of Section 4, so :class:`LabeledTree` exposes it
+prominently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..exceptions import LabelingError
+from ..types import Message, Vertex
+from .tree import Tree
+
+__all__ = ["VertexLabel", "LabeledTree", "label_tree"]
+
+
+@dataclass(frozen=True)
+class VertexLabel:
+    """The per-vertex scheduling parameters ``(i, j, k)`` of Section 3.2.
+
+    Attributes
+    ----------
+    vertex:
+        The vertex this label block belongs to.
+    i:
+        DFS label of the vertex = label of its s-message.
+    j:
+        Largest DFS label inside its subtree (``j - i + 1`` = subtree size).
+    k:
+        Level (depth) of the vertex; the root has ``k = 0``.
+    parent_i:
+        ``i`` value of the parent (``-1`` for the root).  Needed to split
+        the body messages into lip/rip classes.
+    """
+
+    vertex: Vertex
+    i: int
+    j: int
+    k: int
+    parent_i: int
+
+    @property
+    def subtree_size(self) -> int:
+        """Number of messages originating in the subtree."""
+        return self.j - self.i + 1
+
+    @property
+    def is_leaf_block(self) -> bool:
+        """Whether the subtree is a single vertex (``i == j``)."""
+        return self.i == self.j
+
+    @property
+    def is_first_child(self) -> bool:
+        """Whether this vertex is its parent's first child in DFS order.
+
+        Exactly then its s-message ``i`` equals ``parent_i + 1`` and is the
+        parent's *lookahead* message, i.e. a lip-message sent at time 0.
+        """
+        return self.parent_i >= 0 and self.i == self.parent_i + 1
+
+    @property
+    def w(self) -> int:
+        """Number of lip-messages at the vertex (0 or 1), used by (U4)."""
+        return 1 if self.is_first_child else 0
+
+
+class LabeledTree:
+    """A :class:`~repro.tree.tree.Tree` plus its DFS preorder labelling.
+
+    Exposes both directions of the label map and the ``(i, j, k)`` block of
+    every vertex.  All schedule-construction algorithms in
+    :mod:`repro.core` consume a :class:`LabeledTree`.
+
+    Examples
+    --------
+    >>> t = Tree([-1, 0, 0, 1], root=0)
+    >>> lt = LabeledTree(t)
+    >>> [lt.label_of(v) for v in range(4)]
+    [0, 1, 3, 2]
+    >>> lt.block_of_label(1).j   # subtree of vertex 1 holds labels {1, 2}
+    2
+    """
+
+    __slots__ = ("_tree", "_label", "_vertex", "_blocks", "_blocks_by_label")
+
+    def __init__(self, tree: Tree) -> None:
+        self._tree = tree
+        n = tree.n
+        label: List[int] = [-1] * n
+        vertex: List[int] = [-1] * n
+        for idx, v in enumerate(tree.dfs_preorder()):
+            label[v] = idx
+            vertex[idx] = v
+        if -1 in label:
+            raise LabelingError("DFS preorder did not reach every vertex")
+        # j = max label in subtree.  Process vertices deepest-first so each
+        # parent aggregates its children's finished intervals.
+        j_of: List[int] = list(label)
+        order = sorted(range(n), key=tree.level, reverse=True)
+        for v in order:
+            p = tree.parent(v)
+            if p >= 0 and j_of[v] > j_of[p]:
+                j_of[p] = j_of[v]
+        blocks: List[VertexLabel] = []
+        for v in range(n):
+            p = tree.parent(v)
+            blocks.append(
+                VertexLabel(
+                    vertex=v,
+                    i=label[v],
+                    j=j_of[v],
+                    k=tree.level(v),
+                    parent_i=label[p] if p >= 0 else -1,
+                )
+            )
+        self._label = tuple(label)
+        self._vertex = tuple(vertex)
+        self._blocks = tuple(blocks)
+        self._blocks_by_label = tuple(blocks[vertex[lbl]] for lbl in range(n))
+        self._validate()
+
+    def _validate(self) -> None:
+        """Check the contiguous-interval invariants of a DFS labelling."""
+        t = self._tree
+        for v in range(t.n):
+            blk = self._blocks[v]
+            if blk.subtree_size != t.subtree_size(v):
+                raise LabelingError(
+                    f"subtree interval of vertex {v} has size {blk.subtree_size}, "
+                    f"expected {t.subtree_size(v)}"
+                )
+            kids = t.children(v)
+            cursor = blk.i + 1
+            for c in kids:
+                cb = self._blocks[c]
+                if cb.i != cursor:
+                    raise LabelingError(
+                        f"child {c} of {v} starts at label {cb.i}, expected {cursor}"
+                    )
+                cursor = cb.j + 1
+            if kids and cursor != blk.j + 1:
+                raise LabelingError(
+                    f"children of {v} end at label {cursor - 1}, expected {blk.j}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> Tree:
+        """The underlying rooted ordered tree."""
+        return self._tree
+
+    @property
+    def n(self) -> int:
+        """Number of vertices / messages."""
+        return self._tree.n
+
+    @property
+    def height(self) -> int:
+        """Tree height (= network radius for a minimum-depth tree)."""
+        return self._tree.height
+
+    def label_of(self, v: Vertex) -> Message:
+        """DFS label (message id) of vertex ``v``."""
+        return self._label[v]
+
+    def vertex_of(self, label: Message) -> Vertex:
+        """Vertex owning the message with the given DFS label."""
+        return self._vertex[label]
+
+    def block(self, v: Vertex) -> VertexLabel:
+        """The ``(i, j, k)`` block of vertex ``v``."""
+        return self._blocks[v]
+
+    def block_of_label(self, label: Message) -> VertexLabel:
+        """The ``(i, j, k)`` block of the vertex whose s-message is ``label``."""
+        return self._blocks_by_label[label]
+
+    def blocks(self) -> Tuple[VertexLabel, ...]:
+        """All per-vertex blocks, indexed by vertex id."""
+        return self._blocks
+
+    def labels(self) -> Tuple[int, ...]:
+        """The full vertex -> label map."""
+        return self._label
+
+    def label_table(self) -> Dict[Vertex, Tuple[int, int, int]]:
+        """Mapping ``vertex -> (i, j, k)`` — the online protocol's inputs."""
+        return {v: (b.i, b.j, b.k) for v, b in enumerate(self._blocks)}
+
+    def children_by_label(self, v: Vertex) -> Tuple[int, ...]:
+        """Children of ``v`` in DFS order, as their ``i`` labels."""
+        return tuple(self._label[c] for c in self._tree.children(v))
+
+    def owner_child(self, v: Vertex, message: Message) -> Vertex:
+        """The child of ``v`` whose subtree interval contains ``message``.
+
+        Raises :class:`LabelingError` when no child's interval contains
+        the label (i.e. the message does not originate strictly below
+        ``v``).
+        """
+        for c in self._tree.children(v):
+            cb = self._blocks[c]
+            if cb.i <= message <= cb.j:
+                return c
+        raise LabelingError(
+            f"message {message} does not originate below vertex {v}"
+        )
+
+    def __repr__(self) -> str:
+        return f"LabeledTree(n={self.n}, root={self._tree.root}, height={self.height})"
+
+
+def label_tree(tree: Tree) -> LabeledTree:
+    """Convenience wrapper: apply DFS preorder labelling to ``tree``."""
+    return LabeledTree(tree)

@@ -1,0 +1,124 @@
+"""Message classification at a vertex (paper Section 3.2).
+
+Relative to a vertex ``v`` with block ``(i, j, k)`` on an ``n``-message
+tree, every message label falls into exactly one class:
+
+* **o-messages** ("other"): labels ``0..i-1`` and ``j+1..n-1`` — the
+  messages originating *outside* the subtree of ``v``.  They reach ``v``
+  from its parent (Propagate-Down).
+* **b-messages** ("body"): labels ``i..j`` — originating inside the
+  subtree.  They are further split with respect to ``v`` itself:
+
+  - the **s-message** ``i`` (starting — v's own message),
+  - the **l-message** ``i+1`` (lookahead), present iff ``v`` is not a leaf,
+  - the **r-messages** ``i+2..j`` (remaining), received from children;
+
+  and with respect to the parent ``v'`` (block start ``i'``):
+
+  - the **lip-message** ``i`` iff ``i = i' + 1`` (v is the first child);
+    sent to the parent at time 0 by step (U3),
+  - the **rip-messages** ``max(i, i'+2)..j``; streamed to the parent by
+    step (U4).
+
+The root's b-messages are all rip-messages by the paper's convention and
+it has no lip-message (its classification never drives any send).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..types import Message
+from .labeling import VertexLabel
+
+__all__ = ["MessageClasses", "classify", "class_name_of"]
+
+
+@dataclass(frozen=True)
+class MessageClasses:
+    """All message classes at one vertex, as explicit label ranges.
+
+    Ranges are Python ``range`` objects (possibly empty), so membership
+    tests and iteration are O(1) / lazy.
+    """
+
+    vertex: int
+    n: int
+    s_message: Message
+    l_message: Optional[Message]
+    r_messages: range
+    o_low: range
+    o_high: range
+    lip_message: Optional[Message]
+    rip_messages: range
+
+    @property
+    def b_messages(self) -> range:
+        """The body interval ``i..j``."""
+        return range(self.s_message, self.r_messages.stop if self.r_messages else
+                     (self.l_message + 1 if self.l_message is not None else self.s_message + 1))
+
+    def o_messages(self) -> Tuple[range, range]:
+        """Both o-message ranges (below ``i`` and above ``j``)."""
+        return (self.o_low, self.o_high)
+
+    def is_o_message(self, m: Message) -> bool:
+        """Whether ``m`` originates outside the vertex's subtree."""
+        return m in self.o_low or m in self.o_high
+
+    def is_b_message(self, m: Message) -> bool:
+        """Whether ``m`` originates inside the vertex's subtree."""
+        return m in self.b_messages
+
+    def count_o(self) -> int:
+        """Number of o-messages (``n - subtree_size``)."""
+        return len(self.o_low) + len(self.o_high)
+
+
+def classify(block: VertexLabel, n: int) -> MessageClasses:
+    """Classify all ``n`` message labels relative to ``block``.
+
+    ``block`` is the ``(i, j, k)`` record of the vertex; the parent's
+    block start ``block.parent_i`` decides the lip/rip split (the root,
+    with ``parent_i = -1``, gets ``lip_message = None`` and every
+    b-message as a rip-message, matching the paper's remark).
+    """
+    i, j = block.i, block.j
+    l_message: Optional[Message] = i + 1 if i + 1 <= j else None
+    r_messages = range(i + 2, j + 1)
+    if block.parent_i >= 0:
+        lip: Optional[Message] = i if block.is_first_child else None
+        rip = range(max(i, block.parent_i + 2), j + 1)
+    else:
+        lip = None
+        rip = range(i, j + 1)
+    return MessageClasses(
+        vertex=block.vertex,
+        n=n,
+        s_message=i,
+        l_message=l_message,
+        r_messages=r_messages,
+        o_low=range(0, i),
+        o_high=range(j + 1, n),
+        lip_message=lip,
+        rip_messages=rip,
+    )
+
+
+def class_name_of(classes: MessageClasses, m: Message) -> str:
+    """Human-readable class of message ``m`` at the classified vertex.
+
+    Returns one of ``"s"``, ``"l"``, ``"r"``, ``"o"`` — the partition with
+    respect to the vertex itself.  Used by the ASCII visualiser and the
+    table benchmarks.
+    """
+    if m == classes.s_message:
+        return "s"
+    if classes.l_message is not None and m == classes.l_message:
+        return "l"
+    if m in classes.r_messages:
+        return "r"
+    if classes.is_o_message(m):
+        return "o"
+    raise ValueError(f"message {m} out of range for n={classes.n}")

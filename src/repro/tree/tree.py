@@ -1,0 +1,303 @@
+"""Rooted ordered trees — the communication substrate of Section 3.2.
+
+After the minimum-depth spanning tree is built, *all* communication takes
+place on the tree, so the tree is the central data structure of the
+library.  A :class:`Tree` is stored as a parent array plus an explicit
+*ordered* child list per vertex; the child order determines the DFS
+labelling (the paper: "for every vertex, fix the ordering of the subtrees
+in any arbitrary order") and therefore the exact schedule, though never
+its length.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import TreeError
+from ..types import Vertex
+
+__all__ = ["Tree", "ChildOrder"]
+
+#: Signature of a child-ordering policy: (tree-under-construction vertex,
+#: its unordered children) -> ordered children.
+ChildOrder = Callable[[Vertex, Sequence[Vertex]], Sequence[Vertex]]
+
+
+class Tree:
+    """An immutable rooted tree on vertices ``0..n-1`` with ordered children.
+
+    Parameters
+    ----------
+    parents:
+        ``parents[v]`` is the parent of ``v``; the root holds ``-1``.
+    root:
+        The root vertex (must be the unique vertex with parent ``-1``).
+    child_order:
+        Optional policy fixing the left-to-right order of each vertex's
+        children.  Defaults to ascending vertex id, which makes every
+        construction in the library deterministic.
+    name:
+        Optional human-readable name (propagated from the source graph).
+
+    Raises
+    ------
+    TreeError
+        If the parent array does not describe a single tree rooted at
+        ``root`` (cycles, several roots, out-of-range parents...).
+
+    Examples
+    --------
+    >>> t = Tree([-1, 0, 0, 1], root=0)
+    >>> t.children(0)
+    (1, 2)
+    >>> t.level(3)
+    2
+    >>> t.height
+    2
+    """
+
+    __slots__ = (
+        "_n",
+        "_root",
+        "_parent",
+        "_children",
+        "_level",
+        "_height",
+        "_name",
+    )
+
+    def __init__(
+        self,
+        parents: Sequence[int],
+        root: Vertex,
+        child_order: Optional[ChildOrder] = None,
+        name: str = "",
+    ) -> None:
+        n = len(parents)
+        if n < 1:
+            raise TreeError("tree needs at least one vertex")
+        if not 0 <= root < n:
+            raise TreeError(f"root {root} out of range for n={n}")
+        if parents[root] != -1:
+            raise TreeError(f"root {root} must have parent -1, got {parents[root]}")
+        parent = [int(p) for p in parents]
+        kids: List[List[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            p = parent[v]
+            if v == root:
+                continue
+            if not 0 <= p < n:
+                raise TreeError(f"vertex {v} has out-of-range parent {p}")
+            if p == v:
+                raise TreeError(f"vertex {v} is its own parent")
+            kids[p].append(v)
+        # Level computation doubles as the acyclicity / single-root check:
+        # every vertex must reach the root by following parents.
+        level = [-1] * n
+        level[root] = 0
+        order = self._toposort(parent, kids, root, n)
+        for v in order:
+            if v != root:
+                level[v] = level[parent[v]] + 1
+        if len(order) != n:
+            missing = [v for v in range(n) if level[v] == -1]
+            raise TreeError(f"vertices {missing} are not attached to root {root}")
+        if child_order is not None:
+            ordered: List[Tuple[int, ...]] = []
+            for v in range(n):
+                arranged = list(child_order(v, tuple(kids[v])))
+                if sorted(arranged) != sorted(kids[v]):
+                    raise TreeError(
+                        f"child_order must permute the children of {v}, "
+                        f"got {arranged} for {kids[v]}"
+                    )
+                ordered.append(tuple(arranged))
+            self._children: Tuple[Tuple[int, ...], ...] = tuple(ordered)
+        else:
+            self._children = tuple(tuple(sorted(c)) for c in kids)
+        self._n = n
+        self._root = int(root)
+        self._parent = tuple(parent)
+        self._level = tuple(level)
+        self._height = max(level)
+        self._name = name
+
+    @staticmethod
+    def _toposort(
+        parent: Sequence[int], kids: Sequence[Sequence[int]], root: int, n: int
+    ) -> List[int]:
+        """Root-first ordering of all vertices reachable from the root."""
+        order = [root]
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            for c in kids[v]:
+                if c == root:
+                    raise TreeError("root appears as a child; parent array has a cycle")
+                order.append(c)
+                stack.append(c)
+        if len(order) > n:
+            raise TreeError("parent array has a cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def root(self) -> int:
+        """The root vertex."""
+        return self._root
+
+    @property
+    def height(self) -> int:
+        """Depth of the deepest vertex (root has depth 0).
+
+        When the tree is the minimum-depth spanning tree of a network this
+        equals the network radius ``r``.
+        """
+        return self._height
+
+    @property
+    def name(self) -> str:
+        """Human-readable name (may be empty)."""
+        return self._name
+
+    def parent(self, v: Vertex) -> int:
+        """Parent of ``v`` (``-1`` for the root)."""
+        return self._parent[self._check(v)]
+
+    def children(self, v: Vertex) -> Tuple[int, ...]:
+        """Ordered children of ``v`` (the DFS visiting order)."""
+        return self._children[self._check(v)]
+
+    def level(self, v: Vertex) -> int:
+        """Depth of ``v``: 0 for the root, parent's level + 1 otherwise."""
+        return self._level[self._check(v)]
+
+    def is_leaf(self, v: Vertex) -> bool:
+        """Whether ``v`` has no children."""
+        return not self._children[self._check(v)]
+
+    def is_root(self, v: Vertex) -> bool:
+        """Whether ``v`` is the root."""
+        return self._check(v) == self._root
+
+    def leaves(self) -> List[int]:
+        """All leaves in ascending vertex order."""
+        return [v for v in range(self._n) if not self._children[v]]
+
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(self._n)
+
+    def parents(self) -> Tuple[int, ...]:
+        """The full parent array (root entry is ``-1``)."""
+        return self._parent
+
+    def levels(self) -> Tuple[int, ...]:
+        """The full level (depth) array."""
+        return self._level
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Tree edges as (parent, child), sorted by child id."""
+        return [(self._parent[v], v) for v in range(self._n) if v != self._root]
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def dfs_preorder(self) -> Iterator[int]:
+        """Depth-first preorder respecting the fixed child order.
+
+        This is exactly the order in which :mod:`repro.tree.labeling`
+        assigns message labels ``0..n-1``.
+        """
+        stack = [self._root]
+        while stack:
+            v = stack.pop()
+            yield v
+            # Reverse so the first child is popped (and yielded) first.
+            stack.extend(reversed(self._children[v]))
+
+    def bfs_order(self) -> Iterator[int]:
+        """Level order (root first), children in fixed order."""
+        frontier = [self._root]
+        while frontier:
+            nxt: List[int] = []
+            for v in frontier:
+                yield v
+                nxt.extend(self._children[v])
+            frontier = nxt
+
+    def subtree(self, v: Vertex) -> List[int]:
+        """All vertices of the subtree rooted at ``v``, in DFS preorder."""
+        out: List[int] = []
+        stack = [self._check(v)]
+        while stack:
+            u = stack.pop()
+            out.append(u)
+            stack.extend(reversed(self._children[u]))
+        return out
+
+    def subtree_size(self, v: Vertex) -> int:
+        """Number of vertices in the subtree rooted at ``v``."""
+        return len(self.subtree(v))
+
+    def path_to_root(self, v: Vertex) -> List[int]:
+        """Vertices from ``v`` up to (and including) the root."""
+        path = [self._check(v)]
+        while path[-1] != self._root:
+            path.append(self._parent[path[-1]])
+        return path
+
+    def ancestor_at_level(self, v: Vertex, target_level: int) -> int:
+        """The ancestor of ``v`` sitting at ``target_level``.
+
+        ``target_level`` must be between 0 and ``level(v)``.
+        """
+        lv = self.level(v)
+        if not 0 <= target_level <= lv:
+            raise TreeError(
+                f"vertex {v} at level {lv} has no ancestor at level {target_level}"
+            )
+        u = v
+        for _ in range(lv - target_level):
+            u = self._parent[u]
+        return u
+
+    # ------------------------------------------------------------------
+    # Derived trees
+    # ------------------------------------------------------------------
+    def with_child_order(self, child_order: ChildOrder) -> "Tree":
+        """Same tree with a different fixed child order."""
+        return Tree(self._parent, self._root, child_order=child_order, name=self._name)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tree):
+            return NotImplemented
+        return (
+            self._root == other._root
+            and self._parent == other._parent
+            and self._children == other._children
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._root, self._parent, self._children))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        label = f" name={self._name!r}" if self._name else ""
+        return f"Tree(n={self._n}, root={self._root}, height={self._height}{label})"
+
+    def _check(self, v: Vertex) -> int:
+        v = int(v)
+        if not 0 <= v < self._n:
+            raise TreeError(f"vertex {v} out of range for n={self._n}")
+        return v

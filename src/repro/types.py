@@ -1,0 +1,42 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+The library consistently identifies processors (vertices) and messages by
+small non-negative integers.  A *message* is identified by the DFS label of
+the vertex it originates at (see :mod:`repro.tree.labeling`); before
+labelling, message ``m`` simply means "the message originating at vertex
+``m``".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "Vertex",
+    "Message",
+    "Edge",
+    "EdgeList",
+    "Time",
+    "VertexSet",
+]
+
+#: A processor / vertex identifier: an integer in ``range(n)``.
+Vertex = int
+
+#: A message identifier.  After DFS labelling this is the label in
+#: ``range(n)``; the message with label ``m`` originates at the vertex whose
+#: DFS label is ``m``.
+Message = int
+
+#: An undirected edge between two vertices.
+Edge = Tuple[Vertex, Vertex]
+
+#: A sequence of undirected edges.
+EdgeList = Sequence[Edge]
+
+#: A round index (0-based).  The paper's convention: a message *sent* during
+#: round ``t`` is *received* at time ``t + 1``.
+Time = int
+
+#: Any iterable of vertices (multicast destination sets and the like).
+VertexSet = Iterable[Vertex]

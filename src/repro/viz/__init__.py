@@ -1,0 +1,5 @@
+"""Terminal visualisation helpers (no plotting dependencies)."""
+
+from .ascii import render_gantt, render_schedule, render_tree
+
+__all__ = ["render_tree", "render_schedule", "render_gantt"]

@@ -1,0 +1,82 @@
+"""ASCII rendering of trees, schedules and Gantt-style timelines.
+
+Terminal-friendly views used by the CLI and the examples; no plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.schedule import Schedule
+from ..tree.labeling import LabeledTree
+from ..tree.tree import Tree
+
+__all__ = ["render_tree", "render_schedule", "render_gantt"]
+
+
+def render_tree(tree: Tree, labeled: Optional[LabeledTree] = None) -> str:
+    """Indented tree drawing; with a labelling, shows ``(i, j, k)`` blocks.
+
+    Example output::
+
+        0 [i=0 j=15 k=0]
+        ├── 1 [i=1 j=3 k=1]
+        │   ├── 2 [i=2 j=2 k=2]
+        ...
+    """
+    lines: List[str] = []
+
+    def describe(v: int) -> str:
+        if labeled is None:
+            return str(v)
+        b = labeled.block(v)
+        return f"{v} [i={b.i} j={b.j} k={b.k}]"
+
+    def walk(v: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(describe(v))
+            child_prefix = ""
+        else:
+            lines.append(f"{prefix}{'└── ' if is_last else '├── '}{describe(v)}")
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        kids = tree.children(v)
+        for idx, c in enumerate(kids):
+            walk(c, child_prefix, idx == len(kids) - 1, False)
+
+    walk(tree.root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: Schedule, max_rounds: Optional[int] = None) -> str:
+    """One line per round: ``t=..: (m, s -> {d...}) ...``."""
+    lines = [f"{schedule.name or 'schedule'}: {schedule.total_time} rounds"]
+    horizon = schedule.total_time if max_rounds is None else min(
+        max_rounds, schedule.total_time
+    )
+    for t in range(horizon):
+        rnd = schedule.round_at(t)
+        body = "  ".join(repr(tx) for tx in rnd) or "(idle)"
+        lines.append(f"  t={t:>3}: {body}")
+    if horizon < schedule.total_time:
+        lines.append(f"  ... ({schedule.total_time - horizon} more rounds)")
+    return "\n".join(lines)
+
+
+def render_gantt(schedule: Schedule, n: int, width: int = 100) -> str:
+    """Per-processor send activity bars: ``#`` = sending, ``.`` = idle.
+
+    Gives an immediate visual of the pipelining (the dense diagonal of
+    the up-stream, the staggered down-stream).
+    """
+    horizon = min(schedule.total_time, width)
+    rows = []
+    for v in range(n):
+        cells = []
+        for t in range(horizon):
+            tx = schedule.round_at(t).sent_by(v)
+            cells.append("#" if tx is not None else ".")
+        suffix = "…" if schedule.total_time > width else ""
+        rows.append(f"P{v:<4} {''.join(cells)}{suffix}")
+    header = f"time  {''.join(str(t % 10) for t in range(horizon))}"
+    return "\n".join([header, *rows])

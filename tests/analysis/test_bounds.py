@@ -1,0 +1,93 @@
+"""Unit tests for the closed-form bounds."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    approximation_ratio_bound,
+    concurrent_updown_upper_bound,
+    gossip_lower_bound,
+    max_broadcast_time,
+    path_lower_bound,
+    simple_exact_time,
+    trivial_lower_bound,
+    updown_upper_bound,
+)
+from repro.networks import topologies
+from repro.networks.graph import Graph
+
+
+class TestClosedForms:
+    def test_trivial(self):
+        assert trivial_lower_bound(1) == 0
+        assert trivial_lower_bound(10) == 9
+
+    def test_path_lower_bound_odd(self):
+        # P_{2m+1}: n + m - 1
+        assert path_lower_bound(3) == 3
+        assert path_lower_bound(5) == 6
+        assert path_lower_bound(7) == 9
+
+    def test_path_lower_bound_even_falls_back(self):
+        assert path_lower_bound(6) == 5
+
+    def test_path_lower_bound_tiny(self):
+        assert path_lower_bound(2) == 1
+
+    def test_upper_bounds(self):
+        g = topologies.grid_2d(3, 4)  # n=12, r=3
+        assert concurrent_updown_upper_bound(g) == 15
+        assert simple_exact_time(g) == 24
+        assert updown_upper_bound(g) == (11 + 3) + (2 * 2 + 1)
+
+    def test_single_vertex(self):
+        g = Graph(1, [])
+        assert simple_exact_time(g) == 0
+        assert updown_upper_bound(g) == 0
+        assert approximation_ratio_bound(g) == 1.0
+
+
+class TestLowerBoundDispatch:
+    def test_path_detected(self):
+        assert gossip_lower_bound(topologies.path_graph(7)) == 9
+
+    def test_cycle_not_a_path(self):
+        assert gossip_lower_bound(topologies.cycle_graph(7)) == 6
+
+    def test_star_not_a_path(self):
+        assert gossip_lower_bound(topologies.star_graph(5)) == 4
+
+    def test_p2_like_graphs(self):
+        assert gossip_lower_bound(Graph(2, [(0, 1)])) == 1
+
+
+class TestApproximationRatio:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            topologies.path_graph(9),
+            topologies.cycle_graph(10),
+            topologies.star_graph(8),
+            topologies.grid_2d(4, 4),
+            topologies.hypercube(4),
+            topologies.complete_graph(6),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_at_most_1_5_n_over_n_minus_1(self, graph):
+        """Section 4: r <= n/2, so (n + r)/(n - 1) <= 1.5 n/(n - 1)."""
+        n = graph.n
+        assert approximation_ratio_bound(graph) <= 1.5 * n / (n - 1) + 1e-12
+
+    def test_worst_case_is_the_path(self):
+        """The odd path maximises r/n, approaching the 1.5 limit."""
+        ratios = {
+            "path": approximation_ratio_bound(topologies.path_graph(15)),
+            "star": approximation_ratio_bound(topologies.star_graph(15)),
+        }
+        assert ratios["path"] > ratios["star"]
+
+
+class TestBroadcast:
+    def test_max_broadcast_time_is_diameter(self):
+        assert max_broadcast_time(topologies.path_graph(6)) == 5
+        assert max_broadcast_time(topologies.star_graph(6)) == 2

@@ -1,0 +1,76 @@
+"""Unit tests for the comparison harness."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    compare_algorithms,
+    comparison_table,
+    format_comparison,
+)
+from repro.networks import topologies
+
+
+@pytest.fixture(scope="module")
+def grid_row():
+    return compare_algorithms(topologies.grid_2d(3, 3))
+
+
+class TestCompareAlgorithms:
+    def test_row_fields(self, grid_row):
+        assert grid_row.n == 9
+        assert grid_row.radius == 2
+        assert grid_row.lower_bound == 8
+        assert grid_row.concurrent_bound == 11
+        assert set(grid_row.times) == {
+            "concurrent-updown",
+            "updown",
+            "simple",
+            "greedy",
+            "telephone",
+        }
+
+    def test_concurrent_meets_its_bound_exactly(self, grid_row):
+        assert grid_row.times["concurrent-updown"] == grid_row.concurrent_bound
+
+    def test_simple_meets_lemma1_exactly(self, grid_row):
+        assert grid_row.times["simple"] == grid_row.simple_bound
+
+    def test_updown_within_budget(self, grid_row):
+        assert grid_row.times["updown"] <= grid_row.updown_bound
+
+    def test_everything_at_least_trivial_bound(self, grid_row):
+        for t in grid_row.times.values():
+            assert t >= grid_row.lower_bound
+
+    def test_winner(self, grid_row):
+        assert grid_row.winner() in grid_row.times
+        assert grid_row.times[grid_row.winner()] == min(grid_row.times.values())
+
+    def test_ratio(self, grid_row):
+        assert grid_row.ratio("concurrent-updown") == pytest.approx(11 / 8)
+
+    def test_algorithm_subset(self):
+        row = compare_algorithms(
+            topologies.path_graph(5), algorithms=["simple", "concurrent-updown"]
+        )
+        assert set(row.times) == {"simple", "concurrent-updown"}
+
+
+class TestComparisonTable:
+    def test_multiple_graphs(self):
+        rows = comparison_table(
+            [topologies.path_graph(5), topologies.star_graph(5)],
+            algorithms=["concurrent-updown"],
+        )
+        assert [r.name for r in rows] == ["path-5", "star-5"]
+
+    def test_format(self):
+        rows = comparison_table(
+            [topologies.cycle_graph(6)], algorithms=["concurrent-updown", "simple"]
+        )
+        text = format_comparison(rows)
+        assert "cycle-6" in text
+        assert "concurrent-updown" in text
+
+    def test_format_empty(self):
+        assert format_comparison([]) == "(no rows)"

@@ -1,0 +1,47 @@
+"""Unit tests for the sweep families."""
+
+import pytest
+
+from repro.analysis.sweep import FAMILIES, family_instance, small_suite, sweep
+from repro.networks.bfs import is_connected
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_every_family_generates_connected(self, family):
+        g = family_instance(family, 16)
+        assert g.n >= 2
+        assert is_connected(g)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_deterministic(self, family):
+        assert family_instance(family, 12) == family_instance(family, 12)
+
+    def test_exact_size_families(self):
+        for family in ("path", "cycle", "star", "complete", "random-tree", "gnp"):
+            assert family_instance(family, 17).n == 17
+
+
+class TestSweep:
+    def test_yields_all_points(self):
+        points = list(sweep([8, 16], families=["path", "star"]))
+        assert len(points) == 4
+        assert {(p.family, p.requested_n) for p in points} == {
+            ("path", 8),
+            ("path", 16),
+            ("star", 8),
+            ("star", 16),
+        }
+
+    def test_default_families(self):
+        points = list(sweep([10]))
+        assert len(points) == len(FAMILIES)
+
+
+class TestSmallSuite:
+    def test_suite_connected_and_varied(self):
+        suite = small_suite()
+        assert len(suite) >= 12
+        assert all(is_connected(g) for g in suite)
+        names = {g.name for g in suite}
+        assert len(names) == len(suite)  # all distinct topologies

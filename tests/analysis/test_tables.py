@@ -1,0 +1,68 @@
+"""TAB1-TAB4: the paper's tables reproduce exactly from the algorithm."""
+
+import pytest
+
+from repro.analysis.tables import EXPECTED_TABLES, paper_tables, render_timeline
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return paper_tables()
+
+
+class TestPublishedTables:
+    @pytest.mark.parametrize("vertex", [0, 1, 4, 8])
+    @pytest.mark.parametrize(
+        "row",
+        ["receive_from_parent", "receive_from_child", "send_to_parent", "send_to_child"],
+    )
+    def test_row_matches_paper(self, tables, vertex, row):
+        assert tables[vertex].row(row) == EXPECTED_TABLES[vertex][row], (
+            f"Table for vertex {vertex}, row {row!r} deviates from the paper"
+        )
+
+    def test_table1_horizon(self, tables):
+        assert tables[0].horizon == 16  # message 0 leaves the root at time n
+
+    def test_table2_table3_horizon(self, tables):
+        assert tables[1].horizon == 17  # n + k = 16 + 1
+        assert tables[4].horizon == 17
+
+    def test_table4_horizon(self, tables):
+        assert tables[8].horizon == 18  # n + k = 16 + 2
+
+
+class TestDelayedMessages:
+    def test_table3_delays_2_and_3(self, tables):
+        """The paper: 'the vertex with the message labeled 4 ... includes
+        messages 2 and 3 that are delayed'."""
+        sends = tables[4].send_to_child
+        assert sends[10] == 2 and sends[11] == 3
+
+    def test_table4_delays_6_and_7(self, tables):
+        """'the vertex with message 8 ... messages 6 and 7 are the ones
+        delayed at the node'."""
+        sends = tables[8].send_to_child
+        assert sends[9] == 6 and sends[10] == 7
+
+
+class TestCustomVertices:
+    def test_other_vertices_available(self):
+        tables = paper_tables(vertices=[5, 11])
+        assert set(tables) == {5, 11}
+        # vertex 5 is a first child: lip-message 5 at time 0
+        assert tables[5].send_to_parent[0] == 5
+
+
+class TestRendering:
+    def test_render_contains_rows_and_dashes(self, tables):
+        text = render_timeline(tables[1], title="Table 2")
+        assert "Table 2" in text
+        assert "Receive from Parent" in text
+        assert "Send to Child" in text
+        assert " - " in text
+
+    def test_render_fixed_horizon(self, tables):
+        text = render_timeline(tables[0], horizon=5)
+        header = text.splitlines()[0]
+        assert header.rstrip().endswith("5")

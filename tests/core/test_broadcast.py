@@ -1,0 +1,80 @@
+"""Tests for multicast broadcasting (Section 2)."""
+
+import pytest
+
+from repro.core.broadcast import broadcast, broadcast_time
+from repro.exceptions import DisconnectedGraphError
+from repro.networks import topologies
+from repro.networks.bfs import bfs_levels
+from repro.networks.graph import Graph
+from repro.networks.random_graphs import random_connected_gnp
+from repro.simulator.engine import execute_schedule
+
+
+class TestBroadcastTime:
+    @pytest.mark.parametrize(
+        "graph,source,expected",
+        [
+            (topologies.path_graph(7), 0, 6),
+            (topologies.path_graph(7), 3, 3),
+            (topologies.star_graph(9), 0, 1),
+            (topologies.star_graph(9), 3, 2),
+            (topologies.hypercube(4), 0, 4),
+        ],
+    )
+    def test_equals_eccentricity(self, graph, source, expected):
+        assert broadcast_time(graph, source) == expected
+        assert broadcast(graph, source).total_time == expected
+
+    def test_disconnected(self):
+        with pytest.raises(DisconnectedGraphError):
+            broadcast_time(Graph(3, [(0, 1)]), 0)
+
+
+class TestBroadcastSchedule:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_everyone_informed_at_shortest_path_distance(self, seed):
+        """Section 2: processor v receives the message exactly at time
+        dist(source, v)."""
+        g = random_connected_gnp(22, 0.12, seed)
+        source = seed % g.n
+        dist = bfs_levels(g, source)
+        result = execute_schedule(
+            g,
+            broadcast(g, source),
+            initial_holds=[1 << source if v == source else 0 for v in range(g.n)],
+            n_messages=g.n,
+            record_arrivals=True,
+        )
+        arrivals = {ev.receiver: ev.time for ev in result.arrivals}
+        for v in range(g.n):
+            if v == source:
+                assert v not in arrivals
+            else:
+                assert arrivals[v] == dist[v]
+
+    def test_every_processor_receives_once(self):
+        g = topologies.grid_2d(4, 4)
+        schedule = broadcast(g, 0)
+        receivers = [v for rnd in schedule for tx in rnd for v in tx.destinations]
+        assert sorted(receivers) == list(range(1, 16))
+
+    def test_custom_message_id(self):
+        g = topologies.path_graph(4)
+        schedule = broadcast(g, 1, message=3)
+        for rnd in schedule:
+            for tx in rnd:
+                assert tx.message == 3
+
+    def test_single_vertex(self):
+        assert broadcast(Graph(1, []), 0).total_time == 0
+
+    def test_star_single_multicast(self):
+        """From the hub, one multicast informs everyone — fan-out n - 1."""
+        schedule = broadcast(topologies.star_graph(8), 0)
+        assert schedule.total_time == 1
+        assert schedule.max_fan_out() == 7
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            broadcast(Graph(4, [(0, 1), (2, 3)]), 0)

@@ -1,0 +1,94 @@
+"""Tests for the end-to-end gossip() pipeline."""
+
+import pytest
+
+from repro.core.gossip import ALGORITHMS, gossip, gossip_on_tree
+from repro.exceptions import DisconnectedGraphError, ReproError
+from repro.networks import topologies
+from repro.networks.builders import graph_to_tree
+from repro.networks.graph import Graph
+from repro.networks.properties import radius
+from repro.networks.random_graphs import random_tree
+from repro.networks.spanning_tree import bfs_spanning_tree
+
+
+class TestPipeline:
+    def test_default_algorithm_is_concurrent(self):
+        plan = gossip(topologies.grid_2d(3, 3))
+        assert plan.algorithm == "concurrent-updown"
+        assert plan.schedule.name == "ConcurrentUpDown"
+
+    def test_total_time_n_plus_radius(self):
+        g = topologies.grid_2d(4, 5)
+        plan = gossip(g)
+        assert plan.total_time == g.n + radius(g)
+        assert plan.total_time == plan.radius_bound
+
+    def test_execute_checks_completeness(self):
+        plan = gossip(topologies.cycle_graph(8))
+        result = plan.execute()
+        assert result.complete
+
+    def test_execute_on_tree_only(self):
+        """The schedule uses only spanning-tree edges (Section 3.1)."""
+        plan = gossip(topologies.complete_graph(7))
+        result = plan.execute(on_tree_only=True)
+        assert result.complete
+
+    def test_vertex_completion_times(self):
+        g = topologies.star_graph(6)
+        times = gossip(g).vertex_completion_times()
+        assert set(times) == set(range(6))
+        assert all(t >= g.n - 1 for t in times.values())
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ReproError, match="unknown algorithm"):
+            gossip(topologies.path_graph(4), algorithm="magic")
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            gossip(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_registry_contains_all_published_algorithms(self):
+        gossip(topologies.path_graph(3))  # force registry population
+        assert {"concurrent-updown", "simple", "updown", "greedy", "telephone"} <= set(
+            ALGORITHMS
+        )
+
+
+class TestTreeOverride:
+    def test_custom_tree_used(self):
+        g = topologies.path_graph(9)
+        bad_tree = bfs_spanning_tree(g, 0)  # height 8, not the radius 4
+        plan = gossip(g, tree=bad_tree)
+        assert plan.tree.root == 0
+        assert plan.total_time == 9 + 8  # n + height of the supplied tree
+        plan.execute()
+
+    def test_gossip_on_tree(self):
+        tree = graph_to_tree(random_tree(12, 3), root=0)
+        plan = gossip_on_tree(tree)
+        assert plan.tree == tree
+        assert plan.total_time == 12 + tree.height
+        plan.execute(on_tree_only=True)
+
+
+class TestAllAlgorithmsComplete:
+    @pytest.mark.parametrize(
+        "algorithm", ["concurrent-updown", "simple", "updown", "greedy", "telephone"]
+    )
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            topologies.path_graph(6),
+            topologies.cycle_graph(7),
+            topologies.star_graph(6),
+            topologies.grid_2d(3, 3),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_complete_gossip(self, algorithm, graph):
+        plan = gossip(graph, algorithm=algorithm)
+        result = plan.execute(on_tree_only=True)
+        assert result.complete
+        assert plan.total_time >= graph.n - 1  # the trivial lower bound

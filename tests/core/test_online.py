@@ -1,0 +1,78 @@
+"""Tests for the online protocol (Section 4): local knowledge suffices."""
+
+import pytest
+
+from repro.core.online import (
+    build_processors,
+    online_matches_offline,
+    run_online_gossip,
+)
+from repro.networks import topologies
+from repro.networks.builders import graph_to_tree
+from repro.networks.paper_networks import fig5_tree
+from repro.networks.random_graphs import random_tree
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.tree.labeling import LabeledTree
+from repro.tree.tree import Tree
+
+
+class TestOnlineEqualsOffline:
+    def test_fig5(self):
+        assert online_matches_offline(LabeledTree(fig5_tree()))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 10, 25])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_trees(self, n, seed):
+        tree = graph_to_tree(random_tree(n, seed), root=0)
+        assert online_matches_offline(LabeledTree(tree))
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            topologies.path_graph(9),
+            topologies.star_graph(8),
+            topologies.grid_2d(3, 4),
+            topologies.hypercube(3),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_structured(self, graph):
+        tree = minimum_depth_spanning_tree(graph)
+        assert online_matches_offline(LabeledTree(tree))
+
+
+class TestOnlineExecution:
+    def test_everyone_completes(self):
+        labeled = LabeledTree(fig5_tree())
+        schedule = run_online_gossip(labeled)
+        assert schedule.total_time == 16 + 3
+
+    def test_schedule_name(self):
+        labeled = LabeledTree(Tree([-1, 0], root=0))
+        assert run_online_gossip(labeled).name == "ConcurrentUpDown-online"
+
+    def test_processors_only_get_local_info(self):
+        """The processor objects carry (i, j, k), parent, first-child flag
+        and children intervals — nothing else about the tree."""
+        labeled = LabeledTree(fig5_tree())
+        procs = build_processors(labeled)
+        p4 = procs[4]
+        assert (p4.i, p4.j, p4.k) == (4, 10, 1)
+        assert p4.parent == 0
+        assert not p4.is_first_child
+        assert sorted(c.vertex for c in p4.children) == [5, 8]
+        assert not hasattr(p4, "tree")
+
+    def test_held_messages_grow_to_full(self):
+        labeled = LabeledTree(Tree([-1, 0, 0], root=0))
+        procs = build_processors(labeled)
+        assert procs[0].held_messages == [0]
+        run_online_gossip(labeled)  # independent run; procs above untouched
+        assert not procs[0].is_complete()
+
+    def test_timeout_guard(self):
+        labeled = LabeledTree(fig5_tree())
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            run_online_gossip(labeled, max_rounds=3)

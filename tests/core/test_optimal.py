@@ -1,0 +1,98 @@
+"""Tests for the exact optimal search (tiny instances).
+
+These certify the paper's lower-bound arguments computationally.  The
+search is exponential, so every instance here has n <= 6.
+"""
+
+import pytest
+
+from repro.core.optimal import is_gossipable_within, minimum_gossip_time, optimal_schedule
+from repro.exceptions import ReproError
+from repro.networks import topologies
+from repro.networks.graph import Graph
+from repro.networks.paper_networks import n3_network
+from repro.simulator.validator import assert_gossip_schedule
+
+
+class TestKnownOptima:
+    def test_path3_needs_n_plus_r_minus_1(self):
+        """Section 1's three-processor line argument: optimum is 3."""
+        assert minimum_gossip_time(topologies.path_graph(3)) == 3
+
+    def test_path5_needs_n_plus_r_minus_1(self):
+        """P_5 (m=2): n + r - 1 = 6, and 6 is achievable."""
+        assert minimum_gossip_time(topologies.path_graph(5)) == 6
+
+    def test_cycle_optimal_n_minus_1(self):
+        assert minimum_gossip_time(topologies.cycle_graph(5)) == 4
+
+    def test_complete_graph_n4(self):
+        assert minimum_gossip_time(topologies.complete_graph(4)) == 3
+
+    def test_n3_multicast_optimum_is_n_minus_1(self):
+        assert minimum_gossip_time(n3_network()) == 4
+
+    def test_single_vertex(self):
+        assert minimum_gossip_time(Graph(1, [])) == 0
+
+    def test_two_vertices(self):
+        assert minimum_gossip_time(Graph(2, [(0, 1)])) == 1
+
+
+class TestTelephoneModel:
+    def test_n3_not_gossipable_in_4_under_telephone(self):
+        """The Fig. 3 separation, certified by exhaustive search."""
+        assert not is_gossipable_within(n3_network(), 4, telephone=True)
+
+    def test_n3_gossipable_in_4_under_multicast(self):
+        assert is_gossipable_within(n3_network(), 4, telephone=False)
+
+    def test_cycle_telephone_still_n_minus_1(self):
+        """The ring schedule is all-unicast, so telephone achieves 4 too."""
+        assert is_gossipable_within(topologies.cycle_graph(5), 4, telephone=True)
+
+    def test_telephone_never_beats_multicast(self):
+        g = topologies.star_graph(4)
+        assert minimum_gossip_time(g, telephone=True) >= minimum_gossip_time(g)
+
+
+class TestDecisionSearch:
+    def test_below_trivial_bound_infeasible(self):
+        g = topologies.cycle_graph(5)
+        assert not is_gossipable_within(g, 3)  # < n - 1
+
+    def test_budget_zero(self):
+        assert not is_gossipable_within(Graph(2, [(0, 1)]), 0)
+        assert is_gossipable_within(Graph(1, []), 0)
+
+
+class TestOptimalSchedule:
+    def test_reconstruction_valid_and_optimal(self):
+        g = topologies.path_graph(4)
+        schedule = optimal_schedule(g)
+        assert schedule.total_time == minimum_gossip_time(g)
+        assert_gossip_schedule(g, schedule)
+
+    def test_reconstruction_star(self):
+        g = topologies.star_graph(4)
+        schedule = optimal_schedule(g)
+        assert_gossip_schedule(g, schedule)
+        assert schedule.total_time == minimum_gossip_time(g)
+
+
+class TestGuards:
+    def test_large_instance_rejected(self):
+        with pytest.raises(ReproError, match="n <= 7"):
+            minimum_gossip_time(topologies.cycle_graph(12))
+
+    def test_upper_limit_exceeded(self):
+        with pytest.raises(ReproError, match="no gossip schedule"):
+            minimum_gossip_time(topologies.path_graph(5), upper_limit=3)
+
+    def test_concurrent_updown_within_one_of_optimal_on_paths(self):
+        """The Discussion: our n + r is one above the path optimum."""
+        from repro.core.gossip import gossip
+
+        g = topologies.path_graph(5)
+        plan = gossip(g)
+        assert plan.total_time == minimum_gossip_time(g) + 1

@@ -1,0 +1,99 @@
+"""Tests for the non-uniform optimal odd-path schedule (Discussion)."""
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.core.optimal import minimum_gossip_time
+from repro.core.optimal_path import optimal_path_gossip, optimal_path_time
+from repro.exceptions import ReproError
+from repro.networks.topologies import path_graph
+from repro.simulator.validator import assert_gossip_schedule
+
+
+class TestOptimalPathTime:
+    def test_formula(self):
+        assert optimal_path_time(3) == 3
+        assert optimal_path_time(5) == 6
+        assert optimal_path_time(9) == 12
+
+    def test_rejects_even_and_tiny(self):
+        with pytest.raises(ReproError):
+            optimal_path_time(4)
+        with pytest.raises(ReproError):
+            optimal_path_time(1)
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 13, 21])
+    def test_exactly_n_plus_r_minus_1(self, m):
+        n = 2 * m + 1
+        graph, schedule = optimal_path_gossip(n)
+        assert schedule.total_time == n + m - 1
+        assert_gossip_schedule(graph, schedule, max_total_time=n + m - 1)
+
+    @pytest.mark.parametrize("m", [1, 2])
+    def test_matches_exact_optimum(self, m):
+        """The schedule meets the exhaustively-certified optimum."""
+        n = 2 * m + 1
+        _, schedule = optimal_path_gossip(n)
+        assert schedule.total_time == minimum_gossip_time(path_graph(n))
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_one_round_below_concurrent_updown(self, m):
+        """The Discussion's 'improve by one unit', head to head."""
+        n = 2 * m + 1
+        _, schedule = optimal_path_gossip(n)
+        uniform = gossip(path_graph(n))
+        assert uniform.total_time - schedule.total_time == 1
+
+    def test_rejects_even(self):
+        with pytest.raises(ReproError):
+            optimal_path_gossip(6)
+
+
+class TestAlternation:
+    """The structural signature the paper describes: the center receives
+    from the two subtrees on alternating rounds."""
+
+    @pytest.mark.parametrize("m", [3, 6])
+    def test_center_receives_alternate_arms(self, m):
+        n = 2 * m + 1
+        center = m
+        graph, schedule = optimal_path_gossip(n)
+        side_by_time = {}
+        for t, rnd in enumerate(schedule):
+            for tx in rnd:
+                if center in tx.destinations:
+                    side_by_time[t + 1] = -1 if tx.sender < center else +1
+        times = sorted(side_by_time)
+        assert times == list(range(1, 2 * m + 1))  # one arrival every round
+        assert all(
+            side_by_time[t] != side_by_time[t + 1] for t in times[:-1]
+        ), "arrivals must alternate between the two subtrees"
+
+    @pytest.mark.parametrize("m", [3, 6])
+    def test_non_uniform(self, m):
+        """Mirror-symmetric vertices behave differently — the protocol is
+        genuinely non-uniform (left arms deliver on odd rounds, right on
+        even), unlike ConcurrentUpDown's per-vertex uniform rules."""
+        n = 2 * m + 1
+        _, schedule = optimal_path_gossip(n)
+        left, right = m - 1, m + 1  # the two center neighbours
+        left_sends = {t for t in range(schedule.total_time)
+                      if schedule.round_at(t).sent_by(left)}
+        right_sends = {t for t in range(schedule.total_time)
+                       if schedule.round_at(t).sent_by(right)}
+        assert left_sends != right_sends
+
+    def test_origin_first_hop_is_a_multicast(self):
+        """Interior origins send their first transmission both ways."""
+        n = 9
+        _, schedule = optimal_path_gossip(n)
+        # vertex 2 (position -2): first send of message 2 goes to 1 and 3
+        first = next(
+            tx
+            for t in range(schedule.total_time)
+            for tx in schedule.round_at(t)
+            if tx.sender == 2 and tx.message == 2
+        )
+        assert first.destinations == frozenset({1, 3})

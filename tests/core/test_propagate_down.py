@@ -1,0 +1,123 @@
+"""Unit tests for algorithm Propagate-Down (steps D1-D3, Lemma 3)."""
+
+import pytest
+
+from repro.core.propagate_down import propagate_down
+from repro.networks.builders import graph_to_tree
+from repro.networks.paper_networks import fig5_tree
+from repro.networks.random_graphs import random_tree
+from repro.tree.labeling import LabeledTree
+from repro.tree.tree import Tree
+
+
+@pytest.fixture
+def fig5_labeled():
+    return LabeledTree(fig5_tree())
+
+
+class TestRootD3:
+    def test_root_sends_m_at_time_m(self, fig5_labeled):
+        schedule = propagate_down(fig5_labeled)
+        for m in range(1, 16):
+            tx = schedule.round_at(m).sent_by(0)
+            assert tx is not None and tx.message == m
+
+    def test_root_s_message_at_time_n(self, fig5_labeled):
+        """i == k at the root: message 0 postponed to j - k + 1 = n."""
+        tx = propagate_down(fig5_labeled).round_at(16).sent_by(0)
+        assert tx is not None
+        assert tx.message == 0
+        assert tx.destinations == frozenset({1, 4, 11})
+
+    def test_owner_child_excluded(self, fig5_labeled):
+        schedule = propagate_down(fig5_labeled)
+        # message 5 originates below child 4: sent to {1, 11} only
+        tx = schedule.round_at(5).sent_by(0)
+        assert tx.destinations == frozenset({1, 11})
+
+    def test_s_message_goes_to_all_children(self, fig5_labeled):
+        # vertex 4 (i=4 > k=1): s-message 4 at time i - k = 3 to both kids
+        tx = propagate_down(fig5_labeled).round_at(3).sent_by(4)
+        assert tx.message == 4
+        assert tx.destinations == frozenset({5, 8})
+
+
+class TestD2Forwarding:
+    def test_immediate_cut_through(self, fig5_labeled):
+        """Vertex 4 receives message 1 at time 2 and relays it at time 2."""
+        tx = propagate_down(fig5_labeled).round_at(2).sent_by(4)
+        assert tx.message == 1
+        assert tx.destinations == frozenset({5, 8})
+
+    def test_delayed_slots(self, fig5_labeled):
+        """Messages arriving at i-k and i-k+1 flush at j-k+1 and j-k+2."""
+        schedule = propagate_down(fig5_labeled)
+        # vertex 4: arrivals 2@3 and 3@4 delayed to times 10 and 11
+        assert schedule.round_at(10).sent_by(4).message == 2
+        assert schedule.round_at(11).sent_by(4).message == 3
+        # vertex 8: arrivals 6@6 and 7@7 delayed to times 9 and 10
+        assert schedule.round_at(9).sent_by(8).message == 6
+        assert schedule.round_at(10).sent_by(8).message == 7
+
+    def test_leaves_never_send(self, fig5_labeled):
+        schedule = propagate_down(fig5_labeled)
+        for leaf in fig5_labeled.tree.leaves():
+            for rnd in schedule:
+                assert rnd.sent_by(leaf) is None
+
+
+class TestD1Windows:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_arrivals_inside_lemma3_windows(self, seed):
+        """Every o-message reaches a level-k vertex within
+        [2, i-k+1] or [j-k+3, n+k] — the (D1) receive windows."""
+        tree = graph_to_tree(random_tree(16, seed), root=0)
+        labeled = LabeledTree(tree)
+        n = tree.n
+        schedule = propagate_down(labeled)
+        for t, rnd in enumerate(schedule):
+            for tx in rnd:
+                for v in tx.destinations:
+                    b = labeled.block(v)
+                    arrival = t + 1
+                    low_ok = 2 <= arrival <= b.i - b.k + 1
+                    high_ok = b.j - b.k + 3 <= arrival <= n + b.k
+                    assert low_ok or high_ok, (
+                        f"vertex {v} (i={b.i}, j={b.j}, k={b.k}) receives "
+                        f"message {tx.message} at time {arrival}"
+                    )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_vertex_gets_every_o_message(self, seed):
+        tree = graph_to_tree(random_tree(16, seed), root=0)
+        labeled = LabeledTree(tree)
+        received = {v: set() for v in range(tree.n)}
+        for rnd in propagate_down(labeled):
+            for tx in rnd:
+                for v in tx.destinations:
+                    received[v].add(tx.message)
+        for v in range(tree.n):
+            b = labeled.block(v)
+            expected_o = set(range(0, b.i)) | set(range(b.j + 1, tree.n))
+            assert expected_o <= received[v]
+
+
+class TestEdgeCases:
+    def test_single_vertex(self):
+        assert propagate_down(LabeledTree(Tree([-1], root=0))).total_time == 0
+
+    def test_star_tree(self):
+        # Root 0 with 4 leaves: labels are identity.
+        labeled = LabeledTree(Tree([-1, 0, 0, 0, 0], root=0))
+        schedule = propagate_down(labeled)
+        # message m>=1 at time m, to all children except its owner
+        tx = schedule.round_at(2).sent_by(0)
+        assert tx.message == 2
+        assert tx.destinations == frozenset({1, 3, 4})
+
+    def test_only_root_and_internal_vertices_send(self, fig5_labeled):
+        schedule = propagate_down(fig5_labeled)
+        internal = {v for v in range(16) if fig5_labeled.tree.children(v)}
+        for rnd in schedule:
+            for tx in rnd:
+                assert tx.sender in internal

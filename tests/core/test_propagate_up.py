@@ -1,0 +1,136 @@
+"""Unit tests for algorithm Propagate-Up (steps U1-U4, Lemma 2)."""
+
+import pytest
+
+from repro.core.propagate_up import propagate_up
+from repro.networks.builders import graph_to_tree, tree_to_graph
+from repro.networks.paper_networks import fig5_tree
+from repro.networks.random_graphs import random_tree
+from repro.simulator.engine import execute_schedule
+from repro.simulator.state import labeled_holdings
+from repro.tree.labeling import LabeledTree
+from repro.tree.tree import Tree
+
+
+@pytest.fixture
+def fig5_labeled():
+    return LabeledTree(fig5_tree())
+
+
+class TestEventStructure:
+    def test_all_sends_are_to_parent(self, fig5_labeled):
+        tree = fig5_labeled.tree
+        for t, rnd in enumerate(propagate_up(fig5_labeled)):
+            for tx in rnd:
+                assert tx.destinations == frozenset({tree.parent(tx.sender)})
+
+    def test_u3_lip_messages_at_time_zero(self, fig5_labeled):
+        """Every first child sends its s-message at time 0."""
+        schedule = propagate_up(fig5_labeled)
+        round0 = schedule.round_at(0)
+        senders = {tx.sender: tx.message for tx in round0}
+        # first children of fig5: 1 (of 0), 2 (of 1), 5 (of 4), 6 (of 5),
+        # 9 (of 8), 12 (of 11), 14 (of 13)
+        assert senders == {1: 1, 2: 2, 5: 5, 6: 6, 9: 9, 12: 12, 14: 14}
+
+    def test_u4_rip_message_times(self, fig5_labeled):
+        """Message m leaves a level-k vertex at time m - k."""
+        schedule = propagate_up(fig5_labeled)
+        tree = fig5_labeled.tree
+        for t, rnd in enumerate(schedule):
+            for tx in rnd:
+                if t == 0 and fig5_labeled.block(tx.sender).is_first_child \
+                        and tx.message == fig5_labeled.block(tx.sender).i:
+                    continue  # the (U3) lip send
+                assert t == tx.message - tree.level(tx.sender)
+
+    def test_root_never_sends(self, fig5_labeled):
+        for rnd in propagate_up(fig5_labeled):
+            assert rnd.sent_by(0) is None
+
+
+class TestLemma2:
+    """Lemma 2: the root receives message m exactly at time m."""
+
+    def test_root_arrival_times_fig5(self, fig5_labeled):
+        result = execute_schedule(
+            tree_to_graph(fig5_labeled.tree),
+            propagate_up(fig5_labeled),
+            initial_holds=labeled_holdings(fig5_labeled.labels()),
+            record_arrivals=True,
+        )
+        root_arrivals = {
+            ev.message: ev.time for ev in result.arrivals if ev.receiver == 0
+        }
+        assert root_arrivals == {m: m for m in range(1, 16)}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_root_collects_everything_by_n_minus_1(self, seed):
+        tree = graph_to_tree(random_tree(18, seed), root=0)
+        labeled = LabeledTree(tree)
+        schedule = propagate_up(labeled)
+        result = execute_schedule(
+            tree_to_graph(tree),
+            schedule,
+            initial_holds=labeled_holdings(labeled.labels()),
+        )
+        assert result.final_holds[tree.root] == (1 << 18) - 1
+        assert schedule.total_time <= 18 - 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_vertex_receives_lookahead_at_time_1(self, seed):
+        """(U1): every nonleaf vertex receives message i+1 at time 1."""
+        tree = graph_to_tree(random_tree(15, seed), root=0)
+        labeled = LabeledTree(tree)
+        result = execute_schedule(
+            tree_to_graph(tree),
+            propagate_up(labeled),
+            initial_holds=labeled_holdings(labeled.labels()),
+            record_arrivals=True,
+        )
+        got = {(ev.receiver, ev.time): ev.message for ev in result.arrivals}
+        for v in range(tree.n):
+            b = labeled.block(v)
+            if b.i + 1 <= b.j:  # nonleaf
+                assert got[(v, 1)] == b.i + 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_u2_r_message_arrival_times(self, seed):
+        """(U2): r-message m arrives at a level-k vertex at time m - k."""
+        tree = graph_to_tree(random_tree(15, seed), root=0)
+        labeled = LabeledTree(tree)
+        result = execute_schedule(
+            tree_to_graph(tree),
+            propagate_up(labeled),
+            initial_holds=labeled_holdings(labeled.labels()),
+            record_arrivals=True,
+        )
+        arrival = {(ev.receiver, ev.message): ev.time for ev in result.arrivals}
+        for v in range(tree.n):
+            b = labeled.block(v)
+            for m in range(b.i + 2, b.j + 1):
+                assert arrival[(v, m)] == m - b.k
+
+
+class TestEdgeCases:
+    def test_single_vertex(self):
+        labeled = LabeledTree(Tree([-1], root=0))
+        assert propagate_up(labeled).total_time == 0
+
+    def test_two_vertices(self):
+        labeled = LabeledTree(Tree([-1, 0], root=0))
+        schedule = propagate_up(labeled)
+        # lone child is a first child: lip at time 0, no rip
+        assert schedule.total_time == 1
+        assert schedule.round_at(0).sent_by(1).message == 1
+
+    def test_path_tree(self):
+        # Chain 0 - 1 - 2 - 3 rooted at 0: every vertex is a first child.
+        labeled = LabeledTree(Tree([-1, 0, 1, 2], root=0))
+        schedule = propagate_up(labeled)
+        result = execute_schedule(
+            tree_to_graph(labeled.tree),
+            schedule,
+            initial_holds=labeled_holdings(labeled.labels()),
+        )
+        assert result.final_holds[0] == 0b1111

@@ -1,0 +1,84 @@
+"""Tests for Hamiltonian-circuit gossiping (Fig. 1)."""
+
+import pytest
+
+from repro.core.ring import hamiltonian_circuit, ring_gossip, ring_gossip_on_graph
+from repro.exceptions import GraphError
+from repro.networks import topologies
+from repro.networks.graph import Graph
+from repro.networks.paper_networks import petersen
+from repro.simulator.validator import assert_gossip_schedule
+
+
+class TestRingGossip:
+    @pytest.mark.parametrize("n", [3, 4, 7, 16])
+    def test_optimal_n_minus_1(self, n):
+        schedule = ring_gossip(list(range(n)))
+        assert schedule.total_time == n - 1
+        assert_gossip_schedule(topologies.cycle_graph(n), schedule)
+
+    def test_all_unicasts(self):
+        assert ring_gossip(list(range(6))).max_fan_out() == 1
+
+    def test_every_processor_busy_every_round(self):
+        schedule = ring_gossip(list(range(5)))
+        for rnd in schedule:
+            assert len(rnd) == 5
+
+    def test_arbitrary_circuit_order(self):
+        # Gossip along the circuit 0-2-4-1-3 of K5.
+        circuit = [0, 2, 4, 1, 3]
+        schedule = ring_gossip(circuit)
+        assert_gossip_schedule(topologies.complete_graph(5), schedule)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            ring_gossip([0, 1])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(GraphError):
+            ring_gossip([0, 1, 1, 2])
+
+
+class TestHamiltonianSearch:
+    def test_cycle_has_circuit(self):
+        circuit = hamiltonian_circuit(topologies.cycle_graph(7))
+        assert circuit is not None
+        assert sorted(circuit) == list(range(7))
+
+    def test_complete_graph(self):
+        assert hamiltonian_circuit(topologies.complete_graph(6)) is not None
+
+    def test_hypercube(self):
+        assert hamiltonian_circuit(topologies.hypercube(3)) is not None
+
+    def test_circuit_uses_edges(self):
+        g = topologies.grid_2d(2, 4)
+        circuit = hamiltonian_circuit(g)
+        assert circuit is not None
+        for u, v in zip(circuit, circuit[1:] + circuit[:1]):
+            assert g.has_edge(u, v)
+
+    def test_petersen_has_none(self):
+        assert hamiltonian_circuit(petersen()) is None
+
+    def test_tree_has_none(self):
+        assert hamiltonian_circuit(topologies.path_graph(5)) is None
+
+    def test_star_has_none(self):
+        assert hamiltonian_circuit(topologies.star_graph(5)) is None
+
+    def test_tiny_graph(self):
+        assert hamiltonian_circuit(Graph(2, [(0, 1)])) is None
+
+
+class TestRingGossipOnGraph:
+    def test_hamiltonian_graph(self):
+        g = topologies.torus_2d(3, 3)
+        schedule = ring_gossip_on_graph(g)
+        assert schedule.total_time == g.n - 1
+        assert_gossip_schedule(g, schedule)
+
+    def test_non_hamiltonian_raises(self):
+        with pytest.raises(GraphError, match="Hamiltonian"):
+            ring_gossip_on_graph(topologies.star_graph(5))

@@ -1,0 +1,196 @@
+"""Unit tests for the schedule data model (Transmission/Round/Schedule)."""
+
+import pytest
+
+from repro.core.schedule import (
+    Round,
+    Schedule,
+    ScheduleBuilder,
+    Transmission,
+    merge_schedules,
+)
+from repro.exceptions import ScheduleConflictError, ScheduleError
+
+
+def tx(sender, message, dests):
+    return Transmission(sender=sender, message=message, destinations=frozenset(dests))
+
+
+class TestTransmission:
+    def test_basic(self):
+        t = tx(0, 3, {1, 2})
+        assert t.fan_out() == 2
+        assert t.destinations == frozenset({1, 2})
+
+    def test_normalises_iterables(self):
+        t = Transmission(sender=0, message=1, destinations=[2, 3])  # type: ignore[arg-type]
+        assert isinstance(t.destinations, frozenset)
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(ScheduleError, match="empty"):
+            tx(0, 1, set())
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ScheduleError, match="itself"):
+            tx(0, 1, {0, 1})
+
+    def test_ordering_stable(self):
+        a, b = tx(0, 1, {2}), tx(1, 0, {3})
+        assert sorted([b, a]) == [a, b]
+
+    def test_repr(self):
+        assert repr(tx(0, 5, {2, 1})) == "(5, 0 -> {1,2})"
+
+
+class TestRound:
+    def test_lookups(self):
+        r = Round([tx(0, 0, {1, 2}), tx(3, 3, {4})])
+        assert r.sent_by(0).message == 0
+        assert r.sent_by(5) is None
+        assert r.received_by(2).sender == 0
+        assert r.received_by(0) is None
+        assert r.senders() == {0, 3}
+        assert r.receivers() == {1, 2, 4}
+
+    def test_counts(self):
+        r = Round([tx(0, 0, {1, 2}), tx(3, 3, {4})])
+        assert r.message_count() == 2
+        assert r.delivery_count() == 3
+        assert len(r) == 2
+
+    def test_rule_two_duplicate_sender_rejected(self):
+        with pytest.raises(ScheduleConflictError, match="sends two"):
+            Round([tx(0, 0, {1}), tx(0, 2, {3})])
+
+    def test_rule_one_duplicate_receiver_rejected(self):
+        with pytest.raises(ScheduleConflictError, match="receives two"):
+            Round([tx(0, 0, {2}), tx(1, 1, {2})])
+
+    def test_sender_may_also_receive(self):
+        # Full-duplex is allowed: sending and receiving are independent.
+        r = Round([tx(0, 0, {1}), tx(1, 1, {0})])
+        assert r.message_count() == 2
+
+    def test_empty_round(self):
+        r = Round()
+        assert r.is_empty()
+        assert r.delivery_count() == 0
+
+    def test_equality_hash(self):
+        a = Round([tx(0, 0, {1})])
+        b = Round([tx(0, 0, {1})])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSchedule:
+    def test_total_time(self):
+        s = Schedule([Round([tx(0, 0, {1})]), Round([tx(1, 0, {2})])])
+        assert s.total_time == 2
+        assert len(s) == 2
+
+    def test_trailing_empty_rounds_trimmed(self):
+        s = Schedule([Round([tx(0, 0, {1})]), Round(), Round()])
+        assert s.total_time == 1
+
+    def test_interior_empty_round_kept(self):
+        s = Schedule([Round(), Round([tx(0, 0, {1})])])
+        assert s.total_time == 2
+        assert s.round_at(0).is_empty()
+
+    def test_round_at_past_end_is_empty(self):
+        s = Schedule([Round([tx(0, 0, {1})])])
+        assert s.round_at(99).is_empty()
+        assert s.transmissions_at(99) == ()
+
+    def test_counters(self):
+        s = Schedule([Round([tx(0, 0, {1, 2})]), Round([tx(1, 0, {3})])])
+        assert s.total_messages() == 2
+        assert s.total_deliveries() == 3
+        assert s.max_fan_out() == 2
+
+    def test_empty_schedule(self):
+        s = Schedule([])
+        assert s.total_time == 0
+        assert s.max_fan_out() == 0
+
+    def test_with_name(self):
+        s = Schedule([], name="a").with_name("b")
+        assert s.name == "b"
+
+    def test_equality(self):
+        mk = lambda: Schedule([Round([tx(0, 0, {1})])])
+        assert mk() == mk()
+        assert hash(mk()) == hash(mk())
+
+
+class TestScheduleBuilder:
+    def test_build_orders_rounds(self):
+        b = ScheduleBuilder()
+        b.send(2, 0, 0, {1})
+        b.send(0, 1, 1, {0})
+        s = b.build()
+        assert s.total_time == 3
+        assert s.round_at(0).sent_by(1).message == 1
+        assert s.round_at(1).is_empty()
+
+    def test_merges_same_message_same_sender(self):
+        b = ScheduleBuilder()
+        b.send(0, 0, 7, {1})
+        b.send(0, 0, 7, {2, 3})
+        s = b.build()
+        assert s.round_at(0).sent_by(0).destinations == frozenset({1, 2, 3})
+        assert s.total_messages() == 1
+
+    def test_rejects_different_message_same_sender(self):
+        b = ScheduleBuilder()
+        b.send(0, 0, 7, {1})
+        with pytest.raises(ScheduleConflictError):
+            b.send(0, 0, 8, {2})
+
+    def test_receiver_conflict_caught_at_build(self):
+        b = ScheduleBuilder()
+        b.send(0, 0, 0, {2})
+        b.send(0, 1, 1, {2})
+        with pytest.raises(ScheduleConflictError):
+            b.build()
+
+    def test_empty_destination_ignored(self):
+        b = ScheduleBuilder()
+        b.send(0, 0, 0, [])
+        assert b.build().total_time == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ScheduleError):
+            ScheduleBuilder().send(-1, 0, 0, {1})
+
+    def test_from_schedule_roundtrip(self):
+        s = Schedule([Round([tx(0, 0, {1, 2})]), Round([tx(2, 0, {3})])], name="x")
+        assert ScheduleBuilder.from_schedule(s).build(name="x") == s
+
+
+class TestMergeSchedules:
+    def test_disjoint_merge(self):
+        a = Schedule([Round([tx(0, 0, {1})])])
+        b = Schedule([Round(), Round([tx(1, 0, {2})])])
+        merged = merge_schedules(a, b)
+        assert merged.total_time == 2
+        assert merged.total_messages() == 2
+
+    def test_same_send_fuses(self):
+        a = Schedule([Round([tx(0, 5, {1})])])
+        b = Schedule([Round([tx(0, 5, {2})])])
+        merged = merge_schedules(a, b)
+        assert merged.round_at(0).sent_by(0).destinations == frozenset({1, 2})
+
+    def test_conflicting_merge_raises(self):
+        a = Schedule([Round([tx(0, 5, {1})])])
+        b = Schedule([Round([tx(0, 6, {2})])])
+        with pytest.raises(ScheduleConflictError):
+            merge_schedules(a, b)
+
+    def test_receiver_conflict_merge_raises(self):
+        a = Schedule([Round([tx(0, 5, {2})])])
+        b = Schedule([Round([tx(1, 6, {2})])])
+        with pytest.raises(ScheduleConflictError):
+            merge_schedules(a, b)

@@ -1,0 +1,111 @@
+"""Tests for procedure Simple — Lemma 1's exact 2n + r - 3 time."""
+
+import pytest
+
+from repro.core.simple import simple_gossip, simple_gossip_on_tree, simple_total_time
+from repro.networks.builders import graph_to_tree, tree_to_graph
+from repro.networks.paper_networks import fig5_tree
+from repro.networks.random_graphs import random_tree
+from repro.simulator.engine import execute_schedule
+from repro.simulator.state import labeled_holdings
+from repro.tree.labeling import LabeledTree
+from repro.tree.tree import Tree
+
+
+def run(labeled, schedule):
+    return execute_schedule(
+        tree_to_graph(labeled.tree),
+        schedule,
+        initial_holds=labeled_holdings(labeled.labels()),
+        require_complete=True,
+    )
+
+
+class TestLemma1:
+    """Simple takes exactly 2n + r - 3, independent of tree shape."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 17, 30])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_exact_time_random_trees(self, n, seed):
+        tree = graph_to_tree(random_tree(n, seed), root=0)
+        labeled = LabeledTree(tree)
+        schedule = simple_gossip(labeled)
+        assert schedule.total_time == simple_total_time(n, tree.height)
+        assert schedule.total_time == 2 * n + tree.height - 3
+        run(labeled, schedule)
+
+    def test_fig5(self):
+        labeled = LabeledTree(fig5_tree())
+        schedule = simple_gossip(labeled)
+        assert schedule.total_time == 2 * 16 + 3 - 3
+        run(labeled, schedule)
+
+    def test_star(self):
+        labeled = LabeledTree(Tree([-1, 0, 0, 0], root=0))
+        schedule = simple_gossip(labeled)
+        assert schedule.total_time == 2 * 4 + 1 - 3
+        run(labeled, schedule)
+
+    def test_chain(self):
+        labeled = LabeledTree(Tree([-1, 0, 1, 2, 3], root=0))
+        schedule = simple_gossip(labeled)
+        assert schedule.total_time == 2 * 5 + 4 - 3
+        run(labeled, schedule)
+
+
+class TestPhaseStructure:
+    def test_root_receives_message_m_at_time_m(self):
+        labeled = LabeledTree(fig5_tree())
+        result = execute_schedule(
+            tree_to_graph(labeled.tree),
+            simple_gossip(labeled),
+            initial_holds=labeled_holdings(labeled.labels()),
+            record_arrivals=True,
+        )
+        arrivals = {ev.message: ev.time for ev in result.arrivals if ev.receiver == 0}
+        assert arrivals == {m: m for m in range(1, 16)}
+
+    def test_down_phase_starts_at_n_minus_2(self):
+        labeled = LabeledTree(fig5_tree())
+        schedule = simple_gossip(labeled)
+        tx = schedule.round_at(16 - 2).sent_by(0)
+        assert tx is not None
+        assert tx.message == 0
+        assert tx.destinations == frozenset({1, 4, 11})
+
+    def test_down_phase_wasteful_duplicates(self):
+        """Simple multicasts to ALL children, so duplicates abound —
+        quantifying its inefficiency against ConcurrentUpDown."""
+        labeled = LabeledTree(fig5_tree())
+        result = run(labeled, simple_gossip(labeled))
+        assert result.duplicate_deliveries > 0
+
+
+class TestEdgeCases:
+    def test_single_vertex(self):
+        assert simple_gossip(LabeledTree(Tree([-1], root=0))).total_time == 0
+        assert simple_total_time(1, 0) == 0
+
+    def test_two_vertices(self):
+        labeled = LabeledTree(Tree([-1, 0], root=0))
+        schedule = simple_gossip(labeled)
+        assert schedule.total_time == 2  # 2n + r - 3 = 4 + 1 - 3
+        run(labeled, schedule)
+
+    def test_on_tree_wrapper(self):
+        tree = fig5_tree()
+        assert simple_gossip_on_tree(tree) == simple_gossip(LabeledTree(tree))
+
+
+class TestComparisonWithConcurrent:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_simple_never_beats_concurrent(self, seed):
+        """2n + r - 3 >= n + r for n >= 3."""
+        from repro.core.concurrent_updown import concurrent_updown
+
+        tree = graph_to_tree(random_tree(12, seed), root=0)
+        labeled = LabeledTree(tree)
+        assert (
+            simple_gossip(labeled).total_time
+            >= concurrent_updown(labeled).total_time
+        )

@@ -1,0 +1,90 @@
+"""Tests for telephone-model broadcasting (the Section 2 model contrast)."""
+
+import math
+
+import pytest
+
+from repro.core.broadcast import broadcast, broadcast_time, telephone_broadcast
+from repro.exceptions import DisconnectedGraphError
+from repro.networks import topologies
+from repro.networks.graph import Graph
+from repro.networks.random_graphs import random_connected_gnp
+from repro.simulator.engine import execute_schedule
+
+
+def run(graph, schedule, source):
+    return execute_schedule(
+        graph,
+        schedule,
+        initial_holds=[1 << source if v == source else 0 for v in range(graph.n)],
+        n_messages=graph.n,
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_everyone_informed(self, seed):
+        g = random_connected_gnp(20, 0.15, seed)
+        schedule = telephone_broadcast(g, 3)
+        result = run(g, schedule, 3)
+        assert all(h & (1 << 3) for h in result.final_holds)
+
+    def test_all_unicast(self):
+        assert telephone_broadcast(topologies.grid_2d(3, 4), 0).max_fan_out() == 1
+
+    def test_custom_message(self):
+        g = topologies.path_graph(4)
+        schedule = telephone_broadcast(g, 1, message=9)
+        assert all(tx.message == 9 for rnd in schedule for tx in rnd)
+
+    def test_single_vertex(self):
+        assert telephone_broadcast(Graph(1, []), 0).total_time == 0
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            telephone_broadcast(Graph(3, [(0, 1)]), 0)
+
+
+class TestLowerBounds:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_at_least_log2_and_ecc(self, seed):
+        """Telephone broadcasting needs >= max(ecc, ceil(log2 n))."""
+        g = random_connected_gnp(18, 0.2, seed)
+        schedule = telephone_broadcast(g, 0)
+        floor = max(broadcast_time(g, 0), math.ceil(math.log2(g.n)))
+        assert schedule.total_time >= floor
+
+    def test_complete_graph_achieves_log2(self):
+        """On K_n greedy doubling is optimal: ceil(log2 n) rounds."""
+        for n in (4, 8, 16, 15):
+            schedule = telephone_broadcast(topologies.complete_graph(n), 0)
+            assert schedule.total_time == math.ceil(math.log2(n))
+
+    def test_hypercube_achieves_dimension(self):
+        schedule = telephone_broadcast(topologies.hypercube(4), 0)
+        assert schedule.total_time == 4  # matches multicast: degree = dim
+
+
+class TestModelSeparation:
+    def test_star_collapse(self):
+        """The multicast model's headline win: 1 round vs n - 1."""
+        g = topologies.star_graph(16)
+        assert broadcast(g, 0).total_time == 1
+        assert telephone_broadcast(g, 0).total_time == g.n - 1
+
+    def test_telephone_never_beats_multicast(self):
+        for g in (
+            topologies.path_graph(9),
+            topologies.wheel(9),
+            topologies.grid_2d(3, 3),
+            topologies.complete_graph(9),
+        ):
+            assert (
+                telephone_broadcast(g, 0).total_time
+                >= broadcast(g, 0).total_time
+            )
+
+    def test_path_no_separation(self):
+        """On degree-2 topologies the models coincide for broadcast."""
+        g = topologies.path_graph(11)
+        assert telephone_broadcast(g, 0).total_time == broadcast(g, 0).total_time

@@ -1,0 +1,84 @@
+"""Tests for the reconstructed UpDown algorithm (two-phase budget)."""
+
+import pytest
+
+from repro.core.concurrent_updown import concurrent_updown
+from repro.core.updown import updown_gossip, updown_gossip_on_tree, updown_total_time_bound
+from repro.networks import topologies
+from repro.networks.builders import graph_to_tree, tree_to_graph
+from repro.networks.random_graphs import random_tree
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.simulator.engine import execute_schedule
+from repro.simulator.state import labeled_holdings
+from repro.tree.labeling import LabeledTree
+from repro.tree.tree import Tree
+
+
+def run(labeled, schedule):
+    return execute_schedule(
+        tree_to_graph(labeled.tree),
+        schedule,
+        initial_holds=labeled_holdings(labeled.labels()),
+        require_complete=True,
+    )
+
+
+class TestBudgetFormula:
+    def test_formula(self):
+        assert updown_total_time_bound(10, 3) == (9 + 3) + (2 * 2 + 1)
+        assert updown_total_time_bound(1, 0) == 0
+
+
+class TestWithinBudget:
+    @pytest.mark.parametrize("n", [2, 5, 10, 20, 40])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_trees(self, n, seed):
+        tree = graph_to_tree(random_tree(n, seed), root=0)
+        labeled = LabeledTree(tree)
+        schedule = updown_gossip(labeled)
+        assert schedule.total_time <= updown_total_time_bound(n, tree.height)
+        run(labeled, schedule)
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            topologies.path_graph(13),
+            topologies.star_graph(10),
+            topologies.grid_2d(4, 4),
+            topologies.hypercube(4),
+            topologies.kary_tree(3, 3),
+            topologies.caterpillar(8, 2),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_structured_topologies(self, graph):
+        tree = minimum_depth_spanning_tree(graph)
+        labeled = LabeledTree(tree)
+        schedule = updown_gossip(labeled)
+        assert schedule.total_time <= updown_total_time_bound(graph.n, tree.height)
+        run(labeled, schedule)
+
+
+class TestRelativePerformance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_faster_than_trivial_bound(self, seed):
+        tree = graph_to_tree(random_tree(15, seed), root=0)
+        labeled = LabeledTree(tree)
+        assert updown_gossip(labeled).total_time >= 15 - 1
+
+    def test_slower_than_concurrent_on_deep_bushy_trees(self):
+        """The lookahead trick matters when messages pile at each level:
+        UpDown must exceed n + r somewhere (else it would be the better
+        algorithm and the paper moot).  The 3-ary tree exhibits it."""
+        tree = minimum_depth_spanning_tree(topologies.kary_tree(3, 3))
+        labeled = LabeledTree(tree)
+        assert updown_gossip(labeled).total_time > concurrent_updown(labeled).total_time
+
+
+class TestEdgeCases:
+    def test_single_vertex(self):
+        assert updown_gossip(LabeledTree(Tree([-1], root=0))).total_time == 0
+
+    def test_on_tree_wrapper(self):
+        tree = graph_to_tree(random_tree(8, 0), root=0)
+        assert updown_gossip_on_tree(tree) == updown_gossip(LabeledTree(tree))

@@ -1,0 +1,93 @@
+"""Tests for weighted gossiping via chain expansion (Section 4)."""
+
+import pytest
+
+from repro.core.weighted import WeightedGossipPlan, expand_weighted_tree, weighted_gossip
+from repro.exceptions import ReproError
+from repro.networks import topologies
+from repro.networks.random_graphs import random_connected_gnp
+from repro.tree.tree import Tree
+
+
+class TestExpansion:
+    def test_unit_weights_identity_shape(self):
+        tree = Tree([-1, 0, 0], root=0)
+        expanded, owner = expand_weighted_tree(tree, [1, 1, 1])
+        assert expanded.n == 3
+        assert owner == [0, 1, 2]
+        assert expanded.height == tree.height
+
+    def test_chain_sizes(self):
+        tree = Tree([-1, 0], root=0)
+        expanded, owner = expand_weighted_tree(tree, [3, 2])
+        assert expanded.n == 5
+        assert owner == [0, 0, 0, 1, 1]
+        # root chain 0-1-2, then child chain 3-4 hangs off chain bottom 2
+        assert expanded.parent(1) == 0
+        assert expanded.parent(2) == 1
+        assert expanded.parent(3) == 2
+        assert expanded.parent(4) == 3
+
+    def test_children_attach_to_chain_bottom(self):
+        tree = Tree([-1, 0, 0], root=0)
+        expanded, owner = expand_weighted_tree(tree, [2, 1, 1])
+        # virtual: 0,1 (root chain), 2 (vertex 1), 3 (vertex 2)
+        assert expanded.parent(2) == 1
+        assert expanded.parent(3) == 1
+
+    def test_height_grows_with_path_weights(self):
+        tree = Tree([-1, 0, 1], root=0)  # chain of 3
+        expanded, _ = expand_weighted_tree(tree, [2, 2, 2])
+        assert expanded.height == 5  # 6 virtual vertices in a chain
+
+    def test_invalid_weights(self):
+        tree = Tree([-1, 0], root=0)
+        with pytest.raises(ReproError):
+            expand_weighted_tree(tree, [1])
+        with pytest.raises(ReproError):
+            expand_weighted_tree(tree, [1, 0])
+
+
+class TestWeightedGossip:
+    def test_unit_weights_match_plain_gossip(self):
+        from repro.core.gossip import gossip
+
+        g = topologies.grid_2d(3, 3)
+        plan = weighted_gossip(g, [1] * 9)
+        assert plan.total_time == gossip(g).total_time
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_bound_and_completeness(self, seed):
+        g = random_connected_gnp(10, 0.15, seed)
+        weights = [(v % 3) + 1 for v in range(10)]
+        plan = weighted_gossip(g, weights)
+        assert plan.total_messages == sum(weights)
+        assert plan.total_time == plan.bound  # N + r'
+        result = plan.execute()
+        assert result.complete
+
+    def test_messages_of_real(self):
+        g = topologies.path_graph(3)
+        plan = weighted_gossip(g, [2, 1, 2])
+        all_messages = sorted(
+            m for v in range(3) for m in plan.messages_of_real(v)
+        )
+        assert all_messages == list(range(5))
+        assert len(plan.messages_of_real(0)) == 2
+
+    def test_real_round_load_at_most_two(self):
+        """A real processor mimics at most its chain-top + chain-bottom."""
+        g = topologies.grid_2d(3, 3)
+        plan = weighted_gossip(g, [2] * 9)
+        assert max(plan.real_round_load().values()) <= 2
+
+    def test_unit_weights_load_one(self):
+        g = topologies.star_graph(5)
+        plan = weighted_gossip(g, [1] * 5)
+        assert max(plan.real_round_load().values()) == 1
+
+    def test_plan_is_dataclass_with_fields(self):
+        plan = weighted_gossip(topologies.path_graph(3), [1, 2, 1])
+        assert isinstance(plan, WeightedGossipPlan)
+        assert plan.weights == (1, 2, 1)
+        assert plan.graph.n == 3

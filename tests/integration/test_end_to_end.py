@@ -1,0 +1,139 @@
+"""End-to-end workflows a downstream user would run."""
+
+import pytest
+
+from repro import (
+    LabeledTree,
+    Tree,
+    broadcast,
+    concurrent_updown,
+    execute_schedule,
+    gossip,
+    minimum_depth_spanning_tree,
+    ring_gossip_on_graph,
+    topologies,
+)
+from repro.networks.builders import from_networkx, tree_to_graph
+from repro.networks.io import schedule_from_json, schedule_to_json
+from repro.simulator.state import labeled_holdings
+
+
+class TestPublicApiSurface:
+    """Everything advertised in the README quickstart works as written."""
+
+    def test_readme_quickstart(self):
+        plan = gossip(topologies.grid_2d(4, 4))
+        assert plan.total_time == 16 + 4  # n + r, radius of the 4x4 mesh is 4
+        assert plan.execute().complete
+
+    def test_star_import_surface(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestNetworkxInterop:
+    def test_karate_club_gossip(self):
+        """A real-world graph from networkx end to end."""
+        import networkx as nx
+
+        g, _ = from_networkx(nx.karate_club_graph(), name="karate")
+        plan = gossip(g)
+        from repro.networks.properties import radius
+
+        assert plan.total_time == g.n + radius(g)
+        assert plan.execute().complete
+
+    def test_random_nx_graph(self):
+        import networkx as nx
+
+        nxg = nx.connected_watts_strogatz_graph(30, 4, 0.3, seed=42)
+        g, _ = from_networkx(nxg)
+        plan = gossip(g)
+        assert plan.execute().complete
+
+
+class TestScheduleArchiving:
+    def test_archive_and_revalidate(self, tmp_path):
+        """Serialise a schedule to disk, reload, re-validate."""
+        tree = minimum_depth_spanning_tree(topologies.hypercube(3))
+        labeled = LabeledTree(tree)
+        schedule = concurrent_updown(labeled)
+        path = tmp_path / "schedule.json"
+        path.write_text(schedule_to_json(schedule))
+        reloaded = schedule_from_json(path.read_text())
+        result = execute_schedule(
+            tree_to_graph(tree),
+            reloaded,
+            initial_holds=labeled_holdings(labeled.labels()),
+            require_complete=True,
+        )
+        assert result.complete
+
+
+class TestMixedWorkflow:
+    def test_broadcast_then_gossip(self):
+        """Broadcast a coordinator message, then full gossip."""
+        g = topologies.torus_2d(4, 4)
+        b = broadcast(g, 0)
+        assert b.total_time <= 4
+        plan = gossip(g)
+        assert plan.execute().complete
+
+    def test_hamiltonian_fallback_strategy(self):
+        """Try the ring strategy, fall back to the tree algorithm."""
+        from repro.exceptions import GraphError
+
+        for g in (topologies.cycle_graph(8), topologies.star_graph(8)):
+            try:
+                schedule = ring_gossip_on_graph(g)
+                assert schedule.total_time == g.n - 1
+            except GraphError:
+                plan = gossip(g)
+                assert plan.execute().complete
+
+    def test_manual_tree_pipeline(self):
+        """Build every stage by hand, as the docs describe."""
+        g = topologies.grid_2d(3, 5)
+        tree = minimum_depth_spanning_tree(g)
+        labeled = LabeledTree(tree)
+        schedule = concurrent_updown(labeled)
+        result = execute_schedule(
+            g,
+            schedule,
+            initial_holds=labeled_holdings(labeled.labels()),
+            require_complete=True,
+        )
+        assert result.complete
+        assert schedule.total_time == g.n + tree.height
+
+
+class TestStress:
+    @pytest.mark.parametrize("n", [200, 400])
+    def test_large_random_tree(self, n):
+        from repro.networks.builders import graph_to_tree
+        from repro.networks.random_graphs import random_tree
+
+        tree = graph_to_tree(random_tree(n, seed=0), root=0)
+        labeled = LabeledTree(tree)
+        schedule = concurrent_updown(labeled)
+        assert schedule.total_time == n + tree.height
+        result = execute_schedule(
+            tree_to_graph(tree),
+            schedule,
+            initial_holds=labeled_holdings(labeled.labels()),
+            require_complete=True,
+        )
+        assert result.duplicate_deliveries == 0
+
+    def test_wide_star(self):
+        labeled = LabeledTree(Tree([-1] + [0] * 299, root=0))
+        schedule = concurrent_updown(labeled)
+        assert schedule.total_time == 300 + 1
+        assert schedule.max_fan_out() == 299

@@ -1,0 +1,83 @@
+"""Guard EXPERIMENTS.md against rot: spot-check its quoted numbers live.
+
+Parses the key reproduction tables out of the document and recomputes
+them; a library change that shifts a reported number fails here until
+the document is updated.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweep import family_instance
+from repro.core.gossip import gossip
+from repro.networks.properties import radius
+
+DOC = Path(__file__).resolve().parents[2] / "EXPERIMENTS.md"
+
+
+def doc_text() -> str:
+    return DOC.read_text()
+
+
+def table_rows(section_header: str):
+    """Markdown table rows of the section starting at ``section_header``."""
+    text = doc_text()
+    start = text.index(section_header)
+    end = text.find("\n## ", start + 1)
+    block = text[start : end if end != -1 else len(text)]
+    rows = []
+    for line in block.splitlines():
+        if line.startswith("|") and not set(line) <= {"|", "-", " "}:
+            cells = [c.strip().strip("*") for c in line.strip("|").split("|")]
+            rows.append(cells)
+    return rows[1:]  # drop the header row
+
+
+class TestDocExists:
+    def test_document_present_and_complete(self):
+        text = doc_text()
+        for section in (
+            "## FIG1", "## FIG2", "## FIG3", "## TAB1", "## LEM1", "## THM1",
+            "## UPDOWN", "## LB-PATH", "## BCAST", "## RATIO", "## WEIGHTED",
+            "## ONLINE", "## CMP", "## OPT-PATH", "## REPEATED", "## DYNAMIC",
+        ):
+            assert section in text, f"missing section {section}"
+
+
+class TestTHM1Numbers:
+    def test_quoted_rows_recompute(self):
+        rows = table_rows("## THM1")
+        name_map = {"G(n,p)": "gnp"}
+        for family, n, r, measured, bound in rows:
+            fam = name_map.get(family, family)
+            g = family_instance(fam, int(n))
+            assert g.n == int(n), (family, g.n)
+            assert radius(g) == int(r), family
+            plan = gossip(g)
+            assert plan.total_time == int(measured) == int(bound), family
+
+
+class TestLEM1Numbers:
+    def test_quoted_rows_recompute(self):
+        rows = table_rows("## LEM1")
+        for family, n, r, measured, lemma1, _redundancy in rows:
+            g = family_instance(family, int(n))
+            assert g.n == int(n), (family, g.n)
+            plan = gossip(g, algorithm="simple")
+            assert plan.total_time == int(measured) == int(lemma1), family
+
+
+class TestOPTPATHNumbers:
+    def test_quoted_rows_recompute(self):
+        from repro.core.optimal_path import optimal_path_gossip
+
+        rows = table_rows("## OPT-PATH")
+        for n, bound, nonuniform, concurrent in rows:
+            n = int(n)
+            _, schedule = optimal_path_gossip(n)
+            assert schedule.total_time == int(nonuniform) == int(bound)
+            from repro.networks.topologies import path_graph
+
+            assert gossip(path_graph(n)).total_time == int(concurrent)

@@ -1,0 +1,159 @@
+"""Integration tests: every experiment id of DESIGN.md, end to end.
+
+One test (or class) per row of the per-experiment index — FIG1..FIG5,
+TAB1..TAB4, LEM1, THM1, UPDOWN, LB-PATH, BCAST, RATIO, WEIGHTED, ONLINE.
+The benchmark harness regenerates the same numbers with timing; these
+tests pin the *claims*.
+"""
+
+import pytest
+
+from repro.analysis.bounds import path_lower_bound
+from repro.analysis.sweep import small_suite
+from repro.analysis.tables import EXPECTED_TABLES, paper_tables
+from repro.core.broadcast import broadcast, broadcast_time
+from repro.core.gossip import gossip
+from repro.core.online import online_matches_offline
+from repro.core.optimal import is_gossipable_within, minimum_gossip_time
+from repro.core.ring import hamiltonian_circuit, ring_gossip
+from repro.core.updown import updown_total_time_bound
+from repro.core.weighted import weighted_gossip
+from repro.networks import topologies
+from repro.networks.bfs import bfs_levels
+from repro.networks.paper_networks import (
+    fig1_ring,
+    fig4_network,
+    fig5_tree,
+    n3_multicast_schedule,
+    n3_network,
+    petersen,
+    petersen_gossip_schedule,
+)
+from repro.networks.properties import radius
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.simulator.validator import assert_gossip_schedule
+from repro.tree.labeling import LabeledTree
+
+
+class TestFIG1:
+    @pytest.mark.parametrize("n", [3, 6, 10, 16])
+    def test_ring_gossip_optimal(self, n):
+        schedule = ring_gossip(list(range(n)))
+        assert schedule.total_time == n - 1
+        assert_gossip_schedule(fig1_ring(n), schedule, max_total_time=n - 1)
+
+
+class TestFIG2:
+    def test_petersen_claims(self):
+        g = petersen()
+        assert hamiltonian_circuit(g) is None
+        schedule = petersen_gossip_schedule()
+        assert schedule.total_time == g.n - 1 == 9
+        assert schedule.max_fan_out() == 1  # telephone-valid
+        assert_gossip_schedule(g, schedule, max_total_time=9)
+
+
+class TestFIG3:
+    def test_n3_multicast_beats_telephone(self):
+        g = n3_network()
+        assert hamiltonian_circuit(g) is None
+        assert_gossip_schedule(g, n3_multicast_schedule(), max_total_time=g.n - 1)
+        # exact search certifies the separation
+        assert is_gossipable_within(g, g.n - 1, telephone=False)
+        assert not is_gossipable_within(g, g.n - 1, telephone=True)
+
+
+class TestFIG4FIG5:
+    def test_tree_construction(self):
+        tree = minimum_depth_spanning_tree(fig4_network())
+        assert tree == fig5_tree()
+        assert tree.height == radius(fig4_network()) == 3
+
+    def test_dfs_labels(self):
+        labeled = LabeledTree(fig5_tree())
+        assert list(labeled.labels()) == list(range(16))
+
+
+class TestTAB1toTAB4:
+    def test_all_rows(self):
+        tables = paper_tables()
+        for vertex, rows in EXPECTED_TABLES.items():
+            for caption, expected in rows.items():
+                assert tables[vertex].row(caption) == expected
+
+
+class TestLEM1:
+    def test_simple_exact_across_suite(self):
+        for g in small_suite():
+            plan = gossip(g, algorithm="simple")
+            r = plan.tree.height
+            assert plan.total_time == 2 * g.n + r - 3
+            plan.execute(on_tree_only=True)
+
+
+class TestTHM1:
+    def test_concurrent_updown_exact_across_suite(self):
+        for g in small_suite():
+            plan = gossip(g)
+            assert plan.total_time == g.n + radius(g), g.name
+            result = plan.execute(on_tree_only=True)
+            assert result.complete
+            assert result.duplicate_deliveries == 0
+
+
+class TestUPDOWN:
+    def test_within_two_phase_budget_across_suite(self):
+        for g in small_suite():
+            plan = gossip(g, algorithm="updown")
+            assert plan.total_time <= updown_total_time_bound(
+                g.n, plan.tree.height
+            ), g.name
+            plan.execute(on_tree_only=True)
+
+
+class TestLBPath:
+    @pytest.mark.parametrize("m", [1, 2])
+    def test_exact_optimum_matches_bound_small(self, m):
+        """For P_3 and P_5 the exact search meets n + r - 1 exactly."""
+        n = 2 * m + 1
+        g = topologies.path_graph(n)
+        assert minimum_gossip_time(g) == path_lower_bound(n) == n + m - 1
+
+    @pytest.mark.parametrize("m", [1, 2, 4, 8, 16])
+    def test_ours_is_bound_plus_one(self, m):
+        """The Discussion: ConcurrentUpDown yields n + r = bound + 1."""
+        n = 2 * m + 1
+        plan = gossip(topologies.path_graph(n))
+        assert plan.total_time == path_lower_bound(n) + 1
+
+
+class TestBCAST:
+    def test_broadcast_time_is_eccentricity(self):
+        for g in small_suite()[:8]:
+            for source in (0, g.n // 2):
+                schedule = broadcast(g, source)
+                ecc = int(bfs_levels(g, source).max())
+                assert schedule.total_time == broadcast_time(g, source) == ecc
+
+
+class TestRATIO:
+    def test_ratio_bounded_across_suite(self):
+        for g in small_suite():
+            plan = gossip(g)
+            assert plan.total_time <= 1.5 * g.n  # n + r <= 1.5 n
+
+
+class TestWEIGHTED:
+    def test_weighted_bound_exact(self):
+        g = topologies.grid_2d(3, 4)
+        weights = [(v % 4) + 1 for v in range(g.n)]
+        plan = weighted_gossip(g, weights)
+        assert plan.total_time == plan.total_messages + plan.expanded.height
+        assert plan.execute().complete
+
+
+class TestONLINE:
+    def test_online_matches_offline_across_suite(self):
+        for g in small_suite()[:10]:
+            labeled = LabeledTree(minimum_depth_spanning_tree(g))
+            assert online_matches_offline(labeled), g.name

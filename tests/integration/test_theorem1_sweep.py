@@ -1,0 +1,33 @@
+"""Broad Theorem 1 sweep: n + r exactly, across families and sizes."""
+
+import pytest
+
+from repro.analysis.sweep import FAMILIES, family_instance
+from repro.core.gossip import gossip
+from repro.networks.properties import radius
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("size", [8, 24, 48])
+def test_theorem1(family, size):
+    g = family_instance(family, size)
+    plan = gossip(g)
+    assert plan.total_time == g.n + radius(g)
+    result = plan.execute(on_tree_only=True)
+    assert result.complete
+    assert result.duplicate_deliveries == 0
+
+
+@pytest.mark.parametrize("family", ["path", "star", "gnp", "random-tree"])
+def test_theorem1_larger(family):
+    g = family_instance(family, 128)
+    plan = gossip(g)
+    assert plan.total_time == g.n + radius(g)
+    assert plan.execute(on_tree_only=True).complete
+
+
+def test_theorem1_n_256_random_tree():
+    g = family_instance("random-tree", 256)
+    plan = gossip(g)
+    assert plan.total_time == g.n + radius(g)
+    assert plan.execute(on_tree_only=True).complete

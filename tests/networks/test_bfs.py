@@ -1,0 +1,166 @@
+"""Unit tests for BFS primitives, cross-checked against the reference
+implementation and networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import DisconnectedGraphError, GraphError
+from repro.networks import topologies
+from repro.networks.bfs import (
+    UNREACHED,
+    all_eccentricities,
+    bfs_levels,
+    bfs_levels_reference,
+    bfs_tree,
+    connected_components,
+    distance_matrix,
+    eccentricity,
+    is_connected,
+    require_connected,
+    shortest_path,
+)
+from repro.networks.builders import to_networkx
+from repro.networks.graph import Graph
+from repro.networks.random_graphs import random_connected_gnp
+
+
+class TestBfsLevels:
+    def test_path_distances(self):
+        g = topologies.path_graph(6)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 4, 5]
+        assert bfs_levels(g, 3).tolist() == [3, 2, 1, 0, 1, 2]
+
+    def test_cycle_distances(self):
+        g = topologies.cycle_graph(6)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_single_vertex(self):
+        g = Graph(1, [])
+        assert bfs_levels(g, 0).tolist() == [0]
+
+    def test_disconnected_marks_unreached(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        dist = bfs_levels(g, 0)
+        assert dist[1] == 1
+        assert dist[2] == UNREACHED
+        assert dist[3] == UNREACHED
+
+    def test_source_out_of_range(self):
+        with pytest.raises(GraphError):
+            bfs_levels(Graph(2, [(0, 1)]), 5)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference(self, seed):
+        g = random_connected_gnp(30, 0.1, seed)
+        for source in (0, 7, 29):
+            assert bfs_levels(g, source).tolist() == bfs_levels_reference(g, source)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        g = random_connected_gnp(25, 0.12, seed)
+        nxg = to_networkx(g)
+        lengths = nx.single_source_shortest_path_length(nxg, 0)
+        assert bfs_levels(g, 0).tolist() == [lengths[v] for v in range(g.n)]
+
+
+class TestBfsTree:
+    def test_parent_is_smallest_id(self):
+        # Vertex 3 is adjacent to both 1 and 2 at distance 1 from 0.
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        _, parent = bfs_tree(g, 0)
+        assert parent[3] == 1
+
+    def test_root_parent_is_minus_one(self):
+        g = topologies.path_graph(4)
+        _, parent = bfs_tree(g, 2)
+        assert parent[2] == -1
+
+    def test_parents_consistent_with_distances(self):
+        g = random_connected_gnp(20, 0.15, seed=1)
+        dist, parent = bfs_tree(g, 5)
+        for v in range(g.n):
+            if v == 5:
+                continue
+            assert dist[parent[v]] == dist[v] - 1
+            assert g.has_edge(v, int(parent[v]))
+
+
+class TestEccentricityRadius:
+    def test_path_eccentricities(self):
+        g = topologies.path_graph(5)
+        assert all_eccentricities(g).tolist() == [4, 3, 2, 3, 4]
+
+    def test_eccentricity_single(self):
+        assert eccentricity(topologies.path_graph(5), 2) == 2
+
+    def test_eccentricity_disconnected(self):
+        with pytest.raises(DisconnectedGraphError):
+            eccentricity(Graph(3, [(0, 1)]), 0)
+
+    def test_all_eccentricities_disconnected(self):
+        with pytest.raises(DisconnectedGraphError):
+            all_eccentricities(Graph(3, [(0, 1)]))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_eccentricity(self, seed):
+        g = random_connected_gnp(18, 0.2, seed)
+        expected = nx.eccentricity(to_networkx(g))
+        assert all_eccentricities(g).tolist() == [expected[v] for v in range(g.n)]
+
+
+class TestDistanceMatrix:
+    def test_symmetric(self):
+        g = random_connected_gnp(15, 0.2, seed=2)
+        d = distance_matrix(g)
+        assert (d == d.T).all()
+        assert (np.diag(d) == 0).all()
+
+    def test_triangle_inequality(self):
+        g = random_connected_gnp(12, 0.2, seed=3)
+        d = distance_matrix(g)
+        for i in range(g.n):
+            for j in range(g.n):
+                for k in range(g.n):
+                    assert d[i, j] <= d[i, k] + d[k, j]
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert is_connected(topologies.cycle_graph(5))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_require_connected_raises(self):
+        with pytest.raises(DisconnectedGraphError, match="gossip"):
+            require_connected(Graph(3, []), "gossip")
+
+    def test_components(self):
+        comps = connected_components(Graph(5, [(0, 1), (2, 3)]))
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_components_connected_graph(self):
+        assert connected_components(topologies.star_graph(4)) == [[0, 1, 2, 3]]
+
+
+class TestShortestPath:
+    def test_path_endpoints(self):
+        g = topologies.cycle_graph(8)
+        p = shortest_path(g, 0, 3)
+        assert p is not None
+        assert p[0] == 0 and p[-1] == 3
+        assert len(p) == 4  # 3 edges
+
+    def test_path_edges_exist(self):
+        g = random_connected_gnp(20, 0.12, seed=5)
+        p = shortest_path(g, 0, 19)
+        assert p is not None
+        for u, v in zip(p, p[1:]):
+            assert g.has_edge(u, v)
+
+    def test_unreachable_returns_none(self):
+        assert shortest_path(Graph(3, [(0, 1)]), 0, 2) is None
+
+    def test_trivial_path(self):
+        assert shortest_path(topologies.path_graph(3), 1, 1) == [1]

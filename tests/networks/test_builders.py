@@ -1,0 +1,100 @@
+"""Unit tests for graph construction helpers and conversions."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.networks import topologies
+from repro.networks.builders import (
+    from_adjacency,
+    from_edges,
+    from_networkx,
+    graph_to_tree,
+    to_networkx,
+    tree_to_graph,
+)
+from repro.networks.graph import Graph
+from repro.tree.tree import Tree
+
+
+class TestFromEdges:
+    def test_infer_n(self):
+        g = from_edges([(0, 3), (1, 2)])
+        assert g.n == 4
+
+    def test_explicit_n_allows_isolated(self):
+        g = from_edges([(0, 1)], n=4)
+        assert g.n == 4
+        assert g.degree(3) == 0
+
+    def test_empty_needs_n(self):
+        with pytest.raises(GraphError):
+            from_edges([])
+
+
+class TestFromAdjacency:
+    def test_roundtrip(self):
+        g = topologies.cycle_graph(5)
+        assert from_adjacency(g.adjacency()) == g
+
+    def test_one_directional_listing_ok(self):
+        g = from_adjacency({0: [1], 1: [], 2: [1]})
+        assert g.m == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjacency({})
+
+
+class TestNetworkx:
+    def test_roundtrip(self):
+        g = topologies.grid_2d(3, 3)
+        back, mapping = from_networkx(to_networkx(g))
+        assert back == g
+        assert mapping == {v: v for v in range(9)}
+
+    def test_relabels_arbitrary_nodes(self):
+        nxg = nx.Graph()
+        nxg.add_edges_from([("b", "a"), ("a", "c")])
+        g, mapping = from_networkx(nxg)
+        assert g.n == 3
+        assert mapping == {"a": 0, "b": 1, "c": 2}
+        assert g.degree(mapping["a"]) == 2
+
+    def test_to_networkx_preserves_isolated(self):
+        g = from_edges([(0, 1)], n=3)
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 3
+
+
+class TestTreeGraphConversion:
+    def test_tree_to_graph(self):
+        tree = Tree([-1, 0, 0, 1], root=0)
+        g = tree_to_graph(tree)
+        assert g.m == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 3)
+
+    def test_graph_to_tree_roundtrip(self):
+        tree = Tree([-1, 0, 0, 1, 1], root=0)
+        back = graph_to_tree(tree_to_graph(tree), root=0)
+        assert back == tree
+
+    def test_graph_to_tree_different_root(self):
+        g = topologies.path_graph(4)
+        tree = graph_to_tree(g, root=3)
+        assert tree.root == 3
+        assert tree.parent(0) == 1
+
+    def test_graph_to_tree_rejects_cycle(self):
+        with pytest.raises(GraphError):
+            graph_to_tree(topologies.cycle_graph(4), root=0)
+
+    def test_graph_to_tree_rejects_wrong_edge_count(self):
+        with pytest.raises(GraphError, match="edges"):
+            graph_to_tree(Graph(4, [(0, 1), (2, 3)]), root=0)
+
+    def test_graph_to_tree_rejects_disconnected(self):
+        # Triangle plus an isolated vertex: n - 1 edges yet not a tree.
+        g = Graph(4, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(GraphError, match="disconnected"):
+            graph_to_tree(g, root=0)

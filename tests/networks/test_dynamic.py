@@ -1,0 +1,127 @@
+"""Tests for tree maintenance over network changes (Section 4)."""
+
+import pytest
+
+from repro.exceptions import GraphError, ReproError
+from repro.networks import topologies
+from repro.networks.dynamic import TreeMaintainer
+from repro.networks.properties import radius
+
+
+class TestCreate:
+    def test_initial_tree_is_minimum_depth(self):
+        g = topologies.grid_2d(3, 4)
+        m = TreeMaintainer.create(g)
+        assert m.tree.height == radius(g)
+        assert m.rebuilds == 1
+        assert m.schedule_bound == g.n + radius(g)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ReproError):
+            TreeMaintainer.create(topologies.path_graph(4), policy="sometimes")
+
+
+class TestEager:
+    def test_rebuilds_on_every_change(self):
+        m = TreeMaintainer.create(topologies.cycle_graph(8), policy="eager")
+        m = m.add_edge(0, 4)  # a chord
+        assert m.rebuilds == 2
+        m = m.remove_edge(0, 4)
+        assert m.rebuilds == 3
+
+    def test_guarantee_tracks_radius(self):
+        m = TreeMaintainer.create(topologies.cycle_graph(10), policy="eager")
+        assert m.tree.height == 5
+        m = m.add_edge(0, 5)  # diameter-halving chord
+        assert m.tree.height == radius(m.graph) == 3
+        assert m.height_gap == 0
+
+
+class TestLazy:
+    def test_add_edge_keeps_tree(self):
+        m = TreeMaintainer.create(topologies.cycle_graph(10), policy="lazy")
+        m2 = m.add_edge(0, 5)
+        assert m2.rebuilds == 1
+        assert m2.tree == m.tree
+        # staleness quantified: the chord halved the radius
+        assert m2.height_gap == 2
+
+    def test_remove_chord_keeps_tree(self):
+        g = topologies.cycle_graph(8).add_edges([(0, 4)])
+        m = TreeMaintainer.create(g, policy="lazy")
+        m2 = m.remove_edge(0, 4) if not _is_tree_edge(m, 0, 4) else m.remove_edge(
+            *_some_chord(m)
+        )
+        assert m2.rebuilds == m.rebuilds  # no rebuild for a non-tree edge
+
+    def test_remove_tree_edge_rebuilds(self):
+        g = topologies.cycle_graph(8)
+        m = TreeMaintainer.create(g, policy="lazy")
+        parent_child = next(
+            (p, c) for p, c in m.tree.edges()
+        )
+        m2 = m.remove_edge(*parent_child)
+        assert m2.rebuilds == m.rebuilds + 1
+        assert m2.tree.height == radius(m2.graph)
+
+    def test_refreshed(self):
+        m = TreeMaintainer.create(topologies.cycle_graph(10), policy="lazy")
+        stale = m.add_edge(0, 5)
+        fresh = stale.refreshed()
+        assert fresh.height_gap == 0
+        assert fresh.rebuilds == stale.rebuilds + 1
+
+    def test_plan_uses_maintained_tree(self):
+        m = TreeMaintainer.create(topologies.cycle_graph(10), policy="lazy")
+        stale = m.add_edge(0, 5)
+        plan = stale.plan()
+        # schedule length follows the (stale) tree height, not the radius
+        assert plan.total_time == stale.graph.n + stale.tree.height
+        plan.execute(on_tree_only=True)
+
+
+class TestGuards:
+    def test_disconnecting_removal_rejected(self):
+        m = TreeMaintainer.create(topologies.path_graph(5))
+        with pytest.raises(GraphError, match="disconnect"):
+            m.remove_edge(1, 2)
+
+    def test_absent_edge_rejected(self):
+        m = TreeMaintainer.create(topologies.cycle_graph(5))
+        with pytest.raises(GraphError):
+            m.remove_edge(0, 2)
+
+    def test_duplicate_edge_rejected(self):
+        m = TreeMaintainer.create(topologies.cycle_graph(5))
+        with pytest.raises(GraphError):
+            m.add_edge(0, 1)
+
+
+def _is_tree_edge(m, u, v):
+    return m.tree.parent(u) == v or m.tree.parent(v) == u
+
+
+def _some_chord(m):
+    for u, v in m.graph.edges():
+        if not _is_tree_edge(m, u, v):
+            return (u, v)
+    raise AssertionError("no chord")
+
+
+class TestAmortisation:
+    def test_lazy_fewer_rebuilds_than_eager(self):
+        """A churn sequence of chord insertions/removals: lazy rebuilds
+        far less while keeping a valid (if stale) tree throughout."""
+        g = topologies.cycle_graph(12)
+        lazy = TreeMaintainer.create(g, policy="lazy")
+        eager = TreeMaintainer.create(g, policy="eager")
+        chords = [(0, 6), (1, 7), (2, 8)]
+        for u, v in chords:
+            lazy, eager = lazy.add_edge(u, v), eager.add_edge(u, v)
+        for u, v in chords:
+            lazy, eager = lazy.remove_edge(u, v), eager.remove_edge(u, v)
+        assert lazy.rebuilds == 1
+        assert eager.rebuilds == 1 + 2 * len(chords)
+        # both end with valid schedules
+        lazy.plan().execute(on_tree_only=True)
+        eager.plan().execute(on_tree_only=True)

@@ -1,0 +1,85 @@
+"""Tests: the fast all-pairs backend agrees with the reference BFS."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DisconnectedGraphError
+from repro.networks import topologies
+from repro.networks.bfs import all_eccentricities, distance_matrix
+from repro.networks.fast_paths import (
+    all_pairs_distances,
+    fast_eccentricities,
+    fast_radius,
+    minimum_depth_spanning_tree_fast,
+)
+from repro.networks.graph import Graph
+from repro.networks.properties import radius
+from repro.networks.random_graphs import random_connected_gnp, random_tree
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+
+
+class TestDistances:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference_random(self, seed):
+        g = random_connected_gnp(30, 0.1, seed)
+        assert np.array_equal(all_pairs_distances(g), distance_matrix(g))
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            topologies.path_graph(12),
+            topologies.cycle_graph(9),
+            topologies.hypercube(4),
+            topologies.grid_2d(4, 5),
+            Graph(1, []),
+        ],
+    )
+    def test_matches_reference_structured(self, graph):
+        assert np.array_equal(all_pairs_distances(graph), distance_matrix(graph))
+
+    def test_disconnected_marked(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        d = all_pairs_distances(g)
+        assert d[0, 2] == -1
+        assert d[0, 1] == 1
+
+
+class TestEccentricities:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference(self, seed):
+        g = random_connected_gnp(25, 0.12, seed)
+        assert np.array_equal(fast_eccentricities(g), all_eccentricities(g))
+
+    def test_radius(self):
+        g = topologies.grid_2d(5, 5)
+        assert fast_radius(g) == radius(g)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            fast_eccentricities(Graph(3, [(0, 1)]))
+
+
+class TestFastTree:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_identical_tree_random(self, seed):
+        g = random_connected_gnp(25, 0.12, seed)
+        assert minimum_depth_spanning_tree_fast(g) == minimum_depth_spanning_tree(g)
+
+    def test_identical_tree_paper_example(self):
+        from repro.networks.paper_networks import fig4_network, fig5_tree
+
+        assert minimum_depth_spanning_tree_fast(fig4_network()) == fig5_tree()
+
+    @pytest.mark.parametrize("n", [64, 150])
+    def test_identical_on_larger_trees(self, n):
+        g = random_tree(n, seed=1)
+        assert minimum_depth_spanning_tree_fast(g) == minimum_depth_spanning_tree(g)
+
+    def test_gossip_with_fast_tree(self):
+        """End to end: the fast tree plugs into the pipeline unchanged."""
+        from repro.core.gossip import gossip
+
+        g = random_connected_gnp(40, 0.08, seed=2)
+        plan = gossip(g, tree=minimum_depth_spanning_tree_fast(g))
+        assert plan.total_time == g.n + radius(g)
+        plan.execute(on_tree_only=True)

@@ -1,0 +1,176 @@
+"""Unit tests for the immutable Graph type."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.networks.graph import Graph
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_single_vertex(self):
+        g = Graph(1, [])
+        assert g.n == 1
+        assert g.m == 0
+        assert g.neighbors(0) == ()
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-3, [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            Graph(2, [(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            Graph(2, [(0, 2)])
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1, 2)])  # type: ignore[list-item]
+
+    def test_edge_order_irrelevant(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(2, 1), (1, 0)])
+        assert a == b
+
+
+class TestAccessors:
+    @pytest.fixture
+    def triangle_plus(self):
+        return Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)], name="tri+")
+
+    def test_neighbors_sorted(self, triangle_plus):
+        assert triangle_plus.neighbors(2) == (0, 1, 3)
+
+    def test_degree(self, triangle_plus):
+        assert triangle_plus.degree(2) == 3
+        assert triangle_plus.degree(3) == 1
+
+    def test_degrees_array(self, triangle_plus):
+        assert triangle_plus.degrees().tolist() == [2, 2, 3, 1]
+
+    def test_has_edge_symmetric(self, triangle_plus):
+        assert triangle_plus.has_edge(0, 1)
+        assert triangle_plus.has_edge(1, 0)
+        assert not triangle_plus.has_edge(0, 3)
+
+    def test_edges_sorted_canonical(self, triangle_plus):
+        assert list(triangle_plus.edges()) == [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+    def test_adjacency_mapping(self, triangle_plus):
+        adj = triangle_plus.adjacency()
+        assert adj[3] == (2,)
+        assert set(adj) == {0, 1, 2, 3}
+
+    def test_vertices_range(self, triangle_plus):
+        assert list(triangle_plus.vertices()) == [0, 1, 2, 3]
+
+    def test_contains(self, triangle_plus):
+        assert 3 in triangle_plus
+        assert 4 not in triangle_plus
+        assert "x" not in triangle_plus
+
+    def test_len(self, triangle_plus):
+        assert len(triangle_plus) == 4
+
+    def test_name(self, triangle_plus):
+        assert triangle_plus.name == "tri+"
+        assert "tri+" in repr(triangle_plus)
+
+    def test_neighbor_out_of_range(self, triangle_plus):
+        with pytest.raises(GraphError):
+            triangle_plus.neighbors(4)
+
+
+class TestCSR:
+    def test_indptr_shape_and_monotone(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert g.indptr.shape == (6,)
+        assert (np.diff(g.indptr) >= 0).all()
+        assert g.indptr[-1] == 2 * g.m
+
+    def test_indices_match_adjacency(self):
+        g = Graph(4, [(0, 1), (0, 2), (2, 3)])
+        for v in range(4):
+            segment = g.indices[g.indptr[v] : g.indptr[v + 1]]
+            assert tuple(segment) == g.neighbors(v)
+
+    def test_csr_views_readonly(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.indptr[0] = 5
+        with pytest.raises(ValueError):
+            g.indices[0] = 5
+
+
+class TestDerived:
+    def test_with_name(self):
+        g = Graph(3, [(0, 1)]).with_name("renamed")
+        assert g.name == "renamed"
+        assert g.m == 1
+
+    def test_add_edges(self):
+        g = Graph(3, [(0, 1)]).add_edges([(1, 2)])
+        assert g.has_edge(1, 2)
+        assert g.m == 2
+
+    def test_add_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1)]).add_edges([(1, 0)])
+
+    def test_remove_edges(self):
+        g = Graph(3, [(0, 1), (1, 2)]).remove_edges([(1, 2)])
+        assert not g.has_edge(1, 2)
+        assert g.m == 1
+
+    def test_remove_absent_edge_rejected(self):
+        with pytest.raises(GraphError, match="absent"):
+            Graph(3, [(0, 1)]).remove_edges([(0, 2)])
+
+    def test_relabeled(self):
+        g = Graph(3, [(0, 1), (1, 2)]).relabeled([2, 1, 0])
+        assert g.has_edge(2, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_relabeled_rejects_non_permutation(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1)]).relabeled([0, 0, 1])
+
+
+class TestEqualityHash:
+    def test_equal_graphs_equal_hash(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_name_not_part_of_identity(self):
+        a = Graph(2, [(0, 1)], name="x")
+        b = Graph(2, [(0, 1)], name="y")
+        assert a == b
+
+    def test_different_n_not_equal(self):
+        assert Graph(2, [(0, 1)]) != Graph(3, [(0, 1)])
+
+    def test_not_equal_other_type(self):
+        assert Graph(2, [(0, 1)]) != "graph"
+
+    def test_usable_in_sets(self):
+        s = {Graph(2, [(0, 1)]), Graph(2, [(0, 1)])}
+        assert len(s) == 1

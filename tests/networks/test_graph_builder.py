@@ -1,0 +1,70 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.networks.graph import Graph, GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_add_edge_idempotent(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1)
+        assert b.m == 1
+        assert b.build().m == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_edge(1, 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_edge(0, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(0)
+
+    def test_add_path(self):
+        g = GraphBuilder(4).add_path([0, 1, 2, 3]).build()
+        assert g.edge_list() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_add_path_single_vertex_noop(self):
+        g = GraphBuilder(2).add_path([0]).add_edge(0, 1).build()
+        assert g.m == 1
+
+    def test_add_cycle(self):
+        g = GraphBuilder(4).add_cycle([0, 1, 2, 3]).build()
+        assert g.m == 4
+        assert g.has_edge(3, 0)
+
+    def test_add_cycle_of_two_is_one_edge(self):
+        # Degenerate cycles must not create duplicate or self edges.
+        g = GraphBuilder(2).add_cycle([0, 1]).build()
+        assert g.m == 1
+
+    def test_add_clique(self):
+        g = GraphBuilder(5).add_clique([0, 2, 4]).build()
+        assert g.m == 3
+        assert g.has_edge(0, 4)
+        assert not g.has_edge(0, 1)
+
+    def test_has_edge(self):
+        b = GraphBuilder(3).add_edge(2, 1)
+        assert b.has_edge(1, 2)
+        assert not b.has_edge(0, 1)
+
+    def test_build_name_override(self):
+        g = GraphBuilder(2, name="a").add_edge(0, 1).build(name="b")
+        assert g.name == "b"
+
+    def test_build_keeps_default_name(self):
+        g = GraphBuilder(2, name="a").add_edge(0, 1).build()
+        assert g.name == "a"
+
+    def test_builder_repr(self):
+        assert "n=3" in repr(GraphBuilder(3))
+
+    def test_build_equals_direct_construction(self):
+        b = GraphBuilder(4).add_path([0, 1, 2, 3])
+        assert b.build() == Graph(4, [(0, 1), (1, 2), (2, 3)])

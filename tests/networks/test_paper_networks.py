@@ -1,0 +1,133 @@
+"""Tests for the paper-figure networks and their certificate schedules.
+
+These are the FIG1-FIG5 reproduction checks of DESIGN.md's experiment
+index, in unit-test form.
+"""
+
+import pytest
+
+from repro.core.ring import hamiltonian_circuit, ring_gossip
+from repro.networks.bfs import is_connected
+from repro.networks.paper_networks import (
+    FIG5_PARENTS,
+    fig1_ring,
+    fig4_network,
+    fig5_tree,
+    n3_multicast_schedule,
+    n3_network,
+    petersen,
+    petersen_gossip_schedule,
+)
+from repro.networks.properties import radius
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.simulator.validator import assert_gossip_schedule
+from repro.tree.labeling import LabeledTree
+
+
+class TestFig1:
+    """FIG1: the Hamiltonian ring gossips in the optimal n - 1 rounds."""
+
+    def test_structure(self):
+        g = fig1_ring(8)
+        assert g.name == "N1"
+        assert all(g.degree(v) == 2 for v in range(8))
+
+    def test_has_hamiltonian_circuit(self):
+        assert hamiltonian_circuit(fig1_ring(8)) is not None
+
+    @pytest.mark.parametrize("n", [3, 5, 8, 12])
+    def test_optimal_gossip(self, n):
+        g = fig1_ring(n)
+        schedule = ring_gossip(list(range(n)))
+        assert schedule.total_time == n - 1
+        assert_gossip_schedule(g, schedule, max_total_time=n - 1)
+
+
+class TestFig2Petersen:
+    """FIG2: Petersen has no Hamiltonian circuit yet gossips in n - 1
+    rounds even under the telephone model."""
+
+    def test_structure(self):
+        g = petersen()
+        assert (g.n, g.m) == (10, 15)
+        assert all(g.degree(v) == 3 for v in range(10))
+        assert radius(g) == 2
+
+    def test_no_hamiltonian_circuit(self):
+        assert hamiltonian_circuit(petersen()) is None
+
+    def test_gossip_in_nine_rounds(self):
+        schedule = petersen_gossip_schedule()
+        assert schedule.total_time == 9
+        assert_gossip_schedule(petersen(), schedule, max_total_time=9)
+
+    def test_schedule_is_telephone(self):
+        """Every transmission is a unicast — valid under both models."""
+        assert petersen_gossip_schedule().max_fan_out() == 1
+
+
+class TestFig3N3:
+    """FIG3: N3 gossips in n - 1 rounds under multicast but provably not
+    under telephone."""
+
+    def test_structure(self):
+        g = n3_network()
+        assert (g.n, g.m) == (5, 6)
+        assert g.name == "N3"
+        assert is_connected(g)
+
+    def test_no_hamiltonian_circuit(self):
+        assert hamiltonian_circuit(n3_network()) is None
+
+    def test_multicast_gossip_in_four_rounds(self):
+        schedule = n3_multicast_schedule()
+        assert schedule.total_time == 4
+        assert_gossip_schedule(n3_network(), schedule, max_total_time=4)
+
+    def test_multicast_genuinely_needed(self):
+        """At least one transmission has fan-out > 1."""
+        assert n3_multicast_schedule().max_fan_out() >= 2
+
+    def test_telephone_counting_bound(self):
+        """Each leaf needs 4 receives, all from the 2 centers, who deliver
+        at most 2 unicasts per round: 12 deliveries / 2 per round = 6 > 4."""
+        g = n3_network()
+        leaves = [v for v in range(g.n) if g.degree(v) == 2]
+        assert len(leaves) == 3
+        deliveries_needed = len(leaves) * (g.n - 1)
+        per_round_capacity = 2  # the two centers
+        assert deliveries_needed / per_round_capacity > g.n - 1
+
+
+class TestFig4Fig5:
+    """FIG4/FIG5: the worked example's tree construction and labelling."""
+
+    def test_fig4_radius(self):
+        assert radius(fig4_network()) == 3
+
+    def test_min_depth_tree_is_fig5(self):
+        assert minimum_depth_spanning_tree(fig4_network()) == fig5_tree()
+
+    def test_fig5_height(self):
+        assert fig5_tree().height == 3
+
+    def test_fig5_labels_are_identity(self):
+        labeled = LabeledTree(fig5_tree())
+        assert list(labeled.labels()) == list(range(16))
+
+    def test_fig5_published_blocks(self):
+        """The (i, j, k) values Tables 1-4 are computed from."""
+        labeled = LabeledTree(fig5_tree())
+        assert (labeled.block(0).i, labeled.block(0).j, labeled.block(0).k) == (0, 15, 0)
+        assert (labeled.block(1).i, labeled.block(1).j, labeled.block(1).k) == (1, 3, 1)
+        assert (labeled.block(4).i, labeled.block(4).j, labeled.block(4).k) == (4, 10, 1)
+        assert (labeled.block(8).i, labeled.block(8).j, labeled.block(8).k) == (8, 10, 2)
+
+    def test_fig5_parent_array_consistent(self):
+        tree = fig5_tree()
+        assert list(tree.parents()) == FIG5_PARENTS
+
+    def test_fig4_contains_all_tree_edges(self):
+        g = fig4_network()
+        for parent, child in fig5_tree().edges():
+            assert g.has_edge(parent, child)

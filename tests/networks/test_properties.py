@@ -1,0 +1,108 @@
+"""Unit tests for radius / diameter / center / summaries."""
+
+import networkx as nx
+import pytest
+
+from repro.networks import topologies
+from repro.networks.builders import to_networkx
+from repro.networks.graph import Graph
+from repro.networks.properties import (
+    center,
+    diameter,
+    periphery,
+    radius,
+    summarize,
+)
+from repro.networks.random_graphs import random_connected_gnp
+
+
+class TestRadiusDiameter:
+    @pytest.mark.parametrize(
+        "graph,expected_radius,expected_diameter",
+        [
+            (topologies.path_graph(7), 3, 6),
+            (topologies.path_graph(8), 4, 7),
+            (topologies.cycle_graph(8), 4, 4),
+            (topologies.cycle_graph(9), 4, 4),
+            (topologies.star_graph(10), 1, 2),
+            (topologies.complete_graph(6), 1, 1),
+            (topologies.grid_2d(3, 3), 2, 4),
+            (topologies.hypercube(4), 4, 4),
+        ],
+    )
+    def test_known_values(self, graph, expected_radius, expected_diameter):
+        assert radius(graph) == expected_radius
+        assert diameter(graph) == expected_diameter
+
+    def test_radius_at_most_diameter_at_most_twice_radius(self):
+        for seed in range(5):
+            g = random_connected_gnp(20, 0.12, seed)
+            r, d = radius(g), diameter(g)
+            assert r <= d <= 2 * r
+
+    def test_radius_at_most_half_n(self):
+        """The Section 4 fact behind the 1.5-approximation: r <= n/2."""
+        for g in [
+            topologies.path_graph(9),
+            topologies.cycle_graph(12),
+            topologies.star_graph(7),
+            topologies.grid_2d(4, 4),
+        ]:
+            assert radius(g) <= g.n / 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        g = random_connected_gnp(18, 0.15, seed)
+        nxg = to_networkx(g)
+        assert radius(g) == nx.radius(nxg)
+        assert diameter(g) == nx.diameter(nxg)
+        assert center(g) == sorted(nx.center(nxg))
+        assert periphery(g) == sorted(nx.periphery(nxg))
+
+
+class TestCenterPeriphery:
+    def test_odd_path_center(self):
+        assert center(topologies.path_graph(7)) == [3]
+
+    def test_even_path_center_pair(self):
+        assert center(topologies.path_graph(8)) == [3, 4]
+
+    def test_star_center(self):
+        assert center(topologies.star_graph(9)) == [0]
+
+    def test_path_periphery(self):
+        assert periphery(topologies.path_graph(5)) == [0, 4]
+
+    def test_complete_graph_everyone_central(self):
+        g = topologies.complete_graph(5)
+        assert center(g) == [0, 1, 2, 3, 4]
+        assert periphery(g) == [0, 1, 2, 3, 4]
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        s = summarize(topologies.grid_2d(3, 4))
+        assert s.n == 12
+        assert s.m == 17
+        assert s.radius == 3
+        assert s.diameter == 5
+        assert s.min_degree == 2
+        assert s.max_degree == 4
+
+    def test_summary_bounds(self):
+        s = summarize(topologies.path_graph(9))
+        assert s.trivial_lower_bound == 8
+        assert s.concurrent_updown_bound == 9 + 4
+        assert s.simple_bound == 18 + 4 - 3
+        assert s.updown_bound == (8 + 4) + (2 * 3 + 1)
+
+    def test_summary_center_tuple(self):
+        s = summarize(topologies.path_graph(7))
+        assert s.center == (3,)
+        assert s.periphery == (0, 6)
+
+    def test_single_vertex_summary(self):
+        s = summarize(Graph(1, []))
+        assert s.radius == 0
+        assert s.diameter == 0
+        assert s.trivial_lower_bound == 0

@@ -1,0 +1,109 @@
+"""Unit tests for the seeded random graph families."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.networks.bfs import is_connected
+from repro.networks.random_graphs import (
+    random_caterpillar,
+    random_connected_gnp,
+    random_geometric,
+    random_power_law_tree,
+    random_regular,
+    random_tree,
+)
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 50])
+    def test_tree_shape(self, n):
+        g = random_tree(n, seed=1)
+        assert g.n == n
+        assert g.m == max(n - 1, 0)
+        assert is_connected(g)
+
+    def test_seed_determinism(self):
+        assert random_tree(20, seed=5) == random_tree(20, seed=5)
+
+    def test_seed_variation(self):
+        trees = {random_tree(20, seed=s) for s in range(10)}
+        assert len(trees) > 5  # overwhelmingly distinct
+
+    def test_invalid_n(self):
+        with pytest.raises(GraphError):
+            random_tree(0)
+
+
+class TestGnp:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_connected(self, seed):
+        g = random_connected_gnp(30, 0.05, seed)
+        assert is_connected(g)
+
+    def test_p_zero_gives_tree(self):
+        g = random_connected_gnp(15, 0.0, seed=2)
+        assert g.m == 14
+
+    def test_p_one_gives_complete(self):
+        g = random_connected_gnp(8, 1.0, seed=0)
+        assert g.m == 8 * 7 // 2
+
+    def test_determinism(self):
+        assert random_connected_gnp(12, 0.2, seed=9) == random_connected_gnp(
+            12, 0.2, seed=9
+        )
+
+    def test_invalid_p(self):
+        with pytest.raises(GraphError):
+            random_connected_gnp(5, 1.5)
+
+
+class TestGeometric:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_connected_even_with_small_radius(self, seed):
+        g = random_geometric(25, 0.12, seed)
+        assert is_connected(g)
+
+    def test_large_radius_dense(self):
+        g = random_geometric(10, 2.0, seed=0)
+        assert g.m == 45  # everything within range -> complete
+
+    def test_determinism(self):
+        assert random_geometric(15, 0.3, seed=4) == random_geometric(15, 0.3, seed=4)
+
+
+class TestRegular:
+    @pytest.mark.parametrize("n,d", [(10, 3), (12, 4), (8, 2)])
+    def test_regularity(self, n, d):
+        g = random_regular(n, d, seed=1)
+        assert all(g.degree(v) == d for v in range(n))
+        assert is_connected(g)
+
+    def test_odd_total_degree_rejected(self):
+        with pytest.raises(GraphError):
+            random_regular(5, 3)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(GraphError):
+            random_regular(4, 4)
+
+    def test_determinism(self):
+        assert random_regular(10, 3, seed=7) == random_regular(10, 3, seed=7)
+
+
+class TestSkewedTrees:
+    def test_random_caterpillar_connected(self):
+        g = random_caterpillar(8, 3, seed=2)
+        assert is_connected(g)
+        assert g.m == g.n - 1
+
+    def test_power_law_tree(self):
+        g = random_power_law_tree(40, seed=3)
+        assert g.m == 39
+        assert is_connected(g)
+        degrees = sorted((g.degree(v) for v in range(g.n)), reverse=True)
+        assert degrees[0] >= 4  # hubs emerge
+
+    def test_power_law_gamma_validation(self):
+        with pytest.raises(GraphError):
+            random_power_law_tree(10, gamma=1.0)

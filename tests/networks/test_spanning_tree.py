@@ -1,0 +1,118 @@
+"""Unit tests for minimum-depth spanning tree construction (Section 3.1)."""
+
+import pytest
+
+from repro.exceptions import DisconnectedGraphError
+from repro.networks import topologies
+from repro.networks.graph import Graph
+from repro.networks.properties import radius
+from repro.networks.random_graphs import random_connected_gnp
+from repro.networks.spanning_tree import (
+    approximate_min_depth_tree,
+    best_root,
+    bfs_spanning_tree,
+    minimum_depth_spanning_tree,
+    tree_height_profile,
+)
+
+
+def assert_is_spanning_tree(tree, graph):
+    """Every tree edge is a graph edge and the tree spans all vertices."""
+    assert tree.n == graph.n
+    for parent, child in tree.edges():
+        assert graph.has_edge(parent, child)
+    assert len(tree.edges()) == graph.n - 1
+
+
+class TestBfsSpanningTree:
+    def test_height_equals_root_eccentricity(self):
+        g = topologies.path_graph(9)
+        assert bfs_spanning_tree(g, 0).height == 8
+        assert bfs_spanning_tree(g, 4).height == 4
+
+    def test_spans(self):
+        g = random_connected_gnp(20, 0.15, seed=0)
+        assert_is_spanning_tree(bfs_spanning_tree(g, 3), g)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            bfs_spanning_tree(Graph(3, [(0, 1)]), 0)
+
+    def test_deterministic(self):
+        g = random_connected_gnp(15, 0.2, seed=1)
+        assert bfs_spanning_tree(g, 2) == bfs_spanning_tree(g, 2)
+
+
+class TestMinimumDepth:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            topologies.path_graph(11),
+            topologies.cycle_graph(10),
+            topologies.grid_2d(4, 4),
+            topologies.star_graph(9),
+            topologies.hypercube(3),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_height_equals_radius(self, graph):
+        """The defining property of Section 3.1's construction."""
+        tree = minimum_depth_spanning_tree(graph)
+        assert tree.height == radius(graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_height_equals_radius_random(self, seed):
+        g = random_connected_gnp(25, 0.12, seed)
+        tree = minimum_depth_spanning_tree(g)
+        assert tree.height == radius(g)
+        assert_is_spanning_tree(tree, g)
+
+    def test_root_is_smallest_center(self):
+        g = topologies.path_graph(8)  # centers {3, 4}
+        assert best_root(g) == 3
+        assert minimum_depth_spanning_tree(g).root == 3
+
+    def test_custom_root_selector(self):
+        g = topologies.path_graph(9)
+        tree = minimum_depth_spanning_tree(g, root_selector=lambda graph: 0)
+        assert tree.root == 0
+        assert tree.height == 8  # eccentricity of the chosen root
+
+    def test_single_vertex(self):
+        tree = minimum_depth_spanning_tree(Graph(1, []))
+        assert tree.n == 1
+        assert tree.height == 0
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            minimum_depth_spanning_tree(Graph(4, [(0, 1), (2, 3)]))
+
+
+class TestApproximateTree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_within_factor_two(self, seed):
+        g = random_connected_gnp(30, 0.1, seed)
+        tree = approximate_min_depth_tree(g)
+        assert tree.height <= 2 * radius(g)
+        assert_is_spanning_tree(tree, g)
+
+    def test_exact_on_path(self):
+        # The midpoint of the two far endpoints IS the center of a path.
+        g = topologies.path_graph(13)
+        assert approximate_min_depth_tree(g).height == radius(g)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            approximate_min_depth_tree(Graph(3, [(0, 1)]))
+
+
+class TestHeightProfile:
+    def test_profile_matches_eccentricities(self):
+        from repro.networks.bfs import all_eccentricities
+
+        g = random_connected_gnp(15, 0.15, seed=4)
+        assert tree_height_profile(g).tolist() == all_eccentricities(g).tolist()
+
+    def test_profile_min_is_radius(self):
+        g = topologies.grid_2d(3, 5)
+        assert int(tree_height_profile(g).min()) == radius(g)

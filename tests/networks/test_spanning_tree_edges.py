@@ -1,0 +1,29 @@
+"""Tests for the small spanning-tree helpers not covered elsewhere."""
+
+from repro.networks import topologies
+from repro.networks.spanning_tree import (
+    minimum_depth_spanning_tree,
+    spanning_tree_edges,
+)
+
+
+class TestSpanningTreeEdges:
+    def test_edge_count(self):
+        tree = minimum_depth_spanning_tree(topologies.grid_2d(3, 3))
+        assert len(spanning_tree_edges(tree)) == tree.n - 1
+
+    def test_edges_are_parent_child(self):
+        tree = minimum_depth_spanning_tree(topologies.cycle_graph(7))
+        for parent, child in spanning_tree_edges(tree):
+            assert tree.parent(child) == parent
+
+    def test_sorted_by_child(self):
+        tree = minimum_depth_spanning_tree(topologies.star_graph(6))
+        children = [child for _, child in spanning_tree_edges(tree)]
+        assert children == sorted(children)
+
+    def test_single_vertex(self):
+        from repro.networks.graph import Graph
+
+        tree = minimum_depth_spanning_tree(Graph(1, []))
+        assert spanning_tree_edges(tree) == []

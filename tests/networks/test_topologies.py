@@ -1,0 +1,221 @@
+"""Unit tests for the deterministic topology generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.networks import topologies as T
+from repro.networks.bfs import is_connected
+from repro.networks.properties import diameter, radius
+
+
+class TestPathCycleStar:
+    def test_path(self):
+        g = T.path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = T.cycle_graph(6)
+        assert (g.n, g.m) == (6, 6)
+        assert all(g.degree(v) == 2 for v in range(6))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            T.cycle_graph(2)
+
+    def test_star(self):
+        g = T.star_graph(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_star_too_small(self):
+        with pytest.raises(GraphError):
+            T.star_graph(1)
+
+
+class TestCompleteBipartite:
+    def test_complete(self):
+        g = T.complete_graph(5)
+        assert g.m == 10
+        assert radius(g) == 1
+
+    def test_complete_bipartite(self):
+        g = T.complete_bipartite(2, 3)
+        assert (g.n, g.m) == (5, 6)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+
+    def test_bipartite_validation(self):
+        with pytest.raises(GraphError):
+            T.complete_bipartite(0, 3)
+
+
+class TestGridTorus:
+    def test_grid_counts(self):
+        g = T.grid_2d(3, 4)
+        assert (g.n, g.m) == (12, 17)
+
+    def test_grid_corner_degree(self):
+        g = T.grid_2d(3, 3)
+        assert g.degree(0) == 2
+        assert g.degree(4) == 4  # center
+
+    def test_grid_1xn_is_path(self):
+        assert T.grid_2d(1, 5) == T.path_graph(5)
+
+    def test_torus_regular(self):
+        g = T.torus_2d(3, 4)
+        assert all(g.degree(v) == 4 for v in range(12))
+        assert g.m == 24
+
+    def test_torus_too_small(self):
+        with pytest.raises(GraphError):
+            T.torus_2d(2, 4)
+
+    def test_torus_diameter(self):
+        assert diameter(T.torus_2d(4, 4)) == 4
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4, 5])
+    def test_counts_and_regularity(self, dim):
+        g = T.hypercube(dim)
+        assert g.n == 2**dim
+        assert g.m == dim * 2 ** (dim - 1)
+        assert all(g.degree(v) == dim for v in range(g.n))
+
+    def test_diameter_is_dim(self):
+        assert diameter(T.hypercube(4)) == 4
+        assert radius(T.hypercube(4)) == 4
+
+    def test_invalid_dim(self):
+        with pytest.raises(GraphError):
+            T.hypercube(0)
+
+
+class TestTrees:
+    def test_kary_tree_counts(self):
+        g = T.kary_tree(3, 2)
+        assert g.n == 1 + 3 + 9
+        assert g.m == g.n - 1
+
+    def test_binary_tree(self):
+        g = T.binary_tree(3)
+        assert g.n == 15
+        assert g.degree(0) == 2
+
+    def test_kary_height_zero(self):
+        g = T.kary_tree(4, 0)
+        assert (g.n, g.m) == (1, 0)
+
+    def test_caterpillar(self):
+        g = T.caterpillar(4, 2)
+        assert g.n == 12
+        assert g.m == 11
+        assert is_connected(g)
+
+    def test_spider(self):
+        g = T.spider(3, 4)
+        assert g.n == 13
+        assert g.degree(0) == 3
+        assert radius(g) == 4
+
+    def test_broom(self):
+        g = T.broom(4, 3)
+        assert g.n == 7
+        assert g.degree(3) == 4
+
+    def test_tree_families_connected_and_acyclic(self):
+        for g in [T.kary_tree(2, 4), T.caterpillar(6, 1), T.spider(5, 2), T.broom(5, 5)]:
+            assert is_connected(g)
+            assert g.m == g.n - 1
+
+
+class TestDenseShapes:
+    def test_wheel(self):
+        g = T.wheel(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 3 for v in range(1, 7))
+        assert radius(g) == 1
+
+    def test_wheel_too_small(self):
+        with pytest.raises(GraphError):
+            T.wheel(3)
+
+    def test_barbell(self):
+        g = T.barbell(4, 2)
+        assert g.n == 10
+        assert is_connected(g)
+        # two K4's plus the bridge path
+        assert g.m == 6 + 6 + 3
+
+    def test_lollipop(self):
+        g = T.lollipop(5, 3)
+        assert g.n == 8
+        assert g.m == 10 + 3
+        assert is_connected(g)
+
+    def test_double_star(self):
+        g = T.double_star(3, 2)
+        assert g.n == 7
+        assert g.degree(0) == 4
+        assert g.degree(1) == 3
+
+    def test_friendship(self):
+        g = T.friendship(3)
+        assert g.n == 7
+        assert g.degree(0) == 6
+        assert radius(g) == 1
+
+
+class TestFancyNetworks:
+    def test_de_bruijn(self):
+        g = T.de_bruijn(2, 3)
+        assert g.n == 8
+        assert is_connected(g)
+
+    def test_de_bruijn_validation(self):
+        with pytest.raises(GraphError):
+            T.de_bruijn(1, 3)
+
+    def test_ccc(self):
+        g = T.cube_connected_cycles(3)
+        assert g.n == 24
+        assert all(g.degree(v) == 3 for v in range(g.n))
+        assert is_connected(g)
+
+    def test_butterfly(self):
+        g = T.butterfly(2)
+        assert g.n == 12
+        assert is_connected(g)
+
+    def test_butterfly_validation(self):
+        with pytest.raises(GraphError):
+            T.butterfly(0)
+
+
+class TestNames:
+    def test_all_generators_name_their_graphs(self):
+        graphs = [
+            T.path_graph(4),
+            T.cycle_graph(4),
+            T.star_graph(4),
+            T.complete_graph(4),
+            T.grid_2d(2, 2),
+            T.torus_2d(3, 3),
+            T.hypercube(2),
+            T.kary_tree(2, 2),
+            T.caterpillar(3, 1),
+            T.spider(2, 2),
+            T.broom(3, 2),
+            T.wheel(5),
+            T.barbell(3, 1),
+            T.lollipop(3, 2),
+            T.de_bruijn(2, 2),
+            T.cube_connected_cycles(3),
+            T.butterfly(1),
+            T.double_star(1, 1),
+            T.friendship(2),
+        ]
+        for g in graphs:
+            assert g.name, f"generator produced unnamed graph: {g!r}"

@@ -1,0 +1,86 @@
+"""Property tests: tree maintenance invariants under random churn."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.networks.dynamic import TreeMaintainer
+from repro.networks.properties import radius
+from repro.networks.random_graphs import random_connected_gnp
+
+
+@st.composite
+def churn_sequences(draw):
+    """A seeded starting graph plus a list of random edge toggles."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_connected_gnp(n, 0.3, seed)
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove"]),
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=12,
+        )
+    )
+    return graph, ops
+
+
+def apply_churn(maintainer, ops):
+    for op, u, v in ops:
+        if u == v:
+            continue
+        try:
+            maintainer = (
+                maintainer.add_edge(u, v) if op == "add" else maintainer.remove_edge(u, v)
+            )
+        except GraphError:
+            continue  # duplicate add / absent or disconnecting removal
+    return maintainer
+
+
+@given(data=churn_sequences())
+@settings(max_examples=30, deadline=None)
+def test_eager_always_fresh(data):
+    graph, ops = data
+    m = apply_churn(TreeMaintainer.create(graph, policy="eager"), ops)
+    assert m.tree.height == radius(m.graph)
+    assert m.height_gap == 0
+    m.plan().execute(on_tree_only=True)
+
+
+@given(data=churn_sequences())
+@settings(max_examples=30, deadline=None)
+def test_lazy_tree_always_valid(data):
+    """Lazy never holds a broken tree: every tree edge exists, and the
+    schedule on it is valid and complete."""
+    graph, ops = data
+    m = apply_churn(TreeMaintainer.create(graph, policy="lazy"), ops)
+    for parent, child in m.tree.edges():
+        assert m.graph.has_edge(parent, child)
+    assert m.height_gap >= 0
+    plan = m.plan()
+    assert plan.total_time == m.schedule_bound
+    plan.execute(on_tree_only=True)
+
+
+@given(data=churn_sequences())
+@settings(max_examples=30, deadline=None)
+def test_lazy_never_rebuilds_more_than_eager(data):
+    graph, ops = data
+    lazy = apply_churn(TreeMaintainer.create(graph, policy="lazy"), ops)
+    eager = apply_churn(TreeMaintainer.create(graph, policy="eager"), ops)
+    assert lazy.rebuilds <= eager.rebuilds
+    assert lazy.graph == eager.graph  # same surviving topology
+
+
+@given(data=churn_sequences())
+@settings(max_examples=20, deadline=None)
+def test_refresh_restores_guarantee(data):
+    graph, ops = data
+    m = apply_churn(TreeMaintainer.create(graph, policy="lazy"), ops)
+    fresh = m.refreshed()
+    assert fresh.height_gap == 0
+    assert fresh.schedule_bound <= m.schedule_bound

@@ -1,0 +1,95 @@
+"""Property-based tests for the Section 4 extensions and UpDown."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.online import online_matches_offline, run_online_gossip
+from repro.core.updown import updown_gossip, updown_total_time_bound
+from repro.core.weighted import expand_weighted_tree, weighted_gossip
+from repro.networks.builders import tree_to_graph
+from repro.simulator.engine import execute_schedule
+from repro.simulator.state import labeled_holdings
+from tests.conftest import connected_graphs, labeled_trees
+
+
+@given(labeled=labeled_trees(max_n=24))
+@settings(max_examples=40, deadline=None)
+def test_updown_within_two_phase_budget(labeled):
+    """The reconstructed UpDown never exceeds (n-1+r) + (2(r-1)+1)."""
+    schedule = updown_gossip(labeled)
+    assert schedule.total_time <= updown_total_time_bound(
+        labeled.n, labeled.height
+    )
+    execute_schedule(
+        tree_to_graph(labeled.tree),
+        schedule,
+        initial_holds=labeled_holdings(labeled.labels()),
+        require_complete=True,
+    )
+
+
+@given(labeled=labeled_trees(max_n=24))
+@settings(max_examples=40, deadline=None)
+def test_updown_never_faster_than_concurrent_minus_slack(labeled):
+    """UpDown >= n - 1 always (receive capacity)."""
+    if labeled.n > 1:
+        assert updown_gossip(labeled).total_time >= labeled.n - 1
+
+
+@given(labeled=labeled_trees(max_n=20))
+@settings(max_examples=40, deadline=None)
+def test_online_always_matches_offline(labeled):
+    """The (i, j, k)-only protocol is schedule-for-schedule identical."""
+    assert online_matches_offline(labeled)
+
+
+@given(labeled=labeled_trees(max_n=16))
+@settings(max_examples=25, deadline=None)
+def test_online_total_time(labeled):
+    expected = 0 if labeled.n == 1 else labeled.n + labeled.height
+    assert run_online_gossip(labeled).total_time == expected
+
+
+@given(
+    graph=connected_graphs(max_n=10),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_weighted_gossip_exact_bound(graph, data):
+    weights = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=3),
+            min_size=graph.n,
+            max_size=graph.n,
+        )
+    )
+    plan = weighted_gossip(graph, weights)
+    assert plan.total_messages == sum(weights)
+    assert plan.total_time == plan.bound
+    result = plan.execute()
+    assert result.complete
+    assert max(plan.real_round_load().values()) <= 2
+
+
+@given(
+    labeled=labeled_trees(max_n=14),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_chain_expansion_invariants(labeled, data):
+    weights = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=3),
+            min_size=labeled.n,
+            max_size=labeled.n,
+        )
+    )
+    expanded, owner = expand_weighted_tree(labeled.tree, weights)
+    assert expanded.n == sum(weights)
+    # each real vertex owns a contiguous chain of its weight
+    for v in range(labeled.n):
+        chain = [virt for virt in range(expanded.n) if owner[virt] == v]
+        assert len(chain) == weights[v]
+        assert chain == list(range(chain[0], chain[0] + len(chain)))
+    # expanded height >= original height (chains only stretch paths)
+    assert expanded.height >= labeled.tree.height

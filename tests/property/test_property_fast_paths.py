@@ -1,0 +1,33 @@
+"""Property tests: the fast path backend equals the reference everywhere."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.networks.bfs import all_eccentricities, distance_matrix
+from repro.networks.fast_paths import (
+    all_pairs_distances,
+    fast_eccentricities,
+    minimum_depth_spanning_tree_fast,
+)
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from tests.conftest import connected_graphs
+
+
+@given(graph=connected_graphs(max_n=22))
+@settings(max_examples=40, deadline=None)
+def test_distances_identical(graph):
+    assert np.array_equal(all_pairs_distances(graph), distance_matrix(graph))
+
+
+@given(graph=connected_graphs(max_n=22))
+@settings(max_examples=40, deadline=None)
+def test_eccentricities_identical(graph):
+    assert np.array_equal(fast_eccentricities(graph), all_eccentricities(graph))
+
+
+@given(graph=connected_graphs(max_n=20))
+@settings(max_examples=40, deadline=None)
+def test_canonical_tree_identical(graph):
+    assert minimum_depth_spanning_tree_fast(graph) == minimum_depth_spanning_tree(
+        graph
+    )

@@ -1,0 +1,69 @@
+"""Property-based tests: graph substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks.bfs import (
+    all_eccentricities,
+    bfs_levels,
+    bfs_levels_reference,
+    bfs_tree,
+    distance_matrix,
+)
+from repro.networks.properties import center, diameter, radius
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from tests.conftest import connected_graphs
+
+
+@given(graph=connected_graphs(), source=st.integers(min_value=0, max_value=100))
+@settings(max_examples=50, deadline=None)
+def test_vectorised_bfs_matches_reference(graph, source):
+    src = source % graph.n
+    assert bfs_levels(graph, src).tolist() == bfs_levels_reference(graph, src)
+
+
+@given(graph=connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_bfs_distances_are_metric(graph):
+    d = distance_matrix(graph)
+    n = graph.n
+    assert (d == d.T).all()
+    for u, v in graph.edges():
+        assert abs(int(d[0, u]) - int(d[0, v])) <= 1  # edges span <= 1 level
+
+
+@given(graph=connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_radius_diameter_sandwich(graph):
+    r, d = radius(graph), diameter(graph)
+    assert r <= d <= 2 * r
+    assert r <= graph.n / 2 or graph.n == 1
+
+
+@given(graph=connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_center_attains_radius(graph):
+    r = radius(graph)
+    ecc = all_eccentricities(graph)
+    for c in center(graph):
+        assert ecc[c] == r
+
+
+@given(graph=connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_min_depth_tree_spans_with_radius_height(graph):
+    tree = minimum_depth_spanning_tree(graph)
+    assert tree.n == graph.n
+    assert tree.height == radius(graph)
+    for p, c in tree.edges():
+        assert graph.has_edge(p, c)
+
+
+@given(graph=connected_graphs(), source=st.integers(min_value=0, max_value=100))
+@settings(max_examples=40, deadline=None)
+def test_bfs_tree_parents_decrease_distance(graph, source):
+    src = source % graph.n
+    dist, parent = bfs_tree(graph, src)
+    for v in range(graph.n):
+        if v != src:
+            assert dist[parent[v]] == dist[v] - 1

@@ -1,0 +1,66 @@
+"""Property tests: timeline extraction is lossless.
+
+Every transmission of a tree schedule appears in the senders' and
+receivers' timelines with consistent times, so the paper's tables are a
+faithful projection — not a re-derivation that could hide a mismatch.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.concurrent_updown import concurrent_updown
+from repro.simulator.trace import all_timelines
+from tests.conftest import labeled_trees
+
+
+@given(labeled=labeled_trees(max_n=20))
+@settings(max_examples=30, deadline=None)
+def test_every_transmission_projected(labeled):
+    tree = labeled.tree
+    schedule = concurrent_updown(labeled)
+    timelines = all_timelines(tree, schedule)
+    for t, rnd in enumerate(schedule):
+        for tx in rnd:
+            sender_tl = timelines[tx.sender]
+            parent = tree.parent(tx.sender)
+            for d in tx.destinations:
+                if d == parent:
+                    assert sender_tl.send_to_parent[t] == tx.message
+                else:
+                    assert sender_tl.send_to_child[t] == tx.message
+                # receiver's view at time t + 1
+                recv_tl = timelines[d]
+                if tree.parent(d) == tx.sender:
+                    assert recv_tl.receive_from_parent[t + 1] == tx.message
+                else:
+                    assert recv_tl.receive_from_child[t + 1] == tx.message
+
+
+@given(labeled=labeled_trees(max_n=20))
+@settings(max_examples=30, deadline=None)
+def test_send_receive_row_duality(labeled):
+    """Each send-to-parent entry has the matching receive-from-child entry
+    at the parent, one round later."""
+    tree = labeled.tree
+    schedule = concurrent_updown(labeled)
+    timelines = all_timelines(tree, schedule)
+    for v in range(labeled.n):
+        parent = tree.parent(v)
+        if parent < 0:
+            continue
+        for t, m in timelines[v].send_to_parent.items():
+            assert timelines[parent].receive_from_child[t + 1] == m
+
+
+@given(labeled=labeled_trees(max_n=18))
+@settings(max_examples=25, deadline=None)
+def test_receive_rows_cover_all_messages(labeled):
+    """Each vertex's receive rows contain exactly its n - 1 foreign
+    messages (ConcurrentUpDown never delivers duplicates)."""
+    tree = labeled.tree
+    schedule = concurrent_updown(labeled)
+    for tl in all_timelines(tree, schedule):
+        received = list(tl.receive_from_parent.values()) + list(
+            tl.receive_from_child.values()
+        )
+        own = labeled.label_of(tl.vertex)
+        assert sorted(received) == [m for m in range(labeled.n) if m != own]

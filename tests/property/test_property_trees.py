@@ -1,0 +1,76 @@
+"""Property-based tests: DFS labelling invariants on random trees."""
+
+from hypothesis import given, settings
+
+from repro.tree.labeling import LabeledTree
+from tests.conftest import labeled_trees, random_trees
+
+
+@given(tree=random_trees())
+@settings(max_examples=60, deadline=None)
+def test_dfs_labels_are_a_permutation(tree):
+    labeled = LabeledTree(tree)
+    assert sorted(labeled.labels()) == list(range(tree.n))
+
+
+@given(tree=random_trees())
+@settings(max_examples=60, deadline=None)
+def test_root_label_zero_and_intervals_nest(tree):
+    labeled = LabeledTree(tree)
+    assert labeled.label_of(tree.root) == 0
+    for v in range(tree.n):
+        b = labeled.block(v)
+        p = tree.parent(v)
+        if p >= 0:
+            pb = labeled.block(p)
+            # child interval strictly inside the parent's
+            assert pb.i < b.i and b.j <= pb.j
+
+
+@given(labeled=labeled_trees())
+@settings(max_examples=60, deadline=None)
+def test_children_intervals_tile_the_parent_interval(labeled):
+    tree = labeled.tree
+    for v in range(tree.n):
+        b = labeled.block(v)
+        cursor = b.i + 1
+        for c in tree.children(v):
+            cb = labeled.block(c)
+            assert cb.i == cursor
+            cursor = cb.j + 1
+        assert cursor == b.j + 1
+
+
+@given(labeled=labeled_trees())
+@settings(max_examples=60, deadline=None)
+def test_label_bounds(labeled):
+    """i >= k everywhere (needed by Lemma 2) and j <= n - 1."""
+    for v in range(labeled.n):
+        b = labeled.block(v)
+        assert b.i >= b.k
+        assert b.j <= labeled.n - 1
+        assert b.i <= b.j
+
+
+@given(labeled=labeled_trees())
+@settings(max_examples=40, deadline=None)
+def test_lip_messages_unique_per_parent(labeled):
+    """Exactly one child of every internal vertex carries the lip."""
+    tree = labeled.tree
+    for v in range(labeled.n):
+        kids = tree.children(v)
+        if kids:
+            lips = [c for c in kids if labeled.block(c).is_first_child]
+            assert len(lips) == 1
+
+
+@given(labeled=labeled_trees(max_n=20))
+@settings(max_examples=40, deadline=None)
+def test_owner_child_total_on_descendant_labels(labeled):
+    tree = labeled.tree
+    for v in range(labeled.n):
+        b = labeled.block(v)
+        for m in range(b.i + 1, b.j + 1):
+            owner = labeled.owner_child(v, m)
+            ob = labeled.block(owner)
+            assert ob.i <= m <= ob.j

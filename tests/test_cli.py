@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gossip_defaults(self):
+        args = build_parser().parse_args(["gossip"])
+        assert args.topology == "grid"
+        assert args.algorithm == "concurrent-updown"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gossip", "--algorithm", "nope"])
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gossip", "--topology", "nope"])
+
+
+class TestCommands:
+    def test_gossip(self, capsys):
+        assert main(["gossip", "--topology", "cycle", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "total time: 12" in out
+        assert "complete  : True" in out
+
+    def test_gossip_show_tree_and_schedule(self, capsys):
+        assert main(
+            ["gossip", "--topology", "star", "--n", "5", "--show-tree", "--show-schedule"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "└── " in out
+        assert "t=  0:" in out
+
+    def test_gossip_alternative_algorithm(self, capsys):
+        assert main(["gossip", "--topology", "path", "--n", "7", "--algorithm", "simple"]) == 0
+        out = capsys.readouterr().out
+        assert "simple" in out
+
+    def test_tables_default(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for title in ("Table 1", "Table 2", "Table 3", "Table 4"):
+            assert title in out
+
+    def test_tables_specific_vertex(self, capsys):
+        assert main(["tables", "--vertex", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "vertex with message 5" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--sizes", "8", "--families", "path", "star"]) == 0
+        out = capsys.readouterr().out
+        assert "path-8" in out
+        assert "concurrent-updown" in out
+
+    def test_paper(self, capsys):
+        assert main(["paper"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 5
+
+    def test_broadcast(self, capsys):
+        assert main(["broadcast", "--topology", "star", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "multicast: 1 rounds" in out
+        assert "telephone: 15 rounds" in out
+
+    def test_weighted(self, capsys):
+        assert main(["weighted", "--topology", "path", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "complete=True" in out
+        assert "N + r'" in out
+
+    def test_online(self, capsys):
+        assert main(["online", "--topology", "grid", "--n", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "schedules identical: True" in out
+
+    def test_repeated(self, capsys):
+        assert main(["repeated", "--topology", "star", "--n", "8",
+                     "--instances", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "complete : True" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--sizes", "12", "--families", "path", "star"]) == 0
+        out = capsys.readouterr().out
+        assert "all bounds hold exactly" in out
+        assert "path-12" in out

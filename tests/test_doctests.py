@@ -1,0 +1,36 @@
+"""Run the doctest examples embedded in the library's docstrings.
+
+Keeps the documentation honest: every ``>>>`` example in a public
+docstring must execute and produce the shown output.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.schedule
+import repro.networks.graph
+import repro.tree.labeling
+import repro.tree.tree
+
+#: (module, whether we require it to contain at least one example)
+MODULES = [
+    (repro, True),
+    (repro.networks.graph, True),
+    (repro.tree.tree, True),
+    (repro.tree.labeling, True),
+    (repro.core.schedule, False),
+]
+
+
+@pytest.mark.parametrize(
+    "module,requires_examples", MODULES, ids=lambda m: getattr(m, "__name__", "")
+)
+def test_doctests(module, requires_examples):
+    result = doctest.testmod(module)
+    assert result.failed == 0, (
+        f"{result.failed} doctest failure(s) in {module.__name__}"
+    )
+    if requires_examples:
+        assert result.attempted > 0, f"no doctests found in {module.__name__}"

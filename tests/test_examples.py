@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Executed in-process via runpy so assertion failures inside the examples
+(they assert their own claims) surface as test failures.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_reports_theorem1(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Theorem 1 guarantee" in out
+    assert "complete=True" in out
+
+
+def test_walkthrough_covers_all_artefacts(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "paper_walkthrough.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    for artefact in ("Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4",
+                     "Table 1", "Table 2", "Table 3", "Table 4", "Theorem 1"):
+        assert artefact in out

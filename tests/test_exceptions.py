@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in exc.__all__:
+            cls = getattr(exc, name)
+            assert issubclass(cls, exc.ReproError)
+
+    def test_graph_family(self):
+        assert issubclass(exc.DisconnectedGraphError, exc.GraphError)
+
+    def test_tree_family(self):
+        assert issubclass(exc.LabelingError, exc.TreeError)
+
+    def test_schedule_family(self):
+        for cls in (
+            exc.ScheduleConflictError,
+            exc.ModelViolationError,
+            exc.IncompleteGossipError,
+        ):
+            assert issubclass(cls, exc.ScheduleError)
+
+    def test_catch_all(self):
+        """Library failures are catchable with one except clause."""
+        from repro import gossip
+        from repro.networks.graph import Graph
+
+        with pytest.raises(exc.ReproError):
+            gossip(Graph(4, [(0, 1), (2, 3)]))  # disconnected
+        with pytest.raises(exc.ReproError):
+            Graph(2, [(0, 0)])  # self loop
+        with pytest.raises(exc.ReproError):
+            gossip(Graph(3, [(0, 1), (1, 2)]), algorithm="bogus")

@@ -1,0 +1,141 @@
+"""Unit tests for the DFS preorder labelling."""
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.networks.builders import graph_to_tree
+from repro.networks.paper_networks import fig5_tree
+from repro.networks.random_graphs import random_tree
+from repro.tree.labeling import LabeledTree, label_tree
+from repro.tree.tree import Tree
+
+
+@pytest.fixture
+def sample():
+    return Tree([-1, 0, 0, 1, 1, 2, 5], root=0)
+
+
+class TestLabels:
+    def test_preorder_labels(self, sample):
+        lt = LabeledTree(sample)
+        # preorder: 0 1 3 4 2 5 6
+        assert [lt.label_of(v) for v in range(7)] == [0, 1, 4, 2, 3, 5, 6]
+
+    def test_vertex_of_inverts_label_of(self, sample):
+        lt = LabeledTree(sample)
+        for v in range(7):
+            assert lt.vertex_of(lt.label_of(v)) == v
+
+    def test_root_gets_zero(self, sample):
+        assert LabeledTree(sample).label_of(0) == 0
+
+    def test_label_tree_helper(self, sample):
+        assert label_tree(sample).labels() == LabeledTree(sample).labels()
+
+
+class TestBlocks:
+    def test_root_block_spans_everything(self, sample):
+        b = LabeledTree(sample).block(0)
+        assert (b.i, b.j, b.k) == (0, 6, 0)
+
+    def test_subtree_intervals(self, sample):
+        lt = LabeledTree(sample)
+        b1 = lt.block(1)  # subtree {1, 3, 4} -> labels {1, 2, 3}
+        assert (b1.i, b1.j) == (1, 3)
+        b2 = lt.block(2)  # subtree {2, 5, 6} -> labels {4, 5, 6}
+        assert (b2.i, b2.j) == (4, 6)
+
+    def test_leaf_block(self, sample):
+        b = LabeledTree(sample).block(3)
+        assert b.i == b.j
+        assert b.is_leaf_block
+
+    def test_subtree_size(self, sample):
+        lt = LabeledTree(sample)
+        for v in range(7):
+            assert lt.block(v).subtree_size == sample.subtree_size(v)
+
+    def test_first_child_detection(self, sample):
+        lt = LabeledTree(sample)
+        assert lt.block(1).is_first_child       # first child of root
+        assert not lt.block(2).is_first_child   # second child of root
+        assert lt.block(3).is_first_child       # first child of 1
+        assert not lt.block(0).is_first_child   # the root
+
+    def test_w_counts_lip_messages(self, sample):
+        lt = LabeledTree(sample)
+        assert lt.block(1).w == 1
+        assert lt.block(2).w == 0
+
+    def test_block_of_label(self, sample):
+        lt = LabeledTree(sample)
+        for label in range(7):
+            assert lt.block_of_label(label).i == label
+
+    def test_label_table(self, sample):
+        table = LabeledTree(sample).label_table()
+        assert table[0] == (0, 6, 0)
+        assert table[2] == (4, 6, 1)
+
+
+class TestOwnerChild:
+    def test_owner_child(self, sample):
+        lt = LabeledTree(sample)
+        assert lt.owner_child(0, 2) == 1   # label 2 = vertex 3, below child 1
+        assert lt.owner_child(0, 5) == 2
+        assert lt.owner_child(2, 6) == 5
+
+    def test_owner_child_rejects_own_label(self, sample):
+        lt = LabeledTree(sample)
+        with pytest.raises(LabelingError):
+            lt.owner_child(0, 0)
+
+    def test_owner_child_rejects_outside(self, sample):
+        lt = LabeledTree(sample)
+        with pytest.raises(LabelingError):
+            lt.owner_child(1, 5)
+
+    def test_children_by_label(self, sample):
+        lt = LabeledTree(sample)
+        assert lt.children_by_label(0) == (1, 4)
+
+
+class TestInvariantsRandom:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_contiguous_intervals(self, seed):
+        tree = graph_to_tree(random_tree(25, seed), root=0)
+        lt = LabeledTree(tree)
+        for v in range(tree.n):
+            b = lt.block(v)
+            subtree_labels = sorted(lt.label_of(u) for u in tree.subtree(v))
+            assert subtree_labels == list(range(b.i, b.j + 1))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_label_at_least_level(self, seed):
+        """DFS preorder guarantees i >= k — used in Lemma 2's base case."""
+        tree = graph_to_tree(random_tree(25, seed), root=0)
+        lt = LabeledTree(tree)
+        for v in range(tree.n):
+            b = lt.block(v)
+            assert b.i >= b.k
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exactly_one_first_child_per_internal_vertex(self, seed):
+        tree = graph_to_tree(random_tree(20, seed), root=0)
+        lt = LabeledTree(tree)
+        for v in range(tree.n):
+            kids = tree.children(v)
+            if kids:
+                firsts = [c for c in kids if lt.block(c).is_first_child]
+                assert len(firsts) == 1
+                assert lt.block(firsts[0]).i == lt.block(v).i + 1
+
+    def test_child_order_changes_labels_not_structure(self):
+        tree = fig5_tree()
+        reordered = tree.with_child_order(lambda v, kids: sorted(kids, reverse=True))
+        lt = LabeledTree(reordered)
+        assert lt.label_of(0) == 0
+        assert lt.label_of(11) == 1  # 11 now visited first
+        # interval sizes still match subtree sizes
+        for v in range(tree.n):
+            assert lt.block(v).subtree_size == reordered.subtree_size(v)

@@ -1,0 +1,102 @@
+"""Unit tests for the s/l/r/o and lip/rip message classification."""
+
+import pytest
+
+from repro.networks.paper_networks import fig5_tree
+from repro.tree.labeling import LabeledTree
+from repro.tree.message_classes import class_name_of, classify
+
+
+@pytest.fixture
+def fig5_labeled():
+    return LabeledTree(fig5_tree())
+
+
+class TestFig5Classification:
+    """Classify the published example's vertices exactly as Section 3.2."""
+
+    def test_vertex_4(self, fig5_labeled):
+        c = classify(fig5_labeled.block(4), 16)
+        assert c.s_message == 4
+        assert c.l_message == 5
+        assert list(c.r_messages) == [6, 7, 8, 9, 10]
+        assert list(c.o_low) == [0, 1, 2, 3]
+        assert list(c.o_high) == [11, 12, 13, 14, 15]
+        # vertex 4 is the root's second child: no lip, rip = 4..10
+        assert c.lip_message is None
+        assert list(c.rip_messages) == [4, 5, 6, 7, 8, 9, 10]
+
+    def test_vertex_1_is_first_child(self, fig5_labeled):
+        c = classify(fig5_labeled.block(1), 16)
+        assert c.lip_message == 1
+        assert list(c.rip_messages) == [2, 3]
+
+    def test_vertex_8(self, fig5_labeled):
+        c = classify(fig5_labeled.block(8), 16)
+        assert c.s_message == 8
+        assert c.l_message == 9
+        assert list(c.r_messages) == [10]
+        assert c.lip_message is None          # 8 != 4 + 1
+        assert list(c.rip_messages) == [8, 9, 10]
+
+    def test_vertex_5_lip(self, fig5_labeled):
+        c = classify(fig5_labeled.block(5), 16)
+        assert c.lip_message == 5             # 5 == 4 + 1: first child of 4
+        assert list(c.rip_messages) == [6, 7]
+
+    def test_root(self, fig5_labeled):
+        """The paper: at the root all b-messages are rip, no lip."""
+        c = classify(fig5_labeled.block(0), 16)
+        assert c.s_message == 0
+        assert c.l_message == 1
+        assert list(c.r_messages) == list(range(2, 16))
+        assert c.lip_message is None
+        assert list(c.rip_messages) == list(range(16))
+        assert c.count_o() == 0
+
+    def test_leaf(self, fig5_labeled):
+        c = classify(fig5_labeled.block(10), 16)
+        assert c.l_message is None
+        assert list(c.r_messages) == []
+        assert c.count_o() == 15
+
+
+class TestPartitionProperties:
+    def test_classes_partition_all_messages(self, fig5_labeled):
+        n = 16
+        for v in range(n):
+            c = classify(fig5_labeled.block(v), n)
+            body = [c.s_message]
+            if c.l_message is not None:
+                body.append(c.l_message)
+            body.extend(c.r_messages)
+            everything = sorted(list(c.o_low) + body + list(c.o_high))
+            assert everything == list(range(n))
+
+    def test_lip_rip_partition_body_for_first_child(self, fig5_labeled):
+        c = classify(fig5_labeled.block(1), 16)
+        assert sorted([c.lip_message, *c.rip_messages]) == list(c.b_messages)
+
+    def test_rip_equals_body_for_non_first_child(self, fig5_labeled):
+        c = classify(fig5_labeled.block(8), 16)
+        assert list(c.rip_messages) == list(c.b_messages)
+
+    def test_is_b_is_o_consistent(self, fig5_labeled):
+        c = classify(fig5_labeled.block(4), 16)
+        for m in range(16):
+            assert c.is_b_message(m) != c.is_o_message(m)
+
+
+class TestClassName:
+    def test_names(self, fig5_labeled):
+        c = classify(fig5_labeled.block(4), 16)
+        assert class_name_of(c, 4) == "s"
+        assert class_name_of(c, 5) == "l"
+        assert class_name_of(c, 7) == "r"
+        assert class_name_of(c, 0) == "o"
+        assert class_name_of(c, 15) == "o"
+
+    def test_out_of_range(self, fig5_labeled):
+        c = classify(fig5_labeled.block(4), 16)
+        with pytest.raises(ValueError):
+            class_name_of(c, 16)

@@ -1,0 +1,164 @@
+"""Unit tests for the rooted ordered Tree type."""
+
+import pytest
+
+from repro.exceptions import TreeError
+from repro.tree.tree import Tree
+
+
+@pytest.fixture
+def sample():
+    r"""The tree::
+
+            0
+           / \
+          1   2
+         / \   \
+        3   4   5
+                 \
+                  6
+    """
+    return Tree([-1, 0, 0, 1, 1, 2, 5], root=0)
+
+
+class TestConstruction:
+    def test_basic(self, sample):
+        assert sample.n == 7
+        assert sample.root == 0
+        assert sample.height == 3
+
+    def test_single_vertex(self):
+        t = Tree([-1], root=0)
+        assert t.height == 0
+        assert t.is_leaf(0)
+        assert t.leaves() == [0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TreeError):
+            Tree([], root=0)
+
+    def test_root_out_of_range(self):
+        with pytest.raises(TreeError):
+            Tree([-1, 0], root=5)
+
+    def test_root_must_have_minus_one(self):
+        with pytest.raises(TreeError):
+            Tree([0, 0], root=0)
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(TreeError):
+            Tree([-1, 1], root=0)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TreeError):
+            Tree([-1, 2, 1], root=0)
+
+    def test_out_of_range_parent_rejected(self):
+        with pytest.raises(TreeError):
+            Tree([-1, 9], root=0)
+
+    def test_two_components_rejected(self):
+        # 2 and 3 form their own cycle, unattached to root 0.
+        with pytest.raises(TreeError):
+            Tree([-1, 0, 3, 2], root=0)
+
+
+class TestAccessors:
+    def test_parent(self, sample):
+        assert sample.parent(0) == -1
+        assert sample.parent(4) == 1
+        assert sample.parent(6) == 5
+
+    def test_children_sorted_default(self, sample):
+        assert sample.children(0) == (1, 2)
+        assert sample.children(1) == (3, 4)
+        assert sample.children(6) == ()
+
+    def test_levels(self, sample):
+        assert sample.level(0) == 0
+        assert sample.level(4) == 2
+        assert sample.level(6) == 3
+        assert sample.levels() == (0, 1, 1, 2, 2, 2, 3)
+
+    def test_is_leaf(self, sample):
+        assert sample.is_leaf(3)
+        assert not sample.is_leaf(2)
+
+    def test_leaves(self, sample):
+        assert sample.leaves() == [3, 4, 6]
+
+    def test_is_root(self, sample):
+        assert sample.is_root(0)
+        assert not sample.is_root(1)
+
+    def test_edges(self, sample):
+        assert (0, 1) in sample.edges()
+        assert len(sample.edges()) == 6
+
+    def test_out_of_range(self, sample):
+        with pytest.raises(TreeError):
+            sample.parent(7)
+
+    def test_len_repr(self, sample):
+        assert len(sample) == 7
+        assert "height=3" in repr(sample)
+
+
+class TestTraversals:
+    def test_dfs_preorder(self, sample):
+        assert list(sample.dfs_preorder()) == [0, 1, 3, 4, 2, 5, 6]
+
+    def test_bfs_order(self, sample):
+        assert list(sample.bfs_order()) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_subtree(self, sample):
+        assert sample.subtree(1) == [1, 3, 4]
+        assert sample.subtree(2) == [2, 5, 6]
+        assert sample.subtree(6) == [6]
+
+    def test_subtree_size(self, sample):
+        assert sample.subtree_size(0) == 7
+        assert sample.subtree_size(5) == 2
+
+    def test_path_to_root(self, sample):
+        assert sample.path_to_root(6) == [6, 5, 2, 0]
+        assert sample.path_to_root(0) == [0]
+
+    def test_ancestor_at_level(self, sample):
+        assert sample.ancestor_at_level(6, 0) == 0
+        assert sample.ancestor_at_level(6, 2) == 5
+        assert sample.ancestor_at_level(6, 3) == 6
+
+    def test_ancestor_at_level_invalid(self, sample):
+        with pytest.raises(TreeError):
+            sample.ancestor_at_level(3, 3)
+
+
+class TestChildOrder:
+    def test_custom_order(self, sample):
+        reordered = sample.with_child_order(lambda v, kids: sorted(kids, reverse=True))
+        assert reordered.children(0) == (2, 1)
+        assert list(reordered.dfs_preorder()) == [0, 2, 5, 6, 1, 4, 3]
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(TreeError):
+            Tree([-1, 0, 0], root=0, child_order=lambda v, kids: kids[:1])
+
+    def test_order_changes_identity(self, sample):
+        reordered = sample.with_child_order(lambda v, kids: sorted(kids, reverse=True))
+        assert reordered != sample
+
+    def test_height_independent_of_order(self, sample):
+        reordered = sample.with_child_order(lambda v, kids: sorted(kids, reverse=True))
+        assert reordered.height == sample.height
+
+
+class TestEquality:
+    def test_equal(self):
+        assert Tree([-1, 0, 1], root=0) == Tree([-1, 0, 1], root=0)
+
+    def test_hashable(self):
+        assert len({Tree([-1, 0], root=0), Tree([-1, 0], root=0)}) == 1
+
+    def test_different_root(self):
+        assert Tree([-1, 0], root=0) != Tree([1, -1], root=1)
