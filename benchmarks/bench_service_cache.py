@@ -1,0 +1,79 @@
+"""SERVICE-CACHE — amortised plan serving through GossipService.
+
+The serving claim behind :mod:`repro.service`: once a network's plan is
+cached, serving it again costs a dictionary lookup instead of the full
+Section 3 pipeline.  Measured on the acceptance-criteria network
+``grid_2d(16, 16)``:
+
+* cold vs warm single-plan latency (gate: warm >= 10x faster),
+* batch throughput via ``plan_many`` over perturbed grid variants.
+
+Runs two ways:
+
+* under pytest(-benchmark) with the rest of the suite — records rows in
+  the reproduction summary;
+* standalone: ``python benchmarks/bench_service_cache.py --check``
+  exits non-zero unless the 10x gate holds (wired into tier-1 via
+  ``tests/service/test_bench_check.py``).
+"""
+
+import argparse
+import sys
+
+from repro.networks.topologies import grid_2d
+from repro.service.workload import bench_plan_cache
+
+#: The acceptance-criteria network.
+ROWS = COLS = 16
+MIN_SPEEDUP = 10.0
+
+
+def run(*, warm_rounds: int = 200, batch: int = 32):
+    """One full measurement on ``grid_2d(16, 16)``."""
+    return bench_plan_cache(
+        grid_2d(ROWS, COLS),
+        warm_rounds=warm_rounds,
+        batch_size=batch,
+        batch_unique=4,
+    )
+
+
+def test_warm_hit_speedup(benchmark, report):
+    """Warm serving beats cold planning by >= 10x on grid_2d(16, 16)."""
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    report.row(
+        network=result.topology,
+        cold_ms=f"{result.cold_ms:.3f}",
+        warm_ms=f"{result.warm_ms:.4f}",
+        speedup=f"{result.speedup:.0f}x",
+        batch_throughput=f"{result.batch_warm_throughput:.0f}/s",
+    )
+    result.check(min_speedup=MIN_SPEEDUP)
+    # The batch phase serves the same requests twice; warm must win too.
+    assert result.batch_warm_s < result.batch_cold_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the warm hit is >= 10x faster than cold",
+    )
+    parser.add_argument("--warm-rounds", type=int, default=200)
+    parser.add_argument("--batch", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    result = run(warm_rounds=args.warm_rounds, batch=args.batch)
+    print(result.format())
+    if args.check:
+        try:
+            result.check(min_speedup=MIN_SPEEDUP)
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print(f"check: warm hit >= {MIN_SPEEDUP:.0f}x faster than cold  OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

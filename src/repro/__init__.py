@@ -20,6 +20,7 @@ Packages
 * :mod:`repro.tree`      — rooted trees and DFS message labelling;
 * :mod:`repro.core`      — the scheduling algorithms and data model;
 * :mod:`repro.simulator` — round-based execution and validation;
+* :mod:`repro.service`   — cached, concurrent plan serving;
 * :mod:`repro.analysis`  — bounds, comparisons, paper tables;
 * :mod:`repro.viz`       — ASCII rendering helpers.
 """
@@ -27,7 +28,14 @@ Packages
 from . import networks
 from .core.broadcast import broadcast, broadcast_time, telephone_broadcast
 from .core.concurrent_updown import concurrent_updown, concurrent_updown_on_tree
-from .core.gossip import ALGORITHMS, GossipPlan, gossip, gossip_on_tree
+from .core.gossip import (
+    ALGORITHMS,
+    GossipPlan,
+    gossip,
+    gossip_on_tree,
+    register_algorithm,
+    resolve_network,
+)
 from .core.online import run_online_gossip
 from .core.optimal import minimum_gossip_time
 from .core.optimal_path import optimal_path_gossip
@@ -53,6 +61,7 @@ from .networks import topologies
 from .networks.graph import Graph, GraphBuilder
 from .networks.properties import center, diameter, radius, summarize
 from .networks.spanning_tree import bfs_spanning_tree, minimum_depth_spanning_tree
+from .service import GossipService, MaintainedNetwork, ServiceStats
 from .simulator.engine import execute_schedule
 from .tree.labeling import LabeledTree, label_tree
 from .tree.tree import Tree
@@ -102,6 +111,12 @@ __all__ = [
     "gossip_on_tree",
     "GossipPlan",
     "ALGORITHMS",
+    "register_algorithm",
+    "resolve_network",
+    # serving
+    "GossipService",
+    "MaintainedNetwork",
+    "ServiceStats",
     # execution
     "execute_schedule",
     # exceptions

@@ -2,10 +2,12 @@
 
 Subcommands:
 
-* ``gossip``  — build and report a gossip schedule for a named topology;
-* ``tables``  — regenerate the paper's Tables 1–4;
-* ``compare`` — compare algorithms across the standard suite;
-* ``paper``   — verify every paper figure claim and print a summary.
+* ``gossip``      — build and report a gossip schedule for a named topology;
+* ``tables``      — regenerate the paper's Tables 1–4;
+* ``compare``     — compare algorithms across the standard suite;
+* ``paper``       — verify every paper figure claim and print a summary;
+* ``bench``       — cold vs warm plan serving through :class:`GossipService`;
+* ``serve-stats`` — replay a synthetic request stream and print service stats.
 
 Examples
 --------
@@ -16,6 +18,8 @@ Examples
     python -m repro.cli tables --vertex 4
     python -m repro.cli compare --sizes 16 32 64
     python -m repro.cli paper
+    python -m repro.cli bench --topology grid --n 256 --check
+    python -m repro.cli serve-stats --requests 500
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ from typing import List, Optional
 from .analysis.comparison import comparison_table, format_comparison
 from .analysis.sweep import FAMILIES, family_instance
 from .analysis.tables import paper_tables, render_timeline
-from .core.gossip import ALGORITHMS, gossip, _populate_registry
+from .core.gossip import ALGORITHMS, gossip
 from .networks.properties import summarize
 from .viz.ascii import render_schedule, render_tree
 
@@ -36,7 +40,6 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for the test suite)."""
-    _populate_registry()
     parser = argparse.ArgumentParser(
         prog="repro-gossip",
         description="Gossiping in the multicasting communication environment",
@@ -110,6 +113,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_bounds.add_argument(
         "--families", nargs="+", choices=sorted(FAMILIES),
         default=["path", "star", "grid", "hypercube", "random-tree"],
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="cold vs warm plan serving through GossipService"
+    )
+    p_bench.add_argument("--topology", choices=sorted(FAMILIES), default="grid")
+    p_bench.add_argument("--n", type=int, default=256, help="target processor count")
+    p_bench.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="concurrent-updown"
+    )
+    p_bench.add_argument("--batch", type=int, default=32, help="batch request count")
+    p_bench.add_argument(
+        "--warm-rounds", type=int, default=200, help="warm-hit samples to take"
+    )
+    p_bench.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the warm hit is >= 10x faster than cold",
+    )
+
+    p_stats = sub.add_parser(
+        "serve-stats", help="replay a synthetic request stream; print service stats"
+    )
+    p_stats.add_argument(
+        "--families", nargs="+", choices=sorted(FAMILIES),
+        default=["grid", "star", "path", "hypercube"],
+    )
+    p_stats.add_argument("--sizes", type=int, nargs="+", default=[16, 64])
+    p_stats.add_argument("--requests", type=int, default=200)
+    p_stats.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="concurrent-updown"
     )
     return parser
 
@@ -297,6 +330,43 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0 if exact else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .service.workload import bench_plan_cache
+
+    graph = family_instance(args.topology, args.n)
+    result = bench_plan_cache(
+        graph,
+        algorithm=args.algorithm,
+        batch_size=args.batch,
+        warm_rounds=args.warm_rounds,
+    )
+    print(result.format())
+    if args.check:
+        try:
+            result.check()
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print("check: warm hit >= 10x faster than cold planning  OK")
+    return 0
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    from .service.workload import run_synthetic_workload
+
+    stats = run_synthetic_workload(
+        families=args.families,
+        sizes=args.sizes,
+        requests=args.requests,
+        algorithm=args.algorithm,
+    )
+    print(f"workload  : {args.requests} requests over "
+          f"{len(args.families) * len(args.sizes)} networks "
+          f"({', '.join(args.families)} x {args.sizes})")
+    print(stats.format())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -310,6 +380,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "online": _cmd_online,
         "repeated": _cmd_repeated,
         "bounds": _cmd_bounds,
+        "bench": _cmd_bench,
+        "serve-stats": _cmd_serve_stats,
     }
     return handlers[args.command](args)
 

@@ -16,7 +16,15 @@
 from .ablations import concurrent_updown_no_lip, no_lip_penalty, propagate_up_no_lip
 from .broadcast import broadcast, broadcast_time, telephone_broadcast
 from .concurrent_updown import concurrent_updown, concurrent_updown_on_tree
-from .gossip import ALGORITHMS, GossipPlan, gossip, gossip_on_tree
+from .gossip import (
+    ALGORITHMS,
+    GossipPlan,
+    NetworkSpec,
+    gossip,
+    gossip_on_tree,
+    register_algorithm,
+    resolve_network,
+)
 from .online import OnlineProcessor, online_matches_offline, run_online_gossip
 from .optimal import is_gossipable_within, minimum_gossip_time, optimal_schedule
 from .optimal_path import optimal_path_gossip, optimal_path_time
@@ -84,6 +92,9 @@ __all__ = [
     "gossip_on_tree",
     "GossipPlan",
     "ALGORITHMS",
+    "register_algorithm",
+    "resolve_network",
+    "NetworkSpec",
     "store_forward_schedule",
     "GreedyMulticastPolicy",
     "TelephonePolicy",

@@ -14,12 +14,29 @@ the round-based simulator and checks completeness, and
 
 Message ids in the schedule are DFS labels; :attr:`GossipPlan.labeled`
 maps them back to vertices.
+
+API conventions
+---------------
+Everything after the first positional argument is **keyword-only**:
+``gossip(g, algorithm="simple")``, ``plan.execute(on_tree_only=True)``.
+Old positional call sites keep working for now behind a
+``DeprecationWarning`` shim.  The first argument of :func:`gossip` is a
+*network spec* resolved by :func:`resolve_network` — a
+:class:`~repro.networks.graph.Graph`, a :class:`~repro.tree.tree.Tree`
+(scheduling happens on exactly that tree), or a topology-family string
+such as ``"grid"`` or ``"grid:64"``.
+
+The algorithm registry :data:`ALGORITHMS` is populated **eagerly**: the
+built-in algorithm modules register themselves via
+:func:`register_algorithm` when ``repro.core`` is imported, so the
+registry is always complete by the time any public entry point runs.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..exceptions import ReproError
 from ..networks.bfs import require_connected
@@ -30,14 +47,31 @@ from ..tree.labeling import LabeledTree
 from ..tree.tree import Tree
 from .schedule import Schedule
 
-__all__ = ["GossipPlan", "gossip", "gossip_on_tree", "ALGORITHMS", "register_algorithm"]
+__all__ = [
+    "GossipPlan",
+    "gossip",
+    "gossip_on_tree",
+    "resolve_network",
+    "NetworkSpec",
+    "ALGORITHMS",
+    "register_algorithm",
+]
+
+#: Anything :func:`resolve_network` understands as a communication network.
+NetworkSpec = Union[Graph, Tree, str]
 
 #: Registry of tree-gossiping algorithms: name -> (LabeledTree -> Schedule).
+#: Complete as soon as ``repro.core`` is imported (eager registration).
 ALGORITHMS: Dict[str, Callable[[LabeledTree], Schedule]] = {}
 
 
 def register_algorithm(name: str) -> Callable:
-    """Decorator registering a tree-gossiping algorithm under ``name``."""
+    """Decorator registering a tree-gossiping algorithm under ``name``.
+
+    The built-in algorithm modules apply this at import time (see
+    :mod:`repro.core`), so :data:`ALGORITHMS` never needs lazy
+    population; third-party algorithms can use the same decorator.
+    """
 
     def wrap(fn: Callable[[LabeledTree], Schedule]) -> Callable[[LabeledTree], Schedule]:
         ALGORITHMS[name] = fn
@@ -47,27 +81,77 @@ def register_algorithm(name: str) -> Callable:
 
 
 def _populate_registry() -> None:
-    """Late import so the registry sees every algorithm module."""
-    if ALGORITHMS:
-        return
-    from .concurrent_updown import concurrent_updown
-    from .simple import simple_gossip
-    from .store_forward import (
-        greedy_multicast_gossip,
-        greedy_updown_gossip,
-        telephone_gossip,
-    )
-    from .updown import updown_gossip
+    """Deprecated back-compat shim; registration is eager now.
 
-    ALGORITHMS.update(
-        {
-            "concurrent-updown": concurrent_updown,
-            "simple": simple_gossip,
-            "updown": updown_gossip,
-            "updown-greedy": greedy_updown_gossip,
-            "greedy": greedy_multicast_gossip,
-            "telephone": telephone_gossip,
-        }
+    Importing :mod:`repro.core` (which importing *this* module already
+    triggers) runs every built-in algorithm module's
+    :func:`register_algorithm` decorator, so there is nothing left to
+    populate.  Kept only so stale external callers don't crash.
+    """
+    warnings.warn(
+        "_populate_registry() is obsolete: ALGORITHMS is registered eagerly "
+        "at `import repro.core`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+
+def resolve_network(
+    network: NetworkSpec, *, tree: Optional[Tree] = None
+) -> Tuple[Graph, Optional[Tree]]:
+    """Single dispatch point mapping a network spec to ``(graph, tree)``.
+
+    Shared by :func:`gossip` and :class:`repro.service.GossipService`, so
+    every front door accepts the same spellings:
+
+    * a :class:`~repro.networks.graph.Graph` — passed through;
+    * a :class:`~repro.tree.tree.Tree` — the network is the tree itself
+      and scheduling is pinned to it;
+    * a topology-family string ``"family"`` or ``"family:n"`` (e.g.
+      ``"grid"``, ``"hypercube:64"``) resolved through
+      :data:`repro.analysis.sweep.FAMILIES`; ``n`` defaults to 16.
+
+    ``tree`` is the caller's explicit spanning-tree override; passing one
+    alongside a ``Tree`` network spec is rejected unless they are equal.
+    """
+    if isinstance(network, Graph):
+        return network, tree
+    if isinstance(network, Tree):
+        if tree is not None and tree != network:
+            raise ReproError(
+                "network spec is a Tree but a different tree= override was given"
+            )
+        return tree_to_graph(network), network
+    if isinstance(network, str):
+        from ..analysis.sweep import FAMILIES, family_instance
+
+        name, sep, size = network.partition(":")
+        if name not in FAMILIES:
+            raise ReproError(
+                f"unknown topology family {name!r}; choose from {sorted(FAMILIES)}"
+            )
+        if sep:
+            try:
+                n = int(size)
+            except ValueError as exc:
+                raise ReproError(
+                    f"bad topology size in {network!r}; want 'family:n' with integer n"
+                ) from exc
+        else:
+            n = 16
+        return family_instance(name, n), tree
+    raise ReproError(
+        f"cannot interpret {network!r} as a network "
+        "(want a Graph, a Tree, or a topology-family string)"
+    )
+
+
+def _warn_positional(what: str) -> None:
+    warnings.warn(
+        f"positional arguments to {what} beyond the first are deprecated; "
+        "pass them as keywords",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
@@ -95,6 +179,11 @@ class GossipPlan:
     schedule: Schedule
     algorithm: str
 
+    def __post_init__(self) -> None:
+        # Memoisation slot for the default execution (plan is frozen, so
+        # the replay is deterministic and safe to cache).
+        object.__setattr__(self, "_default_execution", None)
+
     @property
     def total_time(self) -> int:
         """Total communication time of the schedule."""
@@ -105,8 +194,11 @@ class GossipPlan:
         """Theorem 1's guarantee ``n + height`` for this tree."""
         return self.graph.n + self.tree.height
 
-    def execute(self, record_arrivals: bool = False, on_tree_only: bool = False):
+    def execute(self, *args, record_arrivals: bool = False, on_tree_only: bool = False):
         """Replay the schedule on the simulator; raises if anything breaks.
+
+        The default replay (no flags) is computed once and memoised on
+        the plan, so repeated metric queries don't pay simulator cost.
 
         Parameters
         ----------
@@ -117,20 +209,40 @@ class GossipPlan:
             full network — a stricter check, since the paper's algorithms
             only ever use tree edges.
         """
+        if args:
+            _warn_positional("GossipPlan.execute()")
+            record_arrivals = bool(args[0])
+            if len(args) > 1:
+                on_tree_only = bool(args[1])
+            if len(args) > 2:
+                raise TypeError(
+                    f"execute() takes at most 2 optional arguments ({len(args)} given)"
+                )
+        is_default = not record_arrivals and not on_tree_only
+        if is_default and self._default_execution is not None:
+            return self._default_execution
+
         from ..simulator.engine import execute_schedule
         from ..simulator.state import labeled_holdings
 
         network = tree_to_graph(self.tree) if on_tree_only else self.graph
-        return execute_schedule(
+        result = execute_schedule(
             network,
             self.schedule,
             initial_holds=labeled_holdings(self.labeled.labels()),
             require_complete=True,
             record_arrivals=record_arrivals,
         )
+        if is_default:
+            object.__setattr__(self, "_default_execution", result)
+        return result
 
     def vertex_completion_times(self) -> Dict[int, int]:
-        """Per-vertex first time holding all messages (vertex id keyed)."""
+        """Per-vertex first time holding all messages (vertex id keyed).
+
+        Uses the memoised default execution — calling this repeatedly
+        (or after :meth:`execute`) costs one simulator run in total.
+        """
         result = self.execute()
         return {
             v: t for v, t in enumerate(result.completion_times) if t is not None
@@ -138,7 +250,8 @@ class GossipPlan:
 
 
 def gossip(
-    graph: Graph,
+    graph: NetworkSpec,
+    *args,
     algorithm: str = "concurrent-updown",
     tree: Optional[Tree] = None,
 ) -> GossipPlan:
@@ -147,15 +260,27 @@ def gossip(
     Parameters
     ----------
     graph:
-        A connected network.
+        A connected network spec: a :class:`Graph`, a :class:`Tree`
+        (schedules on exactly that tree), or a topology-family string
+        like ``"grid"`` / ``"grid:64"`` (see :func:`resolve_network`).
     algorithm:
         One of :data:`ALGORITHMS` (default the paper's ConcurrentUpDown).
+        Keyword-only.
     tree:
         Override the spanning tree (e.g. for the tree-choice ablation);
         by default the minimum-depth spanning tree is built, making the
-        schedule at most ``n + radius`` rounds long.
+        schedule at most ``n + radius`` rounds long.  Keyword-only.
     """
-    _populate_registry()
+    if args:
+        _warn_positional("gossip()")
+        algorithm = args[0]
+        if len(args) > 1:
+            tree = args[1]
+        if len(args) > 2:
+            raise TypeError(
+                f"gossip() takes at most 3 positional arguments ({2 + len(args)} given)"
+            )
+    graph, tree = resolve_network(graph, tree=tree)
     if algorithm not in ALGORITHMS:
         raise ReproError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
@@ -170,6 +295,14 @@ def gossip(
     )
 
 
-def gossip_on_tree(tree: Tree, algorithm: str = "concurrent-updown") -> GossipPlan:
+def gossip_on_tree(tree: Tree, *args, algorithm: str = "concurrent-updown") -> GossipPlan:
     """Solve gossiping directly on a tree network."""
+    if args:
+        _warn_positional("gossip_on_tree()")
+        algorithm = args[0]
+        if len(args) > 1:
+            raise TypeError(
+                f"gossip_on_tree() takes at most 2 positional arguments "
+                f"({2 + len(args)} given)"
+            )
     return gossip(tree_to_graph(tree), algorithm=algorithm, tree=tree)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from ..tree.labeling import LabeledTree
 from ..tree.tree import Tree
+from .gossip import register_algorithm
 from .schedule import Schedule, ScheduleBuilder
 
 __all__ = ["simple_gossip", "simple_gossip_on_tree", "simple_total_time"]
@@ -38,6 +39,7 @@ def simple_total_time(n: int, height: int) -> int:
     return 2 * n + height - 3
 
 
+@register_algorithm("simple")
 def simple_gossip(labeled: LabeledTree) -> Schedule:
     """Build procedure Simple's schedule for a labelled tree."""
     builder = ScheduleBuilder()

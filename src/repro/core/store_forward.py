@@ -42,6 +42,7 @@ from ..networks.builders import tree_to_graph
 from ..networks.graph import Graph
 from ..simulator.state import HoldState, labeled_holdings
 from ..tree.labeling import LabeledTree
+from .gossip import register_algorithm
 from .schedule import Round, Schedule, Transmission
 
 __all__ = [
@@ -257,6 +258,7 @@ def store_forward_schedule(
 # ----------------------------------------------------------------------
 # Registry-compatible wrappers (LabeledTree -> Schedule, DFS-label ids)
 # ----------------------------------------------------------------------
+@register_algorithm("greedy")
 def greedy_multicast_gossip(labeled: LabeledTree) -> Schedule:
     """Greedy multicast store-and-forward gossip on the tree network."""
     return store_forward_schedule(
@@ -267,6 +269,7 @@ def greedy_multicast_gossip(labeled: LabeledTree) -> Schedule:
     )
 
 
+@register_algorithm("updown-greedy")
 def greedy_updown_gossip(labeled: LabeledTree) -> Schedule:
     """Greedy no-lookahead up/down gossip (the no-lip ablation fallback).
 
@@ -283,6 +286,7 @@ def greedy_updown_gossip(labeled: LabeledTree) -> Schedule:
     )
 
 
+@register_algorithm("telephone")
 def telephone_gossip(labeled: LabeledTree) -> Schedule:
     """Telephone-model (unicast) gossip on the tree network."""
     return store_forward_schedule(

@@ -42,6 +42,7 @@ from typing import Dict, List, Set, Tuple
 from ..tree.labeling import LabeledTree
 from ..tree.tree import Tree
 from ..types import Message, Time
+from .gossip import register_algorithm
 from .propagate_up import propagate_up_builder
 from .schedule import Schedule
 
@@ -58,6 +59,7 @@ def updown_total_time_bound(n: int, height: int) -> int:
     return (n - 1 + height) + (2 * (height - 1) + 1)
 
 
+@register_algorithm("updown")
 def updown_gossip(labeled: LabeledTree) -> Schedule:
     """Build the two-phase UpDown schedule for a labelled tree.
 

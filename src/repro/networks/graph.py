@@ -61,6 +61,7 @@ class Graph:
         "_indices",
         "_name",
         "_hash",
+        "_canonical",
     )
 
     def __init__(self, n: int, edges: EdgeList, name: str = "") -> None:
@@ -99,6 +100,7 @@ class Graph:
         self._indices = indices
         self._name = name
         self._hash: int | None = None
+        self._canonical: str | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -165,6 +167,34 @@ class Graph:
     def adjacency(self) -> Dict[int, Tuple[int, ...]]:
         """Adjacency mapping ``vertex -> sorted neighbour tuple``."""
         return {v: self._adj[v] for v in range(self._n)}
+
+    def canonical_hash(self) -> str:
+        """Content-addressed fingerprint of this network.
+
+        A hex SHA-256 digest of ``(n, sorted edge set)``: two graphs get
+        the same fingerprint iff they are equal as *labeled* graphs, no
+        matter in which order (or orientation) their edges were supplied
+        to the constructor, and regardless of :attr:`name`.
+
+        The fingerprint deliberately identifies the labeled graph rather
+        than its isomorphism class — a :class:`~repro.core.gossip.GossipPlan`
+        schedules concrete vertex ids, so serving a plan computed for an
+        isomorphic-but-relabeled network would be wrong.  This is the
+        cache key used by :class:`repro.service.GossipService`.
+
+        Computed once and cached on the (immutable) instance; stable
+        across processes and Python versions, unlike :func:`hash`.
+        """
+        if self._canonical is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(self._n.to_bytes(8, "little"))
+            for u, v in sorted(self._edge_set):
+                h.update(u.to_bytes(8, "little"))
+                h.update(v.to_bytes(8, "little"))
+            self._canonical = h.hexdigest()
+        return self._canonical
 
     # ------------------------------------------------------------------
     # Derived constructions

@@ -1,0 +1,138 @@
+"""Cache-aware topology maintenance: :class:`MaintainedNetwork`.
+
+:class:`~repro.networks.dynamic.TreeMaintainer` answers *when to rebuild
+the spanning tree* under churn (Section 4's eager/lazy policies);
+``MaintainedNetwork`` adds the serving consequence: what happens to the
+plans already cached for the network.
+
+On every mutation exactly one of two things happens:
+
+* **patch** — the maintained tree survived the change (a new edge, or a
+  removed non-tree edge under the lazy policy).  The paper's schedules
+  only ever use tree edges, so every cached plan for the old graph and
+  this tree is still valid verbatim; it is re-homed under the new
+  graph's fingerprint without re-planning.
+* **invalidate** — the tree was rebuilt (a tree edge died, or the
+  policy is eager and the rebuild produced a different tree).  All
+  cached plans for the *old* graph are dropped: the maintained network
+  has moved on, and nothing may ever serve a plan whose tree uses a
+  deleted edge.
+
+Either way the rest of the cache — plans for unrelated networks — is
+untouched; churn on one maintained network never flushes another's
+entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.gossip import GossipPlan
+from ..networks.dynamic import TreeMaintainer
+from ..networks.graph import Graph
+from ..tree.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .service import GossipService
+
+__all__ = ["MaintainedNetwork"]
+
+
+class MaintainedNetwork:
+    """A :class:`TreeMaintainer` bound to a :class:`GossipService` cache.
+
+    Obtained from :meth:`GossipService.maintain`.  Unlike the immutable
+    maintainer it wraps, this handle is deliberately *stateful*: it is
+    the identity under which a slowly-changing network keeps requesting
+    plans, and the cache bookkeeping rides on its mutations.
+
+    Not thread-safe for concurrent *mutation* (mutate from one writer;
+    ``plan()`` may be called from any thread).
+    """
+
+    def __init__(self, service: "GossipService", maintainer: TreeMaintainer) -> None:
+        self._service = service
+        self._maintainer = maintainer
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The current network."""
+        return self._maintainer.graph
+
+    @property
+    def tree(self) -> Tree:
+        """The maintained communication tree."""
+        return self._maintainer.tree
+
+    @property
+    def policy(self) -> str:
+        """The maintenance policy (``"eager"`` or ``"lazy"``)."""
+        return self._maintainer.policy
+
+    @property
+    def rebuilds(self) -> int:
+        """Cumulative tree constructions, including the initial one."""
+        return self._maintainer.rebuilds
+
+    @property
+    def maintainer(self) -> TreeMaintainer:
+        """The current immutable maintainer snapshot."""
+        return self._maintainer
+
+    @property
+    def schedule_bound(self) -> int:
+        """Current guarantee ``n + height(maintained tree)``."""
+        return self._maintainer.schedule_bound
+
+    # ------------------------------------------------------------------
+    def plan(self, *, algorithm: Optional[str] = None) -> GossipPlan:
+        """Serve a plan for the current graph on the maintained tree.
+
+        Keyed by ``(graph, tree, algorithm)`` fingerprints, so two
+        maintained networks that reached the same graph with *different*
+        lazy trees never share entries.
+        """
+        return self._service.plan(self.graph, tree=self.tree, algorithm=algorithm)
+
+    def add_edge(self, u: int, v: int) -> "MaintainedNetwork":
+        """Insert a link, patching or invalidating cached plans. Returns self."""
+        self._transition(self._maintainer.add_edge(u, v))
+        return self
+
+    def remove_edge(self, u: int, v: int) -> "MaintainedNetwork":
+        """Remove a link, patching or invalidating cached plans. Returns self.
+
+        Raises :class:`~repro.exceptions.GraphError` if the removal would
+        disconnect the network (the maintainer's own check) — in that
+        case neither the maintainer nor the cache changes.
+        """
+        self._transition(self._maintainer.remove_edge(u, v))
+        return self
+
+    def refreshed(self) -> "MaintainedNetwork":
+        """Force a tree rebuild now (see :meth:`TreeMaintainer.refreshed`)."""
+        self._transition(self._maintainer.refreshed())
+        return self
+
+    # ------------------------------------------------------------------
+    def _transition(self, new: TreeMaintainer) -> None:
+        old = self._maintainer
+        self._service._note_rebuilds(new.rebuilds - old.rebuilds)
+        if new.tree == old.tree:
+            # Tree survived: every cached plan for (old graph, tree) is
+            # still valid on the new graph — re-home instead of re-plan.
+            if new.graph is not old.graph:
+                self._service._patch_entries(old.graph, new.graph, tree=old.tree)
+        else:
+            # Tree rebuilt: the old graph's entries are superseded; drop
+            # them so no plan over the old tree can ever be served again
+            # for this network's lineage.
+            self._service._drop_graph_entries(old.graph)
+        self._maintainer = new
+
+    def __repr__(self) -> str:
+        return (
+            f"MaintainedNetwork(n={self.graph.n}, m={self.graph.m}, "
+            f"policy={self.policy!r}, rebuilds={self.rebuilds})"
+        )

@@ -1,0 +1,333 @@
+"""The plan-serving front end: :class:`GossipService`.
+
+The paper assumes networks "remain constant for long periods of time"
+(Section 4) — exactly the regime where re-deriving the spanning tree,
+labelling, and schedule on every :func:`~repro.core.gossip.gossip` call
+is wasted work.  ``GossipService`` amortises it:
+
+* plans are cached content-addressed — the key is
+  ``(Graph.canonical_hash(), tree fingerprint, algorithm)`` — with LRU
+  and total-weight bounds (:class:`~repro.service.cache.PlanCache`);
+* concurrent requests for the same network **coalesce**: exactly one
+  thread runs the planner, everyone else waits on its future;
+* :meth:`plan_many` fans a batch out across a shared
+  :class:`~concurrent.futures.ThreadPoolExecutor` (the scipy fast path
+  releases the GIL inside its BFS kernels, so batch planning overlaps);
+* :meth:`maintain` binds a :class:`~repro.networks.dynamic.TreeMaintainer`
+  to the cache so topology churn *patches or invalidates* affected
+  entries instead of flushing everything
+  (:class:`~repro.service.maintenance.MaintainedNetwork`);
+* every request is instrumented
+  (:class:`~repro.service.stats.ServiceStats`).
+
+Plan construction is injectable (the ``planner`` argument), which the
+tests use to count planning runs and which lets downstream users swap in
+custom pipelines while keeping the serving machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.gossip import GossipPlan, NetworkSpec, gossip, resolve_network
+from ..exceptions import ReproError
+from ..networks.graph import Graph
+from ..tree.tree import Tree
+from .cache import PlanCache, PlanKey, tree_fingerprint
+from .stats import ServiceStats, StatsRecorder
+
+__all__ = ["GossipService", "Planner"]
+
+#: Signature of an injectable planner (keyword-only after the graph,
+#: mirroring :func:`repro.core.gossip.gossip`).
+Planner = Callable[..., GossipPlan]
+
+
+def _fast_planner(
+    graph: Graph, *, algorithm: str, tree: Optional[Tree] = None
+) -> GossipPlan:
+    """Default service planner: :func:`gossip` on the accelerated tree.
+
+    :func:`minimum_depth_spanning_tree_fast` returns a tree *equal* to
+    the reference construction (same canonical tie-breaking) but runs
+    the eccentricity sweep in scipy's C BFS, which also releases the GIL
+    — so :meth:`GossipService.plan_many` overlaps across threads.
+    """
+    if tree is None:
+        from ..networks.bfs import require_connected
+        from ..networks.fast_paths import minimum_depth_spanning_tree_fast
+
+        require_connected(graph, "gossiping")
+        tree = minimum_depth_spanning_tree_fast(graph)
+    return gossip(graph, algorithm=algorithm, tree=tree)
+
+
+class GossipService:
+    """Cached, concurrent gossip-plan serving.
+
+    Parameters
+    ----------
+    algorithm:
+        Default algorithm for requests that don't specify one.
+    max_entries / max_weight:
+        Bounds of the underlying :class:`PlanCache` (weight is summed
+        ``n + m`` per cached plan; ``None`` disables the weight bound).
+    max_workers:
+        Thread-pool width for :meth:`plan_many` (default: CPU count,
+        capped at 8).
+    planner:
+        Plan constructor, called as ``planner(graph, algorithm=...,
+        tree=...)``.  Defaults to :func:`repro.core.gossip.gossip` over
+        the accelerated spanning-tree construction (identical trees,
+        scipy BFS kernels that release the GIL).
+
+    Examples
+    --------
+    >>> from repro.service import GossipService
+    >>> from repro.networks import topologies
+    >>> service = GossipService()
+    >>> g = topologies.grid_2d(4, 4)
+    >>> service.plan(g).total_time        # cold: builds and caches
+    20
+    >>> service.plan(g).total_time        # warm: cache hit
+    20
+    >>> service.stats().misses
+    1
+    """
+
+    def __init__(
+        self,
+        *,
+        algorithm: str = "concurrent-updown",
+        max_entries: int = 256,
+        max_weight: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        planner: Optional[Planner] = None,
+    ) -> None:
+        self._algorithm = algorithm
+        self._cache = PlanCache(max_entries=max_entries, max_weight=max_weight)
+        self._stats = StatsRecorder()
+        self._planner: Planner = planner if planner is not None else _fast_planner
+        self._lock = threading.Lock()
+        self._inflight: Dict[PlanKey, Future] = {}
+        self._max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        network: NetworkSpec,
+        *,
+        algorithm: Optional[str] = None,
+        tree: Optional[Tree] = None,
+    ) -> GossipPlan:
+        """Serve a plan for ``network``, from cache when possible.
+
+        ``network`` is any :func:`~repro.core.gossip.resolve_network`
+        spec — a :class:`Graph`, a :class:`Tree`, or a family string
+        like ``"grid:64"``.  Passing ``tree`` pins the spanning tree
+        (the cache key then includes the tree's fingerprint, so plans
+        for differently-maintained trees of the same graph never mix).
+
+        Concurrent calls for the same key run the planner exactly once.
+        """
+        graph, tree = resolve_network(network, tree=tree)
+        key = self._key(graph, tree, algorithm)
+        start = perf_counter()
+
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._stats.record_hit(perf_counter() - start)
+                return cached
+            future = self._inflight.get(key)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._inflight[key] = future
+
+        if not owner:
+            plan = future.result()
+            # Coalesced onto another thread's build: served without planning.
+            self._stats.record_hit(perf_counter() - start)
+            return plan
+
+        try:
+            plan = self._planner(graph, algorithm=key[2], tree=tree)
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            future.set_exception(exc)
+            raise
+        build_seconds = perf_counter() - start
+        with self._lock:
+            evicted = self._cache.put(key, plan)
+            self._inflight.pop(key, None)
+        self._stats.record_miss(build_seconds)
+        self._stats.record_evictions(evicted)
+        future.set_result(plan)
+        return plan
+
+    def plan_many(
+        self,
+        networks: Iterable[NetworkSpec],
+        *,
+        algorithm: Optional[str] = None,
+    ) -> List[GossipPlan]:
+        """Serve a batch of plans concurrently (order-preserving).
+
+        Duplicate specs in one batch coalesce into a single planning run
+        thanks to the in-flight future table; distinct networks plan in
+        parallel on the service's thread pool.
+        """
+        specs = list(networks)
+        self._stats.record_batch()
+        if not specs:
+            return []
+        if len(specs) == 1:
+            return [self.plan(specs[0], algorithm=algorithm)]
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(self.plan, spec, algorithm=algorithm) for spec in specs
+        ]
+        return [f.result() for f in futures]
+
+    def maintain(self, graph: Graph, *, policy: str = "eager"):
+        """Maintain ``graph``'s spanning tree against this service's cache.
+
+        Returns a :class:`~repro.service.maintenance.MaintainedNetwork`
+        whose ``add_edge`` / ``remove_edge`` patch or invalidate the
+        affected cache entries instead of flushing the cache.
+        """
+        from ..networks.dynamic import TreeMaintainer
+        from .maintenance import MaintainedNetwork
+
+        return MaintainedNetwork(self, TreeMaintainer.create(graph, policy=policy))
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def invalidate(
+        self,
+        network: NetworkSpec,
+        *,
+        algorithm: Optional[str] = None,
+        tree: Optional[Tree] = None,
+    ) -> int:
+        """Drop cached plans for one network.
+
+        With ``algorithm`` given, drops just that entry; otherwise every
+        algorithm's entry for the ``(graph, tree)`` pair.  Returns the
+        number of entries removed.
+        """
+        graph, tree = resolve_network(network, tree=tree)
+        ghash, tfp = graph.canonical_hash(), tree_fingerprint(tree)
+        if algorithm is not None:
+            count = int(self._cache.invalidate((ghash, tfp, algorithm)))
+        else:
+            count = self._cache.invalidate_where(
+                lambda k, _p: k[0] == ghash and k[1] == tfp
+            )
+        self._stats.record_invalidations(count)
+        return count
+
+    def cache_clear(self) -> int:
+        """Flush the cache entirely (counts as invalidations)."""
+        count = self._cache.clear()
+        self._stats.record_invalidations(count)
+        return count
+
+    @property
+    def cache(self) -> PlanCache:
+        """The underlying plan cache (shared, thread-safe)."""
+        return self._cache
+
+    def stats(self) -> ServiceStats:
+        """Snapshot the service counters."""
+        return self._stats.snapshot(
+            entries=len(self._cache), weight=self._cache.weight
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance hooks (used by MaintainedNetwork)
+    # ------------------------------------------------------------------
+    def _patch_entries(
+        self, old_graph: Graph, new_graph: Graph, *, tree: Tree
+    ) -> int:
+        """Re-home cached plans onto a mutated graph whose tree survived.
+
+        Every tree edge still exists in ``new_graph`` (the caller's
+        maintainer guarantees it), and the paper's schedules only use
+        tree edges — so the schedule stays valid verbatim and only the
+        plan's ``graph`` field needs replacing.  Returns how many plans
+        were patched across algorithms.
+        """
+        old_hash, tfp = old_graph.canonical_hash(), tree_fingerprint(tree)
+        new_hash = new_graph.canonical_hash()
+        donors = self._cache.items_where(
+            lambda k, _p: k[0] == old_hash and k[1] == tfp
+        )
+        evicted = 0
+        for (_, _, alg), plan in donors:
+            patched = dataclasses.replace(plan, graph=new_graph)
+            evicted += self._cache.put((new_hash, tfp, alg), patched)
+        self._stats.record_patched(len(donors))
+        self._stats.record_evictions(evicted)
+        return len(donors)
+
+    def _drop_graph_entries(self, graph: Graph) -> int:
+        """Invalidate every cached plan for ``graph`` (all trees/algorithms)."""
+        ghash = graph.canonical_hash()
+        count = self._cache.invalidate_where(lambda k, _p: k[0] == ghash)
+        self._stats.record_invalidations(count)
+        return count
+
+    def _note_rebuilds(self, count: int) -> None:
+        self._stats.record_rebuilds(count)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="gossip-service",
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent; cache stays usable)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "GossipService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipService(algorithm={self._algorithm!r}, cache={self._cache!r}, "
+            f"workers={self._max_workers})"
+        )
+
+    # ------------------------------------------------------------------
+    def _key(
+        self, graph: Graph, tree: Optional[Tree], algorithm: Optional[str]
+    ) -> PlanKey:
+        alg = algorithm if algorithm is not None else self._algorithm
+        if not isinstance(alg, str) or not alg:
+            raise ReproError(f"bad algorithm name {alg!r}")
+        return (graph.canonical_hash(), tree_fingerprint(tree), alg)

@@ -1,0 +1,194 @@
+"""Instrumentation for :class:`repro.service.GossipService`.
+
+Two halves:
+
+* :class:`StatsRecorder` — the mutable, thread-safe collector the
+  service updates on every request (counters plus a bounded reservoir of
+  plan-build latencies);
+* :class:`ServiceStats` — an immutable snapshot in the style of
+  :class:`repro.simulator.metrics.ScheduleMetrics`, with nearest-rank
+  latency percentiles, suitable for printing or asserting on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence
+
+__all__ = ["ServiceStats", "StatsRecorder"]
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty sequence."""
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[int(rank)]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time statistics of one :class:`GossipService`.
+
+    Attributes
+    ----------
+    requests:
+        Total ``plan()`` calls answered (including waiters coalesced
+        onto another thread's in-flight build).
+    hits / misses:
+        Cache outcomes; ``misses`` equals the number of *planning runs*
+        — concurrent requests for the same key coalesce into one build
+        and the waiters count as hits.
+    patched:
+        Cached plans re-homed onto a mutated graph without re-planning
+        (lazy maintenance of a surviving tree).
+    invalidations:
+        Entries dropped because a topology change superseded their tree.
+    evictions:
+        Entries dropped by the LRU / weight bounds.
+    rebuilds:
+        Spanning-tree rebuilds performed by maintained networks.
+    batches:
+        ``plan_many()`` calls.
+    entries / weight:
+        Current cache occupancy (entry count and summed ``n + m``).
+    plan_p50_ms / plan_p90_ms / plan_p99_ms / plan_max_ms:
+        Nearest-rank percentiles of *cold* plan-build latency in
+        milliseconds (``None`` until the first build).
+    hit_p50_ms:
+        Median end-to-end latency of cache hits, for the warm/cold
+        contrast the benchmarks report.
+    """
+
+    requests: int
+    hits: int
+    misses: int
+    patched: int
+    invalidations: int
+    evictions: int
+    rebuilds: int
+    batches: int
+    entries: int
+    weight: int
+    plan_p50_ms: Optional[float]
+    plan_p90_ms: Optional[float]
+    plan_p99_ms: Optional[float]
+    plan_max_ms: Optional[float]
+    hit_p50_ms: Optional[float]
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Fraction of requests served from cache (None before traffic)."""
+        if self.requests == 0:
+            return None
+        return self.hits / self.requests
+
+    def format(self) -> str:
+        """Multi-line human-readable report (used by ``repro.cli serve-stats``)."""
+        rate = "n/a" if self.hit_rate is None else f"{self.hit_rate:6.1%}"
+
+        def ms(x: Optional[float]) -> str:
+            return "n/a" if x is None else f"{x:.3f} ms"
+
+        return "\n".join(
+            [
+                f"requests      : {self.requests}  (batches: {self.batches})",
+                f"cache         : {self.hits} hits / {self.misses} misses  "
+                f"(hit rate {rate})",
+                f"maintenance   : {self.patched} patched, "
+                f"{self.invalidations} invalidated, {self.rebuilds} tree rebuilds",
+                f"evictions     : {self.evictions}",
+                f"occupancy     : {self.entries} plans, weight {self.weight} (n + m)",
+                f"build latency : p50 {ms(self.plan_p50_ms)}  "
+                f"p90 {ms(self.plan_p90_ms)}  p99 {ms(self.plan_p99_ms)}  "
+                f"max {ms(self.plan_max_ms)}",
+                f"hit latency   : p50 {ms(self.hit_p50_ms)}",
+            ]
+        )
+
+
+class StatsRecorder:
+    """Thread-safe mutable counters behind :class:`ServiceStats`.
+
+    Latencies are kept in bounded deques (newest ``maxlen`` samples) so
+    a long-lived service never grows without bound; percentiles are over
+    that window.
+    """
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.patched = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self.rebuilds = 0
+        self.batches = 0
+        self._build_latencies: Deque[float] = deque(maxlen=latency_window)
+        self._hit_latencies: Deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    def record_hit(self, seconds: float) -> None:
+        with self._lock:
+            self.requests += 1
+            self.hits += 1
+            self._hit_latencies.append(seconds)
+
+    def record_miss(self, build_seconds: float) -> None:
+        with self._lock:
+            self.requests += 1
+            self.misses += 1
+            self._build_latencies.append(build_seconds)
+
+    def record_batch(self) -> None:
+        with self._lock:
+            self.batches += 1
+
+    def record_evictions(self, count: int) -> None:
+        if count:
+            with self._lock:
+                self.evictions += count
+
+    def record_invalidations(self, count: int) -> None:
+        if count:
+            with self._lock:
+                self.invalidations += count
+
+    def record_patched(self, count: int) -> None:
+        if count:
+            with self._lock:
+                self.patched += count
+
+    def record_rebuilds(self, count: int) -> None:
+        if count:
+            with self._lock:
+                self.rebuilds += count
+
+    # ------------------------------------------------------------------
+    def snapshot(self, *, entries: int, weight: int) -> ServiceStats:
+        """Freeze the counters into a :class:`ServiceStats`."""
+        with self._lock:
+            builds = sorted(self._build_latencies)
+            hits = sorted(self._hit_latencies)
+
+            def pct(vals, q):
+                return _percentile(vals, q) * 1e3 if vals else None
+
+            return ServiceStats(
+                requests=self.requests,
+                hits=self.hits,
+                misses=self.misses,
+                patched=self.patched,
+                invalidations=self.invalidations,
+                evictions=self.evictions,
+                rebuilds=self.rebuilds,
+                batches=self.batches,
+                entries=entries,
+                weight=weight,
+                plan_p50_ms=pct(builds, 0.50),
+                plan_p90_ms=pct(builds, 0.90),
+                plan_p99_ms=pct(builds, 0.99),
+                plan_max_ms=(builds[-1] * 1e3 if builds else None),
+                hit_p50_ms=pct(hits, 0.50),
+            )

@@ -1,0 +1,191 @@
+"""Measurement workloads for the serving layer.
+
+Shared by ``repro.cli bench`` / ``repro.cli serve-stats`` and
+``benchmarks/bench_service_cache.py`` so the CLI, the benchmark suite,
+and the tier-1 smoke test all exercise (and agree on) the same numbers:
+
+* :func:`bench_plan_cache` — cold vs warm single-plan latency plus
+  batch throughput on one topology;
+* :func:`run_synthetic_workload` — a repeating multi-topology request
+  stream against one service, returning its :class:`ServiceStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from time import perf_counter
+from typing import Optional, Sequence
+
+from ..core.gossip import resolve_network
+from ..networks.graph import Graph
+from .service import GossipService
+from .stats import ServiceStats
+
+__all__ = ["CacheBenchResult", "bench_plan_cache", "run_synthetic_workload"]
+
+
+@dataclass(frozen=True)
+class CacheBenchResult:
+    """Cold/warm serving contrast for one network.
+
+    Attributes
+    ----------
+    topology / n / m:
+        The measured network.
+    cold_ms:
+        Median cold-start latency: ``plan()`` on a fresh service
+        (includes tree construction, labelling, and scheduling).
+    warm_ms:
+        Median warm-hit latency: ``plan()`` repeated on the same service.
+    speedup:
+        ``cold_ms / warm_ms`` — the acceptance gate is >= 10x.
+    batch_size / batch_unique:
+        Shape of the measured ``plan_many`` batch (duplicates coalesce).
+    batch_cold_s / batch_warm_s:
+        Wall time of the batch cold (empty cache) and warm (fully
+        cached).
+    batch_warm_throughput:
+        Warm plans served per second.
+    """
+
+    topology: str
+    n: int
+    m: int
+    cold_ms: float
+    warm_ms: float
+    speedup: float
+    batch_size: int
+    batch_unique: int
+    batch_cold_s: float
+    batch_warm_s: float
+    batch_warm_throughput: float
+
+    def format(self) -> str:
+        """Human-readable report for the CLI."""
+        return "\n".join(
+            [
+                f"network        : {self.topology} (n={self.n}, m={self.m})",
+                f"cold plan      : {self.cold_ms:9.3f} ms   (tree + labels + schedule)",
+                f"warm plan      : {self.warm_ms:9.3f} ms   (cache hit)",
+                f"speedup        : {self.speedup:9.1f} x",
+                f"batch          : {self.batch_size} requests over "
+                f"{self.batch_unique} unique networks",
+                f"batch cold     : {self.batch_cold_s * 1e3:9.3f} ms",
+                f"batch warm     : {self.batch_warm_s * 1e3:9.3f} ms   "
+                f"({self.batch_warm_throughput:,.0f} plans/s)",
+            ]
+        )
+
+    def check(self, *, min_speedup: float = 10.0) -> None:
+        """Assert the acceptance gate (raises ``AssertionError``)."""
+        assert self.speedup >= min_speedup, (
+            f"warm hit is only {self.speedup:.1f}x faster than cold planning "
+            f"(cold {self.cold_ms:.3f} ms, warm {self.warm_ms:.3f} ms); "
+            f"need >= {min_speedup:.0f}x"
+        )
+
+
+def bench_plan_cache(
+    network: object = "grid:256",
+    *,
+    algorithm: str = "concurrent-updown",
+    cold_rounds: int = 3,
+    warm_rounds: int = 200,
+    batch_size: int = 32,
+    batch_unique: int = 8,
+    max_workers: Optional[int] = None,
+) -> CacheBenchResult:
+    """Measure cold vs warm plan latency and batch throughput.
+
+    ``network`` is any :func:`~repro.core.gossip.resolve_network` spec;
+    the default ``"grid:256"`` resolves to ``grid_2d(16, 16)`` — the
+    acceptance-criteria network.  Cold latency is the median over
+    ``cold_rounds`` *fresh* services; warm latency the median over
+    ``warm_rounds`` repeat requests.  The batch phase requests
+    ``batch_size`` plans spread over ``batch_unique`` perturbed variants
+    of the network (distinct fingerprints), cold then warm.
+    """
+    graph, _ = resolve_network(network)
+
+    cold_samples = []
+    for _ in range(max(1, cold_rounds)):
+        service = GossipService(algorithm=algorithm)
+        t0 = perf_counter()
+        service.plan(graph)
+        cold_samples.append(perf_counter() - t0)
+
+    service = GossipService(algorithm=algorithm, max_workers=max_workers)
+    service.plan(graph)  # prime
+    warm_samples = []
+    for _ in range(max(1, warm_rounds)):
+        t0 = perf_counter()
+        service.plan(graph)
+        warm_samples.append(perf_counter() - t0)
+
+    cold_ms = median(cold_samples) * 1e3
+    warm_ms = median(warm_samples) * 1e3
+
+    variants = _perturbed_variants(graph, count=max(1, batch_unique))
+    requests = [variants[i % len(variants)] for i in range(max(1, batch_size))]
+    with GossipService(algorithm=algorithm, max_workers=max_workers) as batch_service:
+        t0 = perf_counter()
+        batch_service.plan_many(requests)
+        batch_cold_s = perf_counter() - t0
+        t0 = perf_counter()
+        batch_service.plan_many(requests)
+        batch_warm_s = perf_counter() - t0
+    service.close()
+
+    return CacheBenchResult(
+        topology=graph.name or "graph",
+        n=graph.n,
+        m=graph.m,
+        cold_ms=cold_ms,
+        warm_ms=warm_ms,
+        speedup=cold_ms / warm_ms if warm_ms > 0 else float("inf"),
+        batch_size=len(requests),
+        batch_unique=len(variants),
+        batch_cold_s=batch_cold_s,
+        batch_warm_s=batch_warm_s,
+        batch_warm_throughput=(
+            len(requests) / batch_warm_s if batch_warm_s > 0 else float("inf")
+        ),
+    )
+
+
+def _perturbed_variants(graph: Graph, *, count: int) -> Sequence[Graph]:
+    """``count`` distinct connected variants of ``graph`` (chord tweaks).
+
+    Variant 0 is the graph itself; variant ``i`` adds a chord between
+    vertex 0 and a far vertex (skipping existing edges), so each variant
+    has a distinct canonical hash while staying connected.
+    """
+    variants = [graph]
+    candidates = [v for v in range(graph.n - 1, 0, -1) if not graph.has_edge(0, v)]
+    for v in candidates:
+        if len(variants) >= count:
+            break
+        variants.append(graph.add_edges([(0, v)], name=f"{graph.name}+chord{v}"))
+    return variants
+
+
+def run_synthetic_workload(
+    service: Optional[GossipService] = None,
+    *,
+    families: Sequence[str] = ("grid", "star", "path", "hypercube"),
+    sizes: Sequence[int] = (16, 64),
+    requests: int = 200,
+    algorithm: Optional[str] = None,
+) -> ServiceStats:
+    """Replay a repeating request stream and return the service stats.
+
+    The stream cycles over ``families x sizes`` specs, so after the
+    first ``len(families) * len(sizes)`` requests everything is warm —
+    the steady-state hit rate a long-running deployment would see.
+    """
+    service = service if service is not None else GossipService()
+    specs = [f"{family}:{size}" for family in families for size in sizes]
+    for i in range(max(0, requests)):
+        service.plan(specs[i % len(specs)], algorithm=algorithm)
+    return service.stats()

@@ -1,0 +1,43 @@
+"""Tier-1 smoke: the service-cache benchmark's ``--check`` gate holds.
+
+Runs ``benchmarks/bench_service_cache.py --check`` the same way CI does
+(standalone process), asserting the >= 10x warm-hit speedup on
+``grid_2d(16, 16)`` — the ISSUE's acceptance criterion — and exercises
+the in-process measurement helper for coverage of both entry points.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_service_cache.py"
+
+
+def test_benchmark_check_mode_passes():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--check", "--warm-rounds", "50", "--batch", "8"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    assert "check: warm hit >= 10x faster than cold  OK" in proc.stdout
+
+
+def test_in_process_measurement_agrees():
+    from repro.service.workload import bench_plan_cache
+
+    result = bench_plan_cache(
+        "grid:256", warm_rounds=50, cold_rounds=1, batch_size=4, batch_unique=2
+    )
+    assert result.n == 256 and result.topology == "grid-16x16"
+    result.check(min_speedup=10.0)
+    assert result.batch_unique == 2
+    assert result.batch_warm_throughput > 0

@@ -1,0 +1,104 @@
+"""Property tests for ``Graph.canonical_hash()``.
+
+The fingerprint is the serving layer's cache key, so it must be
+
+* *invariant* under every way of presenting the same labeled graph —
+  edge order, edge orientation, duplicated construction, names — and
+* *distinct* for different graphs, in particular across non-isomorphic
+  small graphs (non-isomorphic graphs differ as labeled graphs a
+  fortiori, so a content hash separates them).
+"""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import topologies
+from repro.networks.graph import Graph
+from tests.conftest import connected_graphs
+
+
+@given(graph=connected_graphs(), seed=st.randoms(use_true_random=False))
+@settings(max_examples=50, deadline=None)
+def test_invariant_under_edge_order_and_orientation(graph, seed):
+    edges = [list(e) for e in graph.edge_list()]
+    seed.shuffle(edges)
+    for e in edges:
+        if seed.random() < 0.5:
+            e.reverse()
+    scrambled = Graph(graph.n, [tuple(e) for e in edges], name="scrambled")
+    assert scrambled == graph
+    assert scrambled.canonical_hash() == graph.canonical_hash()
+
+
+@given(graph=connected_graphs())
+@settings(max_examples=50, deadline=None)
+def test_equal_graphs_equal_hashes_and_stable(graph):
+    clone = Graph(graph.n, graph.edge_list())
+    assert clone.canonical_hash() == graph.canonical_hash()
+    # cached: repeated calls return the identical string
+    assert graph.canonical_hash() is graph.canonical_hash()
+
+
+@given(graph=connected_graphs(max_n=12), data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_any_edge_change_changes_hash(graph, data):
+    present = graph.edge_list()
+    non_edges = [
+        (u, v)
+        for u, v in combinations(range(graph.n), 2)
+        if not graph.has_edge(u, v)
+    ]
+    if non_edges:
+        extra = data.draw(st.sampled_from(non_edges))
+        assert graph.add_edges([extra]).canonical_hash() != graph.canonical_hash()
+    if graph.m > graph.n - 1:  # keep it connected: only drop a cycle edge
+        for gone in present:
+            try:
+                smaller = graph.remove_edges([gone])
+            except Exception:  # pragma: no cover - remove_edges never raises here
+                continue
+            from repro.networks.bfs import is_connected
+
+            if is_connected(smaller):
+                assert smaller.canonical_hash() != graph.canonical_hash()
+                break
+
+
+def test_name_does_not_affect_hash():
+    g = topologies.grid_2d(3, 3)
+    assert g.with_name("renamed").canonical_hash() == g.canonical_hash()
+
+
+def test_distinct_across_all_labeled_graphs_on_four_vertices():
+    """Exhaustive: all 64 labeled graphs on 4 vertices hash distinctly."""
+    all_edges = list(combinations(range(4), 2))
+    hashes = set()
+    count = 0
+    for k in range(len(all_edges) + 1):
+        for subset in combinations(all_edges, k):
+            hashes.add(Graph(4, list(subset)).canonical_hash())
+            count += 1
+    assert len(hashes) == count == 64
+
+
+def test_distinct_across_non_isomorphic_families():
+    """Classic same-(n, m) non-isomorphic pairs get different fingerprints."""
+    n = 6
+    pairs = [
+        (topologies.path_graph(n), topologies.star_graph(n)),
+        (topologies.cycle_graph(n), Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])),
+        (topologies.kary_tree(2, 2), topologies.spider(3, 2)),
+    ]
+    for a, b in pairs:
+        assert a.canonical_hash() != b.canonical_hash()
+
+
+def test_relabeling_changes_hash_for_asymmetric_graph():
+    """The fingerprint identifies the *labeled* graph: relabeling an
+    asymmetric placement must re-key (a plan schedules concrete ids)."""
+    star = topologies.star_graph(5)  # center is a specific vertex
+    moved = star.relabeled([1, 0, 2, 3, 4])
+    assert moved != star
+    assert moved.canonical_hash() != star.canonical_hash()

@@ -1,0 +1,155 @@
+"""Maintenance integration: churn patches or invalidates, never lies.
+
+The safety property (acceptance criterion): after any
+``TreeMaintainer``-driven mutation, no plan served for the maintained
+network may have a tree that uses a deleted edge — and cheap mutations
+must *reuse* cached plans rather than flush them.
+"""
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.exceptions import GraphError
+from repro.networks import topologies
+from repro.service import GossipService
+
+
+class CountingPlanner:
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, graph, *, algorithm, tree=None):
+        self.calls += 1
+        return gossip(graph, algorithm=algorithm, tree=tree)
+
+
+def _tree_edges(tree):
+    return {(min(p, v), max(p, v)) for p, v in tree.edges()}
+
+
+class TestLazyPatching:
+    def test_add_edge_patches_instead_of_replanning(self):
+        planner = CountingPlanner()
+        service = GossipService(planner=planner)
+        net = service.maintain(topologies.cycle_graph(12), policy="lazy")
+        before = net.plan()
+        assert planner.calls == 1
+
+        net.add_edge(0, 6)
+        after = net.plan()
+        # same tree, same schedule — re-homed, not re-planned
+        assert planner.calls == 1
+        assert after.schedule is before.schedule
+        assert after.tree == before.tree
+        assert after.graph.has_edge(0, 6)
+        assert after.execute().complete
+        stats = service.stats()
+        assert stats.patched == 1
+        assert stats.rebuilds == 0  # beyond the initial construction
+
+    def test_remove_non_tree_edge_patches(self):
+        planner = CountingPlanner()
+        service = GossipService(planner=planner)
+        g = topologies.cycle_graph(10)
+        net = service.maintain(g, policy="lazy")
+        net.plan()
+        # find a cycle edge that is not a tree edge (exactly one exists)
+        tree_edges = _tree_edges(net.tree)
+        chord = next(e for e in g.edge_list() if e not in tree_edges)
+        net.remove_edge(*chord)
+        plan = net.plan()
+        assert planner.calls == 1  # patched, not re-planned
+        assert not plan.graph.has_edge(*chord)
+        assert plan.execute().complete
+
+    def test_patching_is_scoped_to_the_maintained_network(self):
+        service = GossipService()
+        bystander = topologies.grid_2d(3, 3)
+        service.plan(bystander)
+        net = service.maintain(topologies.cycle_graph(8), policy="lazy")
+        net.plan()
+        net.add_edge(0, 4)
+        # the unrelated entry is untouched (still a warm hit)
+        misses_before = service.stats().misses
+        service.plan(bystander)
+        assert service.stats().misses == misses_before
+
+
+class TestTreeRebuildInvalidation:
+    @pytest.mark.parametrize("policy", ["eager", "lazy"])
+    def test_deleted_tree_edge_never_served(self, policy):
+        service = GossipService()
+        net = service.maintain(topologies.cycle_graph(12), policy=policy)
+        net.plan()
+        victim = next(iter(_tree_edges(net.tree)))
+        net.remove_edge(*victim)
+
+        plan = net.plan()
+        assert victim not in _tree_edges(plan.tree)
+        assert not plan.graph.has_edge(*victim)
+        assert plan.execute(on_tree_only=True).complete
+
+        # ...and nothing in the cache for this lineage still uses it
+        current_hash = net.graph.canonical_hash()
+        for _key, cached in service.cache.items_where(lambda k, p: True):
+            if cached.graph.canonical_hash() == current_hash:
+                assert victim not in _tree_edges(cached.tree)
+        assert service.stats().invalidations >= 1
+
+    def test_churn_sequence_always_serves_valid_plans(self):
+        """Random-ish chord churn on a wheel: every served plan executes
+        on its own (current) network, tree edges included."""
+        service = GossipService()
+        net = service.maintain(topologies.wheel(10), policy="lazy")
+        ops = [
+            ("remove", (0, 1)), ("add", (0, 1)), ("remove", (0, 2)),
+            ("remove", (1, 2)), ("add", (1, 2)), ("remove", (0, 3)),
+        ]
+        for op, (u, v) in ops:
+            if op == "add":
+                net.add_edge(u, v)
+            else:
+                net.remove_edge(u, v)
+            plan = net.plan()
+            assert plan.graph == net.graph
+            for a, b in _tree_edges(plan.tree):
+                assert plan.graph.has_edge(a, b)
+            assert plan.execute(on_tree_only=True).complete
+
+    def test_rebuild_counter_flows_into_stats(self):
+        service = GossipService()
+        net = service.maintain(topologies.cycle_graph(8), policy="eager")
+        net.add_edge(0, 4)  # eager: rebuild on every mutation
+        assert service.stats().rebuilds == 1
+        assert net.rebuilds == 2  # initial + rebuild
+
+
+class TestMaintainerSafety:
+    def test_disconnecting_removal_raises_and_preserves_state(self):
+        service = GossipService()
+        net = service.maintain(topologies.path_graph(6), policy="lazy")
+        plan = net.plan()
+        with pytest.raises(GraphError):
+            net.remove_edge(2, 3)  # would disconnect the path
+        assert net.graph.has_edge(2, 3)
+        assert net.plan() is plan  # cache untouched
+
+    def test_plan_keyed_by_maintained_tree(self):
+        """Two maintained lineages reaching the same graph with different
+        lazy trees must not share cache entries."""
+        service = GossipService()
+        base = topologies.cycle_graph(9)
+
+        fresh = service.maintain(base, policy="lazy")
+        stale = service.maintain(base.add_edges([(0, 4)]), policy="lazy")
+        stale.remove_edge(0, 4)  # same graph as `base` now, but is the
+        # tree the same?  Only if (0, 4) wasn't a tree edge; force the
+        # interesting case by comparing and asserting key separation.
+        plan_fresh = fresh.plan()
+        plan_stale = stale.plan()
+        assert plan_fresh.graph == plan_stale.graph
+        if fresh.tree == stale.tree:
+            assert plan_fresh is plan_stale  # legitimately shared
+        else:
+            assert plan_fresh.tree == fresh.tree
+            assert plan_stale.tree == stale.tree

@@ -1,0 +1,167 @@
+"""GossipService serving semantics: caching, batching, stats, injection."""
+
+import pytest
+
+from repro.core.gossip import GossipPlan, gossip
+from repro.exceptions import ReproError
+from repro.networks import topologies
+from repro.service import GossipService
+
+
+class CountingPlanner:
+    """Injectable planner that counts its invocations per graph."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, graph, *, algorithm, tree=None):
+        self.calls.append(graph.canonical_hash())
+        return gossip(graph, algorithm=algorithm, tree=tree)
+
+
+class TestServing:
+    def test_warm_hit_returns_identical_plan(self):
+        service = GossipService()
+        g = topologies.grid_2d(3, 3)
+        assert service.plan(g) is service.plan(g)
+
+    def test_equal_graph_different_object_hits(self):
+        planner = CountingPlanner()
+        service = GossipService(planner=planner)
+        service.plan(topologies.grid_2d(3, 4))
+        service.plan(topologies.grid_2d(3, 4))
+        assert len(planner.calls) == 1
+        stats = service.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_distinct_algorithms_cached_separately(self):
+        service = GossipService()
+        g = topologies.path_graph(6)
+        fast = service.plan(g)
+        simple = service.plan(g, algorithm="simple")
+        assert fast.algorithm == "concurrent-updown"
+        assert simple.algorithm == "simple"
+        assert service.stats().misses == 2
+
+    def test_string_and_tree_specs(self):
+        service = GossipService()
+        by_name = service.plan("grid:9")
+        assert by_name.graph.name == "grid-3x3"
+        pinned = service.plan(by_name.tree)
+        assert pinned.tree == by_name.tree
+
+    def test_explicit_tree_pins_key(self):
+        """Plans on an explicitly maintained tree never collide with the
+        canonical-tree entry for the same graph."""
+        service = GossipService()
+        g = topologies.cycle_graph(8)
+        canonical = service.plan(g)
+        from repro.networks.builders import graph_to_tree
+
+        other_tree = graph_to_tree(topologies.path_graph(8), root=0)
+        # cycle_graph(8) contains the path's edges plus (0, 7); the path
+        # tree is a valid (taller) spanning tree of the cycle.
+        pinned = service.plan(g, tree=other_tree)
+        assert pinned is not canonical
+        assert pinned.tree == other_tree
+        assert service.stats().misses == 2
+
+    def test_unknown_algorithm_not_cached(self):
+        service = GossipService()
+        g = topologies.path_graph(4)
+        with pytest.raises(ReproError):
+            service.plan(g, algorithm="nope")
+        # failure left nothing behind; the good path still works
+        assert len(service.cache) == 0
+        assert service.plan(g).execute().complete
+
+    def test_default_planner_matches_reference_gossip(self):
+        service = GossipService()
+        g = topologies.grid_2d(4, 5)
+        served = service.plan(g)
+        reference = gossip(g)
+        assert served.tree == reference.tree
+        assert served.schedule == reference.schedule
+
+
+class TestPlanMany:
+    def test_order_preserved_and_duplicates_coalesce(self):
+        planner = CountingPlanner()
+        with GossipService(planner=planner, max_workers=4) as service:
+            specs = [
+                topologies.path_graph(5),
+                topologies.star_graph(5),
+                topologies.path_graph(5),
+                "grid:9",
+            ]
+            plans = service.plan_many(specs)
+            assert [p.graph.name for p in plans] == [
+                "path-5", "star-5", "path-5", "grid-3x3",
+            ]
+            assert plans[0] is plans[2]
+            assert len(planner.calls) == 3  # unique networks only
+            assert service.stats().batches == 1
+
+    def test_empty_and_singleton_batches(self):
+        with GossipService() as service:
+            assert service.plan_many([]) == []
+            [plan] = service.plan_many([topologies.path_graph(3)])
+            assert isinstance(plan, GossipPlan)
+
+    def test_batch_results_are_complete_plans(self):
+        with GossipService(max_workers=8) as service:
+            sizes = range(3, 11)
+            plans = service.plan_many([topologies.cycle_graph(n) for n in sizes])
+            for n, plan in zip(sizes, plans):
+                assert plan.total_time == n + n // 2  # cycle: n + r
+                assert plan.execute().complete
+
+
+class TestEvictionAndStats:
+    def test_lru_eviction_recorded(self):
+        service = GossipService(max_entries=2)
+        for n in (4, 5, 6, 7):
+            service.plan(topologies.path_graph(n))
+        stats = service.stats()
+        assert stats.entries == 2
+        assert stats.evictions == 2
+        # evicted network plans again → another miss
+        service.plan(topologies.path_graph(4))
+        assert service.stats().misses == 5
+
+    def test_invalidate_by_network(self):
+        service = GossipService()
+        g = topologies.grid_2d(3, 3)
+        service.plan(g)
+        service.plan(g, algorithm="simple")
+        assert service.invalidate(g, algorithm="simple") == 1
+        assert service.invalidate(g) == 1  # remaining entry, any algorithm
+        assert service.invalidate(g) == 0
+        assert service.stats().invalidations == 2
+
+    def test_cache_clear(self):
+        service = GossipService()
+        service.plan("path:5")
+        service.plan("star:5")
+        assert service.cache_clear() == 2
+        assert len(service.cache) == 0
+
+    def test_latency_percentiles_populated(self):
+        service = GossipService()
+        for n in (4, 5, 6):
+            service.plan(topologies.path_graph(n))
+        service.plan(topologies.path_graph(4))
+        stats = service.stats()
+        assert stats.plan_p50_ms is not None
+        assert stats.plan_p50_ms <= stats.plan_p90_ms <= stats.plan_p99_ms
+        assert stats.plan_max_ms >= stats.plan_p99_ms
+        assert stats.hit_p50_ms is not None
+        assert stats.hit_rate == pytest.approx(0.25)
+        # the report renders every counter
+        assert "hit rate" in stats.format()
+
+    def test_stats_before_traffic(self):
+        stats = GossipService().stats()
+        assert stats.hit_rate is None
+        assert stats.plan_p50_ms is None
+        assert "n/a" in stats.format()

@@ -1,0 +1,121 @@
+"""Concurrency guarantees: the cache is thread-safe and coalescing.
+
+The acceptance hammer: 8 threads fire a shuffled stream of requests over
+a handful of unique networks at one service; planning must run *exactly
+once per unique network* (in-flight coalescing), every thread must get
+the one true plan object, and nothing may deadlock.
+"""
+
+import random
+import threading
+import time
+
+from repro.core.gossip import gossip
+from repro.networks import topologies
+from repro.service import GossipService
+
+THREADS = 8
+REQUESTS_PER_THREAD = 30
+
+
+class SlowCountingPlanner:
+    """Counts planning runs; sleeps to widen the coalescing window."""
+
+    def __init__(self, delay: float = 0.02):
+        self.delay = delay
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def __call__(self, graph, *, algorithm, tree=None):
+        with self.lock:
+            self.calls.append(graph.canonical_hash())
+        time.sleep(self.delay)
+        return gossip(graph, algorithm=algorithm, tree=tree)
+
+
+def _unique_graphs():
+    return [
+        topologies.grid_2d(3, 3),
+        topologies.star_graph(9),
+        topologies.path_graph(9),
+        topologies.cycle_graph(9),
+    ]
+
+
+def test_hammer_exactly_one_planning_call_per_unique_graph():
+    planner = SlowCountingPlanner()
+    service = GossipService(planner=planner)
+    graphs = _unique_graphs()
+    barrier = threading.Barrier(THREADS)
+    results = [[] for _ in range(THREADS)]
+    errors = []
+
+    def worker(idx: int) -> None:
+        rng = random.Random(idx)
+        # fresh-but-equal Graph objects: the cache must key on content
+        local = [topologies.grid_2d(3, 3), topologies.star_graph(9),
+                 topologies.path_graph(9), topologies.cycle_graph(9)]
+        barrier.wait()
+        try:
+            for _ in range(REQUESTS_PER_THREAD):
+                g = rng.choice(local)
+                results[idx].append((g.canonical_hash(), service.plan(g)))
+        except BaseException as exc:  # pragma: no cover - fails the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert all(not t.is_alive() for t in threads)
+
+    # exactly one planning run per unique network, despite 240 requests
+    assert sorted(planner.calls) == sorted(g.canonical_hash() for g in graphs)
+
+    # every thread observed the single canonical plan object per network
+    canonical = {g.canonical_hash(): service.plan(g) for g in graphs}
+    for per_thread in results:
+        assert per_thread  # each thread made progress
+        for ghash, plan in per_thread:
+            assert plan is canonical[ghash]
+
+    stats = service.stats()
+    assert stats.misses == len(graphs)
+    assert stats.requests == THREADS * REQUESTS_PER_THREAD + len(graphs)
+    assert stats.hits == stats.requests - stats.misses
+
+
+def test_concurrent_distinct_graphs_all_planned():
+    """plan_many across threads plans every distinct network exactly once."""
+    planner = SlowCountingPlanner(delay=0.005)
+    with GossipService(planner=planner, max_workers=8) as service:
+        graphs = [topologies.path_graph(n) for n in range(3, 19)]
+        plans = service.plan_many(graphs + graphs)
+        assert len(plans) == 2 * len(graphs)
+        assert len(planner.calls) == len(graphs)
+        for g, plan in zip(graphs + graphs, plans):
+            assert plan.graph == g
+
+
+def test_failed_build_does_not_wedge_the_key():
+    """An exploding planner releases the in-flight slot: later requests
+    retry instead of hanging or reusing the failure."""
+    boom = {"armed": True}
+
+    def flaky(graph, *, algorithm, tree=None):
+        if boom["armed"]:
+            boom["armed"] = False
+            raise RuntimeError("transient planner failure")
+        return gossip(graph, algorithm=algorithm, tree=tree)
+
+    service = GossipService(planner=flaky)
+    g = topologies.grid_2d(3, 3)
+    try:
+        service.plan(g)
+        raise AssertionError("first call should have failed")
+    except RuntimeError:
+        pass
+    plan = service.plan(g)
+    assert plan.execute().complete

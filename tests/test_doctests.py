@@ -11,6 +11,8 @@ import pytest
 import repro
 import repro.core.schedule
 import repro.networks.graph
+import repro.service
+import repro.service.service
 import repro.tree.labeling
 import repro.tree.tree
 
@@ -21,6 +23,8 @@ MODULES = [
     (repro.tree.tree, True),
     (repro.tree.labeling, True),
     (repro.core.schedule, False),
+    (repro.service, True),
+    (repro.service.service, True),
 ]
 
 
