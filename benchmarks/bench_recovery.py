@@ -1,0 +1,123 @@
+"""RECOVERY — repair-round overhead of fault-tolerant gossip vs drop rate.
+
+The robustness claim behind :mod:`repro.core.recovery`: a schedule
+executed under a seeded :class:`~repro.simulator.lossy.FaultModel` can
+be repaired back to completeness with model-legal extra rounds, and the
+overhead grows smoothly with the drop rate.  Measured on the chaos-sweep
+default family ``random:48``:
+
+* the overhead-vs-drop-rate curve (p50/p90/max extra rounds per cell),
+* the 0%-drop parity gate: a null fault model must reproduce
+  :func:`~repro.simulator.engine.execute_schedule` bit-for-bit and
+  :func:`~repro.core.recovery.recover` must append zero repair rounds.
+
+Runs two ways:
+
+* under pytest(-benchmark) with the rest of the suite — records rows in
+  the reproduction summary;
+* standalone: ``python benchmarks/bench_recovery.py --check`` exits
+  non-zero unless the parity gate holds (wired into tier-1 via
+  ``tests/analysis/test_chaos_check.py``).
+"""
+
+import argparse
+import sys
+
+from repro.analysis.chaos import run_chaos_sweep
+from repro.core.gossip import gossip, resolve_network
+from repro.core.recovery import execute_plan_with_faults, recover
+from repro.simulator.engine import execute_schedule
+from repro.simulator.lossy import FaultModel
+from repro.simulator.state import labeled_holdings
+
+#: The acceptance-criteria network and sweep shape.
+FAMILY = "random:48"
+DROP_RATES = (0.0, 0.1, 0.2, 0.3)
+TRIALS = 10
+SEED = 7
+
+
+def run(*, trials: int = TRIALS, seed: int = SEED):
+    """The overhead-vs-drop-rate curve on the chaos default family."""
+    return run_chaos_sweep(
+        families=(FAMILY,),
+        drop_rates=DROP_RATES,
+        trials=trials,
+        seed=seed,
+    )
+
+
+def check_zero_drop_parity(*, seed: int = SEED) -> None:
+    """Gate: a null fault model is indistinguishable from the real engine.
+
+    Asserts that ``execute_with_faults`` under ``FaultModel()`` matches
+    ``execute_schedule`` on every comparable field and that ``recover``
+    is a no-op (zero attempts, zero appended rounds) on the result.
+    """
+    graph, tree = resolve_network(FAMILY)
+    plan = gossip(graph, tree=tree)
+    holds0 = labeled_holdings(plan.labeled.labels())
+
+    faulty = execute_plan_with_faults(plan, FaultModel(seed=seed))
+    reference = execute_schedule(
+        graph, plan.schedule, initial_holds=holds0, require_complete=True
+    )
+    assert not faulty.lost and not faulty.suppressed, (
+        "null fault model injected faults"
+    )
+    assert faulty.to_execution_result() == reference, (
+        "null-model lossy execution diverged from execute_schedule"
+    )
+
+    outcome = recover(graph, plan, faulty)
+    assert outcome.attempts == 0 and outcome.repair_rounds == 0, (
+        f"recover() modified a complete run: attempts={outcome.attempts}, "
+        f"repair_rounds={outcome.repair_rounds}"
+    )
+    assert outcome.overhead_rounds == 0
+
+
+def test_recovery_overhead_curve(benchmark, report):
+    """Overhead percentiles per drop rate; 0%-drop must be pure parity."""
+    check_zero_drop_parity()
+    sweep = benchmark.pedantic(run, iterations=1, rounds=1)
+    for cell in sweep.cells:
+        report.row(
+            network=cell.family,
+            drop=f"{cell.drop_rate:.2f}",
+            completion=f"{cell.completion_rate:.0%}",
+            baseline=cell.baseline_total,
+            overhead_p50=cell.overhead_p50,
+            overhead_p90=cell.overhead_p90,
+            overhead_max=cell.overhead_max,
+        )
+    sweep.check()
+    zero = next(c for c in sweep.cells if c.drop_rate == 0.0)
+    assert zero.overhead_max == 0 and zero.deliveries_lost == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless 0%%-drop parity and the sweep gates hold",
+    )
+    parser.add_argument("--trials", type=int, default=TRIALS)
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    sweep = run(trials=args.trials, seed=args.seed)
+    print(sweep.format())
+    if args.check:
+        try:
+            check_zero_drop_parity(seed=args.seed)
+            sweep.check()
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print("check: 0%-drop parity and recovery gates hold  OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

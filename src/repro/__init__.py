@@ -39,6 +39,7 @@ from .core.gossip import (
 from .core.online import run_online_gossip
 from .core.optimal import minimum_gossip_time
 from .core.optimal_path import optimal_path_gossip
+from .core.recovery import RecoveryResult, execute_plan_with_faults, recover
 from .core.repeated import repeated_gossip
 from .core.ring import hamiltonian_circuit, ring_gossip, ring_gossip_on_graph
 from .core.schedule import Round, Schedule, ScheduleBuilder, Transmission
@@ -51,6 +52,8 @@ from .exceptions import (
     IncompleteGossipError,
     LabelingError,
     ModelViolationError,
+    PlanTimeoutError,
+    RecoveryExhaustedError,
     ReproError,
     ScheduleConflictError,
     ScheduleError,
@@ -63,6 +66,7 @@ from .networks.properties import center, diameter, radius, summarize
 from .networks.spanning_tree import bfs_spanning_tree, minimum_depth_spanning_tree
 from .service import GossipService, MaintainedNetwork, ServiceStats
 from .simulator.engine import execute_schedule
+from .simulator.lossy import FaultModel, FaultyExecutionResult, execute_with_faults
 from .tree.labeling import LabeledTree, label_tree
 from .tree.tree import Tree
 
@@ -119,6 +123,13 @@ __all__ = [
     "ServiceStats",
     # execution
     "execute_schedule",
+    # fault tolerance
+    "FaultModel",
+    "FaultyExecutionResult",
+    "execute_with_faults",
+    "recover",
+    "RecoveryResult",
+    "execute_plan_with_faults",
     # exceptions
     "ReproError",
     "GraphError",
@@ -130,4 +141,6 @@ __all__ = [
     "ModelViolationError",
     "IncompleteGossipError",
     "SimulationError",
+    "RecoveryExhaustedError",
+    "PlanTimeoutError",
 ]

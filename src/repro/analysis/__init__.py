@@ -1,5 +1,6 @@
-"""Analysis layer: bounds, comparisons, sweeps, and the paper's tables."""
+"""Analysis layer: bounds, comparisons, sweeps, chaos runs, paper tables."""
 
+from .chaos import ChaosCell, ChaosReport, run_chaos_sweep
 from .bounds import (
     approximation_ratio_bound,
     concurrent_updown_upper_bound,
@@ -44,4 +45,7 @@ __all__ = [
     "ActivityProfile",
     "activity_profile",
     "completion_curve",
+    "ChaosCell",
+    "ChaosReport",
+    "run_chaos_sweep",
 ]

@@ -47,6 +47,10 @@ FAMILIES: Dict[str, Callable[[int], Graph]] = {
     "wheel": lambda n: topologies.wheel(max(n, 4)),
     "random-tree": lambda n: random_tree(n, seed=7),
     "gnp": lambda n: random_connected_gnp(n, p=min(1.0, 2.0 / max(n, 2)), seed=7),
+    # The chaos-sweep default: a denser connected G(n, p) whose extra
+    # chords leave the spanning tree shallow (radius stays small as the
+    # drop rate climbs).
+    "random": lambda n: random_connected_gnp(n, p=min(1.0, 3.0 / max(n, 2)), seed=11),
     "geometric": lambda n: random_geometric(n, radius=0.35, seed=7),
     "debruijn": lambda n: topologies.de_bruijn(2, max(2, (n - 1).bit_length())),
     "torus": lambda n: topologies.torus_2d(

@@ -7,7 +7,8 @@ Subcommands:
 * ``compare``     — compare algorithms across the standard suite;
 * ``paper``       — verify every paper figure claim and print a summary;
 * ``bench``       — cold vs warm plan serving through :class:`GossipService`;
-* ``serve-stats`` — replay a synthetic request stream and print service stats.
+* ``serve-stats`` — replay a synthetic request stream and print service stats;
+* ``chaos``       — seeded fault sweep (drop rate x topology) through recovery.
 
 Examples
 --------
@@ -20,6 +21,7 @@ Examples
     python -m repro.cli paper
     python -m repro.cli bench --topology grid --n 256 --check
     python -m repro.cli serve-stats --requests 500
+    python -m repro.cli chaos --family random:48 --drop 0.2 --seed 7
 """
 
 from __future__ import annotations
@@ -143,6 +145,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--requests", type=int, default=200)
     p_stats.add_argument(
         "--algorithm", choices=sorted(ALGORITHMS), default="concurrent-updown"
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault sweep: inject losses, repair, report overhead"
+    )
+    p_chaos.add_argument(
+        "--family", action="append", default=None, metavar="SPEC",
+        help="network spec 'family:n' (repeatable; default: random:48)",
+    )
+    p_chaos.add_argument(
+        "--drop", type=float, action="append", default=None,
+        help="per-delivery drop probability (repeatable; default: 0.2)",
+    )
+    p_chaos.add_argument("--trials", type=int, default=20, help="trials per cell")
+    p_chaos.add_argument("--seed", type=int, default=7, help="sweep seed")
+    p_chaos.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="concurrent-updown"
+    )
+    p_chaos.add_argument(
+        "--max-repair-rounds", type=int, default=None,
+        help="repair-round budget per trial (default: max(256, 10x baseline))",
+    )
+    p_chaos.add_argument(
+        "--link-outage", type=float, default=0.0,
+        help="per-round link outage probability",
+    )
+    p_chaos.add_argument(
+        "--crash", type=float, default=0.0,
+        help="per-round transient processor crash probability",
+    )
+    p_chaos.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless every cell completes >= 95%% of trials "
+             "and all repairs pass fault-free re-validation",
     )
     return parser
 
@@ -367,6 +403,30 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .analysis.chaos import run_chaos_sweep
+
+    report = run_chaos_sweep(
+        families=args.family or ["random:48"],
+        drop_rates=args.drop if args.drop is not None else [0.2],
+        trials=args.trials,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        max_repair_rounds=args.max_repair_rounds,
+        link_outage_rate=args.link_outage,
+        crash_rate=args.crash,
+    )
+    print(report.format())
+    if args.check:
+        try:
+            report.check()
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print("check: completion >= 95% and all repairs verified fault-free  OK")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -382,6 +442,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bounds": _cmd_bounds,
         "bench": _cmd_bench,
         "serve-stats": _cmd_serve_stats,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -10,7 +10,9 @@
   special cases;
 * :mod:`~repro.core.store_forward` — policy-driven greedy/telephone
   baselines;
-* :mod:`~repro.core.gossip` — the end-to-end network pipeline.
+* :mod:`~repro.core.gossip` — the end-to-end network pipeline;
+* :mod:`~repro.core.recovery` — repair scheduling for lossy executions
+  (the fault-tolerance layer over :mod:`repro.simulator.lossy`).
 """
 
 from .ablations import concurrent_updown_no_lip, no_lip_penalty, propagate_up_no_lip
@@ -30,6 +32,13 @@ from .optimal import is_gossipable_within, minimum_gossip_time, optimal_schedule
 from .optimal_path import optimal_path_gossip, optimal_path_time
 from .propagate_down import propagate_down
 from .propagate_up import propagate_up
+from .recovery import (
+    REPAIR_POLICIES,
+    RecoveryResult,
+    execute_plan_with_faults,
+    plan_repair_rounds,
+    recover,
+)
 from .repeated import RepeatedGossipPlan, minimal_pipeline_offset, repeated_gossip
 from .ring import hamiltonian_circuit, ring_gossip, ring_gossip_on_graph
 from .schedule import Round, Schedule, ScheduleBuilder, Transmission, merge_schedules
@@ -84,6 +93,11 @@ __all__ = [
     "repeated_gossip",
     "minimal_pipeline_offset",
     "RepeatedGossipPlan",
+    "recover",
+    "RecoveryResult",
+    "execute_plan_with_faults",
+    "plan_repair_rounds",
+    "REPAIR_POLICIES",
     "weighted_gossip",
     "expand_weighted_tree",
     "WeightedGossipPlan",

@@ -18,6 +18,8 @@ __all__ = [
     "ModelViolationError",
     "IncompleteGossipError",
     "SimulationError",
+    "RecoveryExhaustedError",
+    "PlanTimeoutError",
 ]
 
 
@@ -74,3 +76,38 @@ class IncompleteGossipError(ScheduleError):
 
 class SimulationError(ReproError):
     """The round-based simulator was driven into an inconsistent state."""
+
+
+class RecoveryExhaustedError(ReproError):
+    """Recovery scheduling ran out of repair-round budget before completion.
+
+    Raised by :func:`repro.core.recovery.recover` when the fault model
+    keeps destroying repair deliveries faster than the round budget
+    allows retransmitting them.  Carries the diagnosis of the last
+    attempt so callers can report how close recovery got:
+
+    Attributes
+    ----------
+    attempts:
+        Number of execute -> diagnose -> repair iterations performed.
+    repair_rounds:
+        Total repair rounds appended across all attempts.
+    missing:
+        Per-processor missing message ids after the final attempt.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 repair_rounds: int = 0, missing=None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.repair_rounds = repair_rounds
+        self.missing = dict(missing or {})
+
+
+class PlanTimeoutError(ReproError):
+    """A service plan request exceeded its planner timeout.
+
+    Raised by :class:`repro.service.GossipService` when the primary
+    planner times out (and, if configured, the degraded fallback could
+    not produce a plan either).
+    """

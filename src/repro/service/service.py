@@ -30,12 +30,14 @@ from __future__ import annotations
 import dataclasses
 import os
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from time import perf_counter
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.gossip import GossipPlan, NetworkSpec, gossip, resolve_network
-from ..exceptions import ReproError
+from ..exceptions import PlanTimeoutError, ReproError
 from ..networks.graph import Graph
 from ..tree.tree import Tree
 from .cache import PlanCache, PlanKey, tree_fingerprint
@@ -85,6 +87,29 @@ class GossipService:
         tree=...)``.  Defaults to :func:`repro.core.gossip.gossip` over
         the accelerated spanning-tree construction (identical trees,
         scipy BFS kernels that release the GIL).
+    planner_timeout:
+        Per-request wall-clock budget (seconds) for one planner run.
+        ``None`` (the default) disables the budget and runs the planner
+        inline on the requesting thread, exactly as before.  With a
+        budget set, builds run on a dedicated planner pool; a build
+        that exceeds it is *abandoned* (Python threads cannot be
+        killed — the stray build finishes in the background and still
+        warms the cache for later requests) and the request falls back
+        to ``fallback_algorithm`` if one is configured, else raises
+        :class:`~repro.exceptions.PlanTimeoutError`.
+    retries:
+        How many times a *transient* planner failure (any exception not
+        derived from :class:`~repro.exceptions.ReproError` — library
+        errors are deterministic and retrying them is pointless) is
+        retried, with exponential backoff starting at ``retry_backoff``
+        seconds.
+    fallback_algorithm:
+        The cheaper algorithm whose plan is served — flagged in
+        :attr:`ServiceStats.degraded` — when the primary planner times
+        out or keeps failing transiently.  Degraded plans are cached
+        under the *fallback* key only, so the primary is re-attempted
+        on the next request and the service heals itself once the
+        planner recovers.
 
     Examples
     --------
@@ -108,11 +133,23 @@ class GossipService:
         max_weight: Optional[int] = None,
         max_workers: Optional[int] = None,
         planner: Optional[Planner] = None,
+        planner_timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+        fallback_algorithm: Optional[str] = None,
     ) -> None:
+        if planner_timeout is not None and planner_timeout <= 0:
+            raise ReproError("planner_timeout must be positive (or None)")
+        if retries < 0:
+            raise ReproError("retries must be >= 0")
         self._algorithm = algorithm
         self._cache = PlanCache(max_entries=max_entries, max_weight=max_weight)
         self._stats = StatsRecorder()
         self._planner: Planner = planner if planner is not None else _fast_planner
+        self._planner_timeout = planner_timeout
+        self._retries = retries
+        self._retry_backoff = retry_backoff
+        self._fallback_algorithm = fallback_algorithm
         self._lock = threading.Lock()
         self._inflight: Dict[PlanKey, Future] = {}
         self._max_workers = max_workers or min(8, os.cpu_count() or 1)
@@ -160,7 +197,7 @@ class GossipService:
             return plan
 
         try:
-            plan = self._planner(graph, algorithm=key[2], tree=tree)
+            plan, degraded = self._build_plan(graph, tree, key)
         except BaseException as exc:
             with self._lock:
                 self._inflight.pop(key, None)
@@ -168,12 +205,118 @@ class GossipService:
             raise
         build_seconds = perf_counter() - start
         with self._lock:
-            evicted = self._cache.put(key, plan)
+            # A degraded plan is the *fallback* algorithm's plan: caching
+            # it under the primary key would serve it silently forever.
+            # _build_plan already cached it under the fallback key.
+            evicted = 0 if degraded else self._cache.put(key, plan)
             self._inflight.pop(key, None)
         self._stats.record_miss(build_seconds)
         self._stats.record_evictions(evicted)
         future.set_result(plan)
         return plan
+
+    # ------------------------------------------------------------------
+    # Hardened build path: timeout, bounded retry, degraded fallback
+    # ------------------------------------------------------------------
+    def _build_plan(
+        self, graph: Graph, tree: Optional[Tree], key: PlanKey
+    ) -> Tuple[GossipPlan, bool]:
+        """Build the plan for ``key`` under the resilience policy.
+
+        Returns ``(plan, degraded)`` where ``degraded`` marks a fallback
+        algorithm's plan served in place of the primary.
+        """
+        algorithm = key[2]
+        try:
+            return self._build_with_retries(graph, tree, algorithm, key), False
+        except PlanTimeoutError as exc:
+            primary_failure: BaseException = exc
+        except ReproError:
+            raise  # deterministic library error: fallback cannot help
+        except BaseException as exc:
+            primary_failure = exc  # transient failures survived retries
+
+        fallback = self._fallback_algorithm
+        if fallback is None or fallback == algorithm:
+            raise primary_failure
+        fallback_key = (key[0], key[1], fallback)
+        with self._lock:
+            cached = self._cache.get(fallback_key)
+        if cached is None:
+            try:
+                cached = self._build_with_retries(graph, tree, fallback, fallback_key)
+            except BaseException as exc:
+                raise PlanTimeoutError(
+                    f"primary planner ({algorithm!r}) failed "
+                    f"({primary_failure!r}) and the degraded fallback "
+                    f"({fallback!r}) failed too: {exc!r}"
+                ) from exc
+            with self._lock:
+                evicted = self._cache.put(fallback_key, cached)
+            self._stats.record_evictions(evicted)
+        self._stats.record_degraded()
+        return cached, True
+
+    def _build_with_retries(
+        self, graph: Graph, tree: Optional[Tree], algorithm: str, key: PlanKey
+    ) -> GossipPlan:
+        """One planner run, retried on transient (non-:class:`ReproError`)
+        failures with exponential backoff."""
+        attempt = 0
+        while True:
+            try:
+                return self._invoke_planner(graph, tree, algorithm, key)
+            except (ReproError, PlanTimeoutError):
+                raise  # deterministic, or already accounted as a timeout
+            except BaseException:
+                if attempt >= self._retries:
+                    raise
+                self._stats.record_retry()
+                time.sleep(self._retry_backoff * (2**attempt))
+                attempt += 1
+
+    def _invoke_planner(
+        self, graph: Graph, tree: Optional[Tree], algorithm: str, key: PlanKey
+    ) -> GossipPlan:
+        """Run the planner, off-thread with a deadline when configured.
+
+        Deadline builds each get a dedicated daemon thread rather than a
+        shared pool: an abandoned (timed-out) build parked on a pool
+        worker would starve the very fallback build meant to rescue the
+        request.
+        """
+        if self._planner_timeout is None:
+            return self._planner(graph, algorithm=algorithm, tree=tree)
+        build: Future = Future()
+
+        def _run() -> None:
+            try:
+                result = self._planner(graph, algorithm=algorithm, tree=tree)
+            except BaseException as exc:  # delivered via the future
+                build.set_exception(exc)
+            else:
+                build.set_result(result)
+
+        threading.Thread(target=_run, name="gossip-planner", daemon=True).start()
+        try:
+            return build.result(timeout=self._planner_timeout)
+        except FutureTimeoutError:
+            self._stats.record_timeout()
+            # The thread cannot be interrupted; let the stray build warm
+            # the cache when (if) it eventually finishes.
+            build.add_done_callback(lambda f: self._adopt_late_build(key, f))
+            raise PlanTimeoutError(
+                f"planner for algorithm {algorithm!r} exceeded "
+                f"{self._planner_timeout}s"
+            ) from None
+
+    def _adopt_late_build(self, key: PlanKey, build: Future) -> None:
+        """Cache a timed-out build that eventually completed anyway."""
+        if build.cancelled() or build.exception() is not None:
+            return
+        with self._lock:
+            evicted = self._cache.put(key, build.result())
+        self._stats.record_evictions(evicted)
 
     def plan_many(
         self,
@@ -305,7 +448,11 @@ class GossipService:
             return self._executor
 
     def close(self) -> None:
-        """Shut the thread pool down (idempotent; cache stays usable)."""
+        """Shut the thread pool down (idempotent; cache stays usable).
+
+        Abandoned deadline builds run on daemon threads and are not
+        waited for — a stuck planner is exactly why timeouts exist.
+        """
         with self._lock:
             executor, self._executor = self._executor, None
         if executor is not None:

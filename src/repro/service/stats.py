@@ -58,6 +58,15 @@ class ServiceStats:
     hit_p50_ms:
         Median end-to-end latency of cache hits, for the warm/cold
         contrast the benchmarks report.
+    timeouts:
+        Planner builds abandoned because they exceeded the service's
+        ``planner_timeout``.
+    retries:
+        Planner re-invocations after a transient failure (bounded by
+        the service's ``retries`` setting per request).
+    degraded:
+        Requests served by the fallback algorithm's plan because the
+        primary planner timed out or kept failing.
     """
 
     requests: int
@@ -75,6 +84,9 @@ class ServiceStats:
     plan_p99_ms: Optional[float]
     plan_max_ms: Optional[float]
     hit_p50_ms: Optional[float]
+    timeouts: int = 0
+    retries: int = 0
+    degraded: int = 0
 
     @property
     def hit_rate(self) -> Optional[float]:
@@ -99,6 +111,8 @@ class ServiceStats:
                 f"{self.invalidations} invalidated, {self.rebuilds} tree rebuilds",
                 f"evictions     : {self.evictions}",
                 f"occupancy     : {self.entries} plans, weight {self.weight} (n + m)",
+                f"resilience    : {self.timeouts} timeouts, {self.retries} retries, "
+                f"{self.degraded} degraded",
                 f"build latency : p50 {ms(self.plan_p50_ms)}  "
                 f"p90 {ms(self.plan_p90_ms)}  p99 {ms(self.plan_p99_ms)}  "
                 f"max {ms(self.plan_max_ms)}",
@@ -125,6 +139,9 @@ class StatsRecorder:
         self.evictions = 0
         self.rebuilds = 0
         self.batches = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.degraded = 0
         self._build_latencies: Deque[float] = deque(maxlen=latency_window)
         self._hit_latencies: Deque[float] = deque(maxlen=latency_window)
 
@@ -165,6 +182,18 @@ class StatsRecorder:
             with self._lock:
                 self.rebuilds += count
 
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_degraded(self) -> None:
+        with self._lock:
+            self.degraded += 1
+
     # ------------------------------------------------------------------
     def snapshot(self, *, entries: int, weight: int) -> ServiceStats:
         """Freeze the counters into a :class:`ServiceStats`."""
@@ -191,4 +220,7 @@ class StatsRecorder:
                 plan_p99_ms=pct(builds, 0.99),
                 plan_max_ms=(builds[-1] * 1e3 if builds else None),
                 hit_p50_ms=pct(hits, 0.50),
+                timeouts=self.timeouts,
+                retries=self.retries,
+                degraded=self.degraded,
             )

@@ -5,10 +5,20 @@ enforces the two communication rules of Section 1, and
 :mod:`~repro.simulator.validator` wraps it with structural checks.
 :mod:`~repro.simulator.trace` extracts per-vertex timelines (the paper's
 Tables 1–4); :mod:`~repro.simulator.metrics` summarises executions;
-:mod:`~repro.simulator.faults` perturbs schedules for robustness tests.
+:mod:`~repro.simulator.faults` perturbs schedules for robustness tests;
+:mod:`~repro.simulator.lossy` executes schedules under a seeded runtime
+fault model (dropped deliveries, link outages, transient crashes) for
+the recovery layer in :mod:`repro.core.recovery`.
 """
 
 from .engine import ArrivalEvent, ExecutionResult, execute_schedule
+from .lossy import (
+    FaultModel,
+    FaultyExecutionResult,
+    LostDelivery,
+    SuppressedSend,
+    execute_with_faults,
+)
 from .metrics import ScheduleMetrics, compute_metrics, link_loads
 from .reference import ReferenceResult, reference_execute
 from .state import HoldState, identity_holdings, labeled_holdings
@@ -19,6 +29,11 @@ __all__ = [
     "execute_schedule",
     "ExecutionResult",
     "ArrivalEvent",
+    "FaultModel",
+    "FaultyExecutionResult",
+    "LostDelivery",
+    "SuppressedSend",
+    "execute_with_faults",
     "reference_execute",
     "ReferenceResult",
     "HoldState",

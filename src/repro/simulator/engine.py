@@ -22,7 +22,7 @@ round ``t``'s sends.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.schedule import Schedule, Transmission
 from ..exceptions import IncompleteGossipError, ModelViolationError
@@ -71,10 +71,16 @@ class ExecutionResult:
     arrivals: List[ArrivalEvent] = field(default_factory=list)
 
     @property
-    def makespan(self) -> int:
-        """Latest completion time over all processors (0 when incomplete)."""
-        times = [t for t in self.completion_times if t is not None]
-        return max(times) if times and self.complete else 0
+    def makespan(self) -> Optional[int]:
+        """Latest completion time over all processors.
+
+        ``None`` when the run is incomplete (some processor never held
+        every message) — distinguishable from the legitimate ``0`` of a
+        trivial run where every processor starts complete.
+        """
+        if not self.complete:
+            return None
+        return max(t for t in self.completion_times if t is not None)
 
 
 def execute_schedule(
@@ -124,6 +130,10 @@ def execute_schedule(
     )
     arrivals: List[ArrivalEvent] = []
     pending: List[Tuple[int, int, int]] = []  # (receiver, sender, message)
+    # Per-sender neighbour sets, built once per sender across the whole
+    # run: repeat senders in large multicast schedules would otherwise
+    # pay a tuple rebuild + O(degree) scan per transmission.
+    neighbour_sets: Dict[int, FrozenSet[int]] = {}
 
     for t, rnd in enumerate(schedule):
         # Receive-before-send: apply last round's deliveries first.
@@ -133,7 +143,7 @@ def execute_schedule(
                 arrivals.append(ArrivalEvent(t, receiver, sender, message))
         pending = []
         for tx in rnd:
-            _check_transmission(graph, state, tx, t)
+            _check_transmission(graph, state, tx, t, neighbour_sets)
             for d in tx.destinations:
                 pending.append((d, tx.sender, tx.message))
     final_time = schedule.total_time
@@ -161,15 +171,30 @@ def execute_schedule(
 
 
 def _check_transmission(
-    graph: Graph, state: HoldState, tx: Transmission, time: int
+    graph: Graph,
+    state: HoldState,
+    tx: Transmission,
+    time: int,
+    neighbour_sets: Optional[Dict[int, FrozenSet[int]]] = None,
 ) -> None:
-    """Enforce possession and adjacency for one transmission."""
+    """Enforce possession and adjacency for one transmission.
+
+    ``neighbour_sets`` is a per-sender cache of frozenset neighbour
+    views shared across one execution (membership tests are O(1) against
+    the O(degree) scan of the raw neighbour tuple).
+    """
     if not state.holds(tx.sender, tx.message):
         raise ModelViolationError(
             f"at time {time} processor {tx.sender} sends message {tx.message} "
             f"it does not hold (holds {state.messages_of(tx.sender)})"
         )
-    neighbours = graph.neighbors(tx.sender)
+    if neighbour_sets is None:
+        neighbours: FrozenSet[int] = frozenset(graph.neighbors(tx.sender))
+    else:
+        cached = neighbour_sets.get(tx.sender)
+        if cached is None:
+            cached = neighbour_sets[tx.sender] = frozenset(graph.neighbors(tx.sender))
+        neighbours = cached
     for d in tx.destinations:
         if d not in neighbours:
             raise ModelViolationError(

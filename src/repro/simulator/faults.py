@@ -12,7 +12,10 @@ mode is actually detected (and that an unperturbed copy still passes):
 * :func:`redirect_to_nonneighbor` — retarget a destination off-edge:
   adjacency violation;
 * :func:`duplicate_receiver` — aim two same-round transmissions at one
-  processor: rejected at :class:`~repro.core.schedule.Round` level.
+  processor: rejected at :class:`~repro.core.schedule.Round` level;
+* :func:`swap_rounds` — exchange two rounds: a pipelined schedule
+  typically turns into a possession violation (rarely the swap is
+  harmless; the tests accept either verdict).
 """
 
 from __future__ import annotations

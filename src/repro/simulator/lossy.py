@@ -1,0 +1,341 @@
+"""Lossy execution — running schedules under a runtime fault model.
+
+:mod:`repro.simulator.faults` perturbs *schedules* to prove the
+validator catches malformed input; this module instead perturbs the
+*execution*: the schedule is perfectly legal, but the network drops
+deliveries, links blink out for whole rounds, and processors crash for
+transient windows.  This is the regime the related gossip literature
+(pipelined gossiping, algebraic gossip) actually targets, and the
+substrate :mod:`repro.core.recovery` repairs on top of.
+
+Determinism is the load-bearing property.  Every fault decision is a
+pure function of ``(model.seed, kind, round, endpoints)`` through a
+splitmix64-style mixer, so:
+
+* a run is byte-for-byte reproducible for a fixed seed, on any platform,
+  regardless of iteration order;
+* *extending* a schedule (appending repair rounds) replays the original
+  prefix identically — the recovery loop relies on this to re-execute
+  the full repaired schedule and land in exactly the state it diagnosed;
+* a retransmission of the same delivery in a *later* round gets a fresh
+  , independent draw (the round index is part of the hash), so repair
+  attempts are not doomed to repeat the original loss.
+
+A fault-free model (:attr:`FaultModel.is_null`) takes the exact
+:func:`~repro.simulator.engine.execute_schedule` code path semantics:
+every observable field of the result matches bit for bit (property-
+tested in ``tests/property/test_property_lossy.py``).
+
+Fault semantics, applied to the round sent at time ``t``:
+
+* **sender crash** — a processor inside a crash window at ``t`` sends
+  nothing; its whole multicast is suppressed;
+* **possession gap** — a sender that (because of earlier losses) does
+  not hold the scheduled message sends nothing; in a lossy world this
+  is not a model violation, it is a consequence of the faults, and it
+  is recorded as a suppressed send.  Adjacency violations are still
+  hard errors: faults never excuse a malformed schedule;
+* **link outage** — a link down for round ``t`` loses every delivery
+  crossing it that round;
+* **receiver crash** — a processor inside a crash window at ``t``
+  receives nothing that round;
+* **delivery drop** — each surviving delivery is lost independently
+  with probability ``drop_rate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.schedule import Schedule
+from ..exceptions import ModelViolationError, SimulationError
+from ..networks.graph import Graph
+from .engine import ArrivalEvent, ExecutionResult
+from .state import HoldState, bits_of
+
+__all__ = [
+    "FaultModel",
+    "LostDelivery",
+    "SuppressedSend",
+    "FaultyExecutionResult",
+    "execute_with_faults",
+]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+# Domain-separation tags so a delivery draw never collides with a link
+# or crash draw at the same coordinates.
+_TAG_DROP = 0xD09
+_TAG_LINK = 0x11F
+_TAG_CRASH = 0xC9A
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finaliser — a high-quality 64-bit avalanche."""
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _uniform(seed: int, tag: int, *coords: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by the coordinates."""
+    h = _mix64(seed & _MASK64)
+    h = _mix64(h ^ tag)
+    for c in coords:
+        h = _mix64(h ^ ((c + 1) * _GOLDEN & _MASK64))
+    return h / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A seeded, deterministic runtime fault model.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; every fault decision is a pure function of it.
+    drop_rate:
+        Independent per-delivery loss probability.
+    link_outage_rate:
+        Per-round, per-link probability that the link is down for that
+        whole round (all deliveries crossing it are lost).
+    crash_rate:
+        Per-round, per-processor probability that a transient crash
+        window *starts* that round.
+    crash_length:
+        Length of a crash window in rounds; while crashed a processor
+        neither sends nor receives.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    link_outage_rate: float = 0.0
+    crash_rate: float = 0.0
+    crash_length: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "link_outage_rate", "crash_rate"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise SimulationError(f"{name}={p} is not a probability")
+        if self.crash_length < 1:
+            raise SimulationError("crash_length must be >= 1")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this model can never inject a fault."""
+        return (
+            self.drop_rate == 0.0
+            and self.link_outage_rate == 0.0
+            and self.crash_rate == 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def drops_delivery(self, time: int, sender: int, receiver: int) -> bool:
+        """Whether the delivery ``sender -> receiver`` sent at ``time`` is lost."""
+        if self.drop_rate == 0.0:
+            return False
+        return _uniform(self.seed, _TAG_DROP, time, sender, receiver) < self.drop_rate
+
+    def link_out(self, time: int, u: int, v: int) -> bool:
+        """Whether the (undirected) link ``{u, v}`` is down for round ``time``."""
+        if self.link_outage_rate == 0.0:
+            return False
+        a, b = (u, v) if u < v else (v, u)
+        return _uniform(self.seed, _TAG_LINK, time, a, b) < self.link_outage_rate
+
+    def crashed(self, time: int, v: int) -> bool:
+        """Whether processor ``v`` is inside a crash window at round ``time``."""
+        if self.crash_rate == 0.0:
+            return False
+        for start in range(max(0, time - self.crash_length + 1), time + 1):
+            if _uniform(self.seed, _TAG_CRASH, start, v) < self.crash_rate:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class LostDelivery:
+    """One point-to-point delivery destroyed by the fault model.
+
+    ``time`` is the send time (the delivery would have landed at
+    ``time + 1``); ``reason`` is one of ``"drop"``, ``"link-outage"``,
+    ``"receiver-crash"``.
+    """
+
+    time: int
+    receiver: int
+    sender: int
+    message: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class SuppressedSend:
+    """One whole multicast that never happened.
+
+    ``reason`` is ``"sender-crash"`` (the sender was inside a crash
+    window) or ``"not-held"`` (earlier losses left the sender without
+    the scheduled message — a cascading fault, not a model violation).
+    """
+
+    time: int
+    sender: int
+    message: int
+    reason: str
+
+
+@dataclass
+class FaultyExecutionResult:
+    """Everything observable about one lossy execution.
+
+    The first six attributes mirror
+    :class:`~repro.simulator.engine.ExecutionResult` exactly (and match
+    it bit for bit under a null model); the rest record what the fault
+    model did, plus enough context (``model``, ``initial_holds``,
+    ``n_messages``) for :func:`repro.core.recovery.recover` to re-execute
+    and repair without re-supplying the run's parameters.
+    """
+
+    complete: bool
+    total_time: int
+    completion_times: List[Optional[int]]
+    duplicate_deliveries: int
+    final_holds: List[int]
+    arrivals: List[ArrivalEvent] = field(default_factory=list)
+    lost: Tuple[LostDelivery, ...] = ()
+    suppressed: Tuple[SuppressedSend, ...] = ()
+    model: FaultModel = field(default_factory=FaultModel)
+    initial_holds: Tuple[int, ...] = ()
+    n_messages: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total deliveries lost plus multicasts suppressed."""
+        return len(self.lost) + len(self.suppressed)
+
+    def missing_sets(self) -> Dict[int, List[int]]:
+        """Per-processor missing message ids (incomplete processors only)."""
+        full = (1 << self.n_messages) - 1
+        return {
+            v: bits_of(full & ~h)
+            for v, h in enumerate(self.final_holds)
+            if h != full
+        }
+
+    def to_execution_result(self) -> ExecutionResult:
+        """The fault-agnostic view (what the fault-free engine reports)."""
+        return ExecutionResult(
+            complete=self.complete,
+            total_time=self.total_time,
+            completion_times=list(self.completion_times),
+            duplicate_deliveries=self.duplicate_deliveries,
+            final_holds=list(self.final_holds),
+            arrivals=list(self.arrivals),
+        )
+
+
+def execute_with_faults(
+    graph: Graph,
+    schedule: Schedule,
+    model: FaultModel,
+    initial_holds: Optional[Sequence[int]] = None,
+    n_messages: Optional[int] = None,
+    record_arrivals: bool = False,
+) -> FaultyExecutionResult:
+    """Run ``schedule`` on ``graph`` while ``model`` injects faults.
+
+    The loop mirrors :func:`~repro.simulator.engine.execute_schedule`
+    (receive-before-send, deliveries land one round after sending) with
+    the fault semantics described in the module docstring.  Under a null
+    model the result matches ``execute_schedule`` on every field.
+
+    Raises
+    ------
+    ModelViolationError
+        A transmission targets a non-neighbour.  Possession gaps caused
+        by earlier losses are *not* violations — they suppress the send
+        and are recorded in :attr:`FaultyExecutionResult.suppressed`.
+    """
+    state = HoldState(
+        graph.n,
+        initial=initial_holds,
+        n_messages=n_messages,
+        track_arrivals=record_arrivals,
+    )
+    init_snapshot = tuple(state.snapshot())
+    arrivals: List[ArrivalEvent] = []
+    lost: List[LostDelivery] = []
+    suppressed: List[SuppressedSend] = []
+    pending: List[Tuple[int, int, int]] = []  # (receiver, sender, message)
+    neighbour_sets: Dict[int, frozenset] = {}
+    null_model = model.is_null
+
+    for t, rnd in enumerate(schedule):
+        for receiver, sender, message in pending:
+            state.deliver(receiver, message, t)
+            if record_arrivals:
+                arrivals.append(ArrivalEvent(t, receiver, sender, message))
+        pending = []
+        for tx in rnd:
+            neighbours = neighbour_sets.get(tx.sender)
+            if neighbours is None:
+                neighbours = frozenset(graph.neighbors(tx.sender))
+                neighbour_sets[tx.sender] = neighbours
+            for d in tx.destinations:
+                if d not in neighbours:
+                    raise ModelViolationError(
+                        f"at time {t} processor {tx.sender} multicasts to {d}, "
+                        "which is not an adjacent processor"
+                    )
+            if not null_model and model.crashed(t, tx.sender):
+                suppressed.append(
+                    SuppressedSend(t, tx.sender, tx.message, "sender-crash")
+                )
+                continue
+            if not state.holds(tx.sender, tx.message):
+                # Cascading fault: an earlier loss starved this sender.
+                suppressed.append(
+                    SuppressedSend(t, tx.sender, tx.message, "not-held")
+                )
+                continue
+            for d in tx.destinations:
+                if not null_model:
+                    if model.link_out(t, tx.sender, d):
+                        lost.append(
+                            LostDelivery(t, d, tx.sender, tx.message, "link-outage")
+                        )
+                        continue
+                    if model.crashed(t, d):
+                        lost.append(
+                            LostDelivery(t, d, tx.sender, tx.message, "receiver-crash")
+                        )
+                        continue
+                    if model.drops_delivery(t, tx.sender, d):
+                        lost.append(
+                            LostDelivery(t, d, tx.sender, tx.message, "drop")
+                        )
+                        continue
+                pending.append((d, tx.sender, tx.message))
+    final_time = schedule.total_time
+    for receiver, sender, message in pending:
+        state.deliver(receiver, message, final_time)
+        if record_arrivals:
+            arrivals.append(ArrivalEvent(final_time, receiver, sender, message))
+
+    return FaultyExecutionResult(
+        complete=state.all_complete(),
+        total_time=final_time,
+        completion_times=state.completion_times(),
+        duplicate_deliveries=state.duplicate_deliveries,
+        final_holds=state.snapshot(),
+        arrivals=arrivals,
+        lost=tuple(lost),
+        suppressed=tuple(suppressed),
+        model=model,
+        initial_holds=init_snapshot,
+        n_messages=state.n_messages,
+    )

@@ -1,0 +1,95 @@
+"""Tier-1 smoke: the chaos sweep's ``--check`` gates hold.
+
+Runs ``python -m repro.cli chaos --check`` and
+``benchmarks/bench_recovery.py --check`` the same way CI does
+(standalone processes), asserting the >= 95% completion-with-repair
+acceptance criterion plus byte-for-byte reproducibility, and exercises
+:func:`repro.analysis.chaos.run_chaos_sweep` in-process for coverage of
+both entry points.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.chaos import run_chaos_sweep
+from repro.exceptions import ReproError
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_recovery.py"
+
+CLI_ARGS = [
+    "-m", "repro.cli", "chaos",
+    "--family", "random:32", "--drop", "0.2", "--trials", "10",
+    "--seed", "7", "--check",
+]
+
+
+def _run(cmd):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_cli_chaos_check_passes_and_is_reproducible():
+    first = _run([sys.executable, *CLI_ARGS])
+    assert first.returncode == 0, (
+        f"stdout:\n{first.stdout}\nstderr:\n{first.stderr}"
+    )
+    assert "check: completion >= 95%" in first.stdout
+    second = _run([sys.executable, *CLI_ARGS])
+    assert second.stdout == first.stdout  # byte-for-byte reproducible
+
+
+def test_benchmark_check_mode_passes():
+    proc = _run([sys.executable, str(BENCH), "--check", "--trials", "5"])
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "check: 0%-drop parity and recovery gates hold  OK" in proc.stdout
+
+
+class TestInProcessSweep:
+    def test_cells_and_gates(self):
+        report = run_chaos_sweep(
+            families=("grid:16",), drop_rates=(0.0, 0.2), trials=5, seed=3
+        )
+        assert len(report.cells) == 2
+        zero, lossy = report.cells
+        assert zero.drop_rate == 0.0
+        assert zero.deliveries_lost == 0 and zero.overhead_max == 0
+        assert lossy.deliveries_lost > 0
+        assert lossy.baseline_total == zero.baseline_total
+        report.check()  # completion and fault-free verification gates
+
+    def test_format_is_deterministic(self):
+        a = run_chaos_sweep(families=("grid:9",), trials=3, seed=5)
+        b = run_chaos_sweep(families=("grid:9",), trials=3, seed=5)
+        assert a.format() == b.format()
+
+    def test_check_fails_on_incompletion(self):
+        """An impossible budget surfaces through the gate, not silently."""
+        report = run_chaos_sweep(
+            families=("path:12",),
+            drop_rates=(0.5,),
+            trials=4,
+            seed=1,
+            max_repair_rounds=1,
+        )
+        with pytest.raises(AssertionError):
+            report.check()
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ReproError):
+            run_chaos_sweep(trials=0)

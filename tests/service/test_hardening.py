@@ -1,0 +1,191 @@
+"""GossipService resilience: timeouts, bounded retry, degraded fallback."""
+
+import time
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.exceptions import PlanTimeoutError, ReproError
+from repro.networks import topologies
+from repro.service import GossipService
+
+
+class FlakyPlanner:
+    """Fails transiently ``failures`` times per key, then succeeds."""
+
+    def __init__(self, failures, exc=OSError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self, graph, *, algorithm, tree=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc("transient planner hiccup")
+        return gossip(graph, algorithm=algorithm, tree=tree)
+
+
+class SlowPlanner:
+    """Sleeps ``delay`` seconds per call for the configured algorithms."""
+
+    def __init__(self, delay, slow_algorithms=("concurrent-updown",)):
+        self.delay = delay
+        self.slow_algorithms = set(slow_algorithms)
+        self.calls = []
+
+    def __call__(self, graph, *, algorithm, tree=None):
+        self.calls.append(algorithm)
+        if algorithm in self.slow_algorithms:
+            time.sleep(self.delay)
+        return gossip(graph, algorithm=algorithm, tree=tree)
+
+
+class TestValidation:
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ReproError):
+            GossipService(planner_timeout=0)
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ReproError):
+            GossipService(retries=-1)
+
+
+class TestRetries:
+    def test_transient_failures_retried_and_counted(self):
+        planner = FlakyPlanner(failures=2)
+        service = GossipService(planner=planner, retries=2, retry_backoff=0.001)
+        plan = service.plan(topologies.grid_2d(3, 3))
+        assert plan.graph.n == 9
+        assert planner.calls == 3
+        assert service.stats().retries == 2
+
+    def test_retries_exhausted_reraises(self):
+        planner = FlakyPlanner(failures=10)
+        service = GossipService(planner=planner, retries=1, retry_backoff=0.001)
+        with pytest.raises(OSError):
+            service.plan(topologies.grid_2d(3, 3))
+        assert planner.calls == 2  # initial try + 1 retry
+
+    def test_deterministic_errors_never_retried(self):
+        planner = FlakyPlanner(failures=10, exc=ReproError)
+        service = GossipService(planner=planner, retries=3, retry_backoff=0.001)
+        with pytest.raises(ReproError):
+            service.plan(topologies.grid_2d(3, 3))
+        assert planner.calls == 1
+        assert service.stats().retries == 0
+
+
+class TestTimeouts:
+    def test_timeout_raises_typed_error_without_fallback(self):
+        service = GossipService(
+            planner=SlowPlanner(delay=2.0), planner_timeout=0.05
+        )
+        with pytest.raises(PlanTimeoutError):
+            service.plan(topologies.path_graph(6))
+        assert service.stats().timeouts == 1
+
+    def test_fast_build_unaffected_by_budget(self):
+        service = GossipService(planner_timeout=30.0)
+        plan = service.plan(topologies.grid_2d(3, 3))
+        assert plan.total_time > 0
+        stats = service.stats()
+        assert stats.timeouts == 0 and stats.degraded == 0
+
+    def test_late_build_adopted_into_cache(self):
+        planner = SlowPlanner(delay=0.3)
+        service = GossipService(planner=planner, planner_timeout=0.05)
+        g = topologies.path_graph(6)
+        with pytest.raises(PlanTimeoutError):
+            service.plan(g)
+        # The abandoned build finishes in the background and warms the
+        # cache; the next request is a hit, with no second planner run.
+        deadline = time.monotonic() + 5.0
+        while len(service.cache) == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(service.cache) == 1
+        plan = service.plan(g)
+        assert plan.graph.n == 6
+        assert planner.calls == ["concurrent-updown"]
+
+
+class TestDegradedFallback:
+    def test_timeout_serves_fallback_flagged_degraded(self):
+        planner = SlowPlanner(delay=2.0)
+        service = GossipService(
+            planner=planner,
+            planner_timeout=0.05,
+            fallback_algorithm="simple",
+        )
+        plan = service.plan(topologies.path_graph(8))
+        assert plan.algorithm == "simple"
+        stats = service.stats()
+        assert stats.degraded == 1 and stats.timeouts == 1
+
+    def test_degraded_plan_cached_under_fallback_key_only(self):
+        """The primary key stays cold so the service heals itself."""
+        planner = SlowPlanner(delay=2.0)
+        service = GossipService(
+            planner=planner,
+            planner_timeout=0.05,
+            fallback_algorithm="simple",
+        )
+        g = topologies.path_graph(8)
+        service.plan(g)
+        assert service.plan(g, algorithm="simple").algorithm == "simple"
+        # Direct fallback requests hit the degraded entry...
+        assert planner.calls.count("simple") == 1
+        # ...while the primary is re-attempted (and times out again).
+        service.plan(g)
+        assert service.stats().degraded == 2
+
+    def test_service_heals_once_planner_recovers(self):
+        planner = SlowPlanner(delay=2.0)
+        service = GossipService(
+            planner=planner,
+            planner_timeout=0.5,
+            fallback_algorithm="simple",
+        )
+        g = topologies.path_graph(8)
+        assert service.plan(g).algorithm == "simple"
+        planner.delay = 0.0  # planner recovers
+        assert service.plan(g).algorithm == "concurrent-updown"
+
+    def test_persistent_transient_failure_degrades(self):
+        calls = []
+
+        def planner(graph, *, algorithm, tree=None):
+            calls.append(algorithm)
+            if algorithm == "concurrent-updown":
+                raise OSError("primary planner keeps failing")
+            return gossip(graph, algorithm=algorithm, tree=tree)
+
+        service = GossipService(
+            planner=planner,
+            retries=1,
+            retry_backoff=0.001,
+            fallback_algorithm="simple",
+        )
+        plan = service.plan(topologies.grid_2d(3, 3))
+        assert plan.algorithm == "simple"
+        assert calls == ["concurrent-updown", "concurrent-updown", "simple"]
+        assert service.stats().degraded == 1
+
+    def test_both_paths_failing_raises_plan_timeout_error(self):
+        service = GossipService(
+            planner=SlowPlanner(delay=2.0, slow_algorithms=("concurrent-updown", "simple")),
+            planner_timeout=0.05,
+            fallback_algorithm="simple",
+        )
+        with pytest.raises(PlanTimeoutError):
+            service.plan(topologies.path_graph(6))
+
+    def test_stats_format_shows_resilience_line(self):
+        service = GossipService(
+            planner=SlowPlanner(delay=2.0),
+            planner_timeout=0.05,
+            fallback_algorithm="simple",
+        )
+        service.plan(topologies.path_graph(8))
+        text = service.stats().format()
+        assert "resilience" in text
+        assert "1 timeouts" in text and "1 degraded" in text

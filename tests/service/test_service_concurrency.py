@@ -110,7 +110,10 @@ def test_failed_build_does_not_wedge_the_key():
             raise RuntimeError("transient planner failure")
         return gossip(graph, algorithm=algorithm, tree=tree)
 
-    service = GossipService(planner=flaky)
+    # retries=0: the default policy would transparently retry this
+    # transient failure; here the failure itself must surface so the
+    # slot-release path is what gets exercised.
+    service = GossipService(planner=flaky, retries=0)
     g = topologies.grid_2d(3, 3)
     try:
         service.plan(g)

@@ -109,6 +109,12 @@ class TestBookkeeping:
         )
         assert result.makespan == 1
 
+    def test_makespan_none_when_incomplete(self):
+        g = Graph(2, [(0, 1)])
+        result = execute_schedule(g, sched([tx(0, 0, {1})]))
+        assert not result.complete
+        assert result.makespan is None
+
     def test_custom_initial_holds(self):
         """Labeled holdings: vertex v starts with its DFS label."""
         g = Graph(2, [(0, 1)])

@@ -1,0 +1,148 @@
+"""Unit tests for the lossy execution engine (`repro.simulator.lossy`)."""
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.core.schedule import Round, Schedule, Transmission
+from repro.exceptions import ModelViolationError, SimulationError
+from repro.networks import topologies
+from repro.networks.graph import Graph
+from repro.simulator.engine import execute_schedule
+from repro.simulator.lossy import FaultModel, execute_with_faults
+from repro.simulator.state import labeled_holdings
+
+
+def tx(sender, message, dests):
+    return Transmission(sender=sender, message=message, destinations=frozenset(dests))
+
+
+def sched(*rounds):
+    return Schedule([Round(r) for r in rounds])
+
+
+def plan_run(graph, model, algorithm="concurrent-updown"):
+    plan = gossip(graph, algorithm=algorithm)
+    holds = labeled_holdings(plan.labeled.labels())
+    return plan, execute_with_faults(
+        graph, plan.schedule, model, initial_holds=holds, n_messages=graph.n
+    )
+
+
+class TestFaultModel:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_rate": -0.1},
+            {"drop_rate": 1.5},
+            {"link_outage_rate": 2.0},
+            {"crash_rate": -1.0},
+            {"crash_length": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            FaultModel(**kwargs)
+
+    def test_is_null(self):
+        assert FaultModel(seed=123).is_null
+        assert not FaultModel(drop_rate=0.01).is_null
+        assert not FaultModel(link_outage_rate=0.01).is_null
+        assert not FaultModel(crash_rate=0.01).is_null
+
+    def test_draws_deterministic_and_seed_sensitive(self):
+        a = FaultModel(seed=1, drop_rate=0.5)
+        b = FaultModel(seed=1, drop_rate=0.5)
+        c = FaultModel(seed=2, drop_rate=0.5)
+        draws_a = [a.drops_delivery(t, 0, 1) for t in range(64)]
+        assert draws_a == [b.drops_delivery(t, 0, 1) for t in range(64)]
+        assert draws_a != [c.drops_delivery(t, 0, 1) for t in range(64)]
+
+    def test_drop_rate_extremes(self):
+        never = FaultModel(seed=5, drop_rate=0.0)
+        always = FaultModel(seed=5, drop_rate=1.0)
+        assert not any(never.drops_delivery(t, 0, 1) for t in range(32))
+        assert all(always.drops_delivery(t, 0, 1) for t in range(32))
+
+    def test_link_outage_symmetric(self):
+        m = FaultModel(seed=9, link_outage_rate=0.5)
+        for t in range(32):
+            assert m.link_out(t, 2, 7) == m.link_out(t, 7, 2)
+
+    def test_crash_window_spans_length(self):
+        """A window starting at round t covers t .. t + crash_length - 1."""
+        m = FaultModel(seed=0, crash_rate=0.3, crash_length=3)
+        starts = [
+            t for t in range(50)
+            if m.crashed(t, 4) and not m.crashed(t - 1, 4) and t > 0
+        ]
+        assert starts, "seed 0 should produce at least one crash window start"
+        t = starts[0]
+        assert m.crashed(t + 1, 4) and m.crashed(t + 2, 4)
+
+
+class TestLossAccounting:
+    def test_dropped_delivery_recorded_and_missing(self):
+        g = Graph(2, [(0, 1)])
+        model = FaultModel(seed=0, drop_rate=1.0)
+        result = execute_with_faults(
+            g, sched([tx(0, 0, {1}), tx(1, 1, {0})]), model
+        )
+        assert not result.complete
+        assert {ld.reason for ld in result.lost} == {"drop"}
+        assert len(result.lost) == 2
+        assert result.missing_sets() == {0: [1], 1: [0]}
+        assert result.faults_injected == 2
+
+    def test_cascading_loss_suppresses_forward(self):
+        """1 never receives message 0, so its forward is suppressed, not
+        a model violation."""
+        g = topologies.path_graph(3)
+        model = FaultModel(seed=0, drop_rate=1.0)
+        s = sched([tx(0, 0, {1})], [tx(1, 0, {2})])
+        result = execute_with_faults(g, s, model)
+        assert [sup.reason for sup in result.suppressed] == ["not-held"]
+        assert result.suppressed[0].sender == 1
+
+    def test_adjacency_violation_still_raises(self):
+        g = topologies.path_graph(3)  # 0-1-2; 0 and 2 not adjacent
+        model = FaultModel(seed=0, drop_rate=1.0)
+        with pytest.raises(ModelViolationError):
+            execute_with_faults(g, sched([tx(0, 0, {2})]), model)
+
+    def test_sender_crash_suppresses_whole_multicast(self):
+        g = topologies.star_graph(4)
+        model = FaultModel(seed=0, crash_rate=1.0, crash_length=1)
+        result = execute_with_faults(g, sched([tx(0, 0, {1, 2, 3})]), model)
+        assert [sup.reason for sup in result.suppressed] == ["sender-crash"]
+        assert result.lost == ()
+
+    def test_link_outage_loses_crossing_deliveries(self):
+        g = Graph(2, [(0, 1)])
+        model = FaultModel(seed=0, link_outage_rate=1.0)
+        result = execute_with_faults(g, sched([tx(0, 0, {1})]), model)
+        assert [ld.reason for ld in result.lost] == ["link-outage"]
+
+    def test_lossy_run_is_reproducible(self):
+        g = topologies.grid_2d(3, 3)
+        model = FaultModel(seed=42, drop_rate=0.3)
+        _, a = plan_run(g, model)
+        _, b = plan_run(g, model)
+        assert a == b
+
+
+class TestNullModelParity:
+    def test_matches_execute_schedule_on_every_field(self):
+        g = topologies.grid_2d(3, 4)
+        plan = gossip(g)
+        holds = labeled_holdings(plan.labeled.labels())
+        faulty = execute_with_faults(
+            g, plan.schedule, FaultModel(seed=99),
+            initial_holds=holds, n_messages=g.n, record_arrivals=True,
+        )
+        reference = execute_schedule(
+            g, plan.schedule, initial_holds=holds, record_arrivals=True,
+            require_complete=True,
+        )
+        assert faulty.lost == () and faulty.suppressed == ()
+        assert faulty.to_execution_result() == reference
+        assert faulty.missing_sets() == {}
