@@ -1,0 +1,99 @@
+"""PLANNER — cold-plan latency of the pruned + batched sweep vs the O(mn) sweep.
+
+The claim behind the fast-planner subsystem: the preprocessing stage
+(Section 3.1's n BFS traversals) can be replaced by a double-sweep
+seeded, cutoff-pruned, bit-parallel sweep that returns a *bit-identical*
+minimum-depth spanning tree at a fraction of the cost.  Measured across
+topology families and sizes:
+
+* exhaustive vs pruned sweep wall-clock and the speedup ratio,
+* cold end-to-end plan latency through :func:`repro.core.gossip.gossip`,
+* the bit-identical gate (same root, parents, and child order) on every
+  benchmarked network,
+* the >= 3x speedup gate on ``grid:400``-class graphs.
+
+Runs three ways:
+
+* under pytest(-benchmark) with the rest of the suite — records rows in
+  the reproduction summary;
+* standalone: ``python benchmarks/bench_planner.py --check`` exits
+  non-zero unless both gates hold, and writes ``BENCH_planner.json`` at
+  the repo root so successive PRs can compare the trajectory (wired
+  into tier-1 via ``tests/analysis/test_planner_check.py``);
+* by hand through ``python -m repro.cli plan-bench``.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.planner_bench import (
+    DEFAULT_SPECS,
+    MIN_SPEEDUP,
+    QUICK_SPECS,
+    run_planner_bench,
+)
+
+#: Where the perf-trajectory artefact lives (committed at the repo root).
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+
+def run(*, quick: bool = False, repeats: int = 3):
+    """The standard sweep (or the tier-1 ``--quick`` subset)."""
+    return run_planner_bench(
+        QUICK_SPECS if quick else DEFAULT_SPECS, repeats=repeats
+    )
+
+
+def test_planner_speedup(benchmark, report):
+    """Pruned sweep: bit-identical trees, gated speedup, recorded rows."""
+    result = benchmark.pedantic(run, kwargs={"quick": True}, iterations=1, rounds=1)
+    for cell in result.cells:
+        report.row(
+            network=cell.spec,
+            n=cell.n,
+            radius=cell.radius,
+            exhaustive_ms=f"{cell.exhaustive_s * 1e3:.1f}",
+            pruned_ms=f"{cell.pruned_s * 1e3:.1f}",
+            speedup=f"{cell.speedup:.1f}x",
+            identical=cell.identical,
+        )
+    result.check()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless trees are bit-identical and the "
+             f">= {MIN_SPEEDUP:.0f}x grid:400 speedup gate holds",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="benchmark the small tier-1 subset instead of the full sweep",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--json", default=str(ARTIFACT), metavar="PATH",
+        help="where to write the trajectory artefact (default: repo root "
+             "BENCH_planner.json; use '' to skip writing)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(quick=args.quick, repeats=args.repeats)
+    print(result.format())
+    if args.json:
+        result.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.check:
+        try:
+            result.check()
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print("check: bit-identical trees and planner speedup gate hold  OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 """Analysis layer: bounds, comparisons, sweeps, chaos runs, paper tables."""
 
 from .chaos import ChaosCell, ChaosReport, run_chaos_sweep
+from .planner_bench import PlannerBenchReport, PlannerCell, run_planner_bench
 from .bounds import (
     approximation_ratio_bound,
     concurrent_updown_upper_bound,
@@ -48,4 +49,7 @@ __all__ = [
     "ChaosCell",
     "ChaosReport",
     "run_chaos_sweep",
+    "PlannerCell",
+    "PlannerBenchReport",
+    "run_planner_bench",
 ]

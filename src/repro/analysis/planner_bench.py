@@ -1,0 +1,229 @@
+"""Planner benchmark: pruned + batched sweep vs the paper's O(mn) sweep.
+
+The preprocessing stage — n BFS traversals to find a minimum-height
+spanning tree (Section 3.1) — dominates end-to-end planning cost.  This
+module measures the fast path that replaced it:
+
+* **correctness gate** — the pruned + batched sweep must return a tree
+  *bit-identical* (same root, same parent array, same child order) to
+  the exhaustive reference on every benchmarked network;
+* **speedup gate** — on ``grid:400``-class graphs the pruned sweep must
+  be at least :data:`MIN_SPEEDUP`× faster than the exhaustive sweep;
+* **trajectory** — results serialise to ``BENCH_planner.json`` at the
+  repo root so successive PRs can compare cold-plan latency.
+
+Entry points: :func:`run_planner_bench` (library),
+``benchmarks/bench_planner.py`` (standalone + pytest) and
+``python -m repro.cli plan-bench`` (by hand), all sharing this code the
+same way the chaos sweep shares :mod:`repro.analysis.chaos`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.gossip import gossip, resolve_network
+from ..exceptions import ReproError
+from ..networks.spanning_tree import minimum_depth_spanning_tree
+
+__all__ = [
+    "PlannerCell",
+    "PlannerBenchReport",
+    "run_planner_bench",
+    "DEFAULT_SPECS",
+    "QUICK_SPECS",
+    "GATE_FAMILY",
+    "MIN_SPEEDUP",
+]
+
+#: The acceptance-criteria network class: the speedup gate is enforced on
+#: every benchmarked spec of this family with at least this many vertices.
+GATE_FAMILY = "grid"
+GATE_MIN_N = 400
+
+#: Required cold-sweep speedup (pruned vs exhaustive) on gate networks.
+MIN_SPEEDUP = 3.0
+
+#: The default sweep: one shallow/deep/structured mix per size class.
+DEFAULT_SPECS: Tuple[str, ...] = (
+    "path:256",
+    "cycle:256",
+    "star:256",
+    "grid:400",
+    "grid:1024",
+    "torus:400",
+    "hypercube:256",
+    "random:512",
+    "gnp:512",
+    "geometric:256",
+)
+
+#: The tier-1 subset (``--quick``): small enough for CI, still crossing
+#: the gate spec.
+QUICK_SPECS: Tuple[str, ...] = (
+    "path:256",
+    "cycle:128",
+    "grid:400",
+    "torus:256",
+    "random:256",
+)
+
+
+@dataclass(frozen=True)
+class PlannerCell:
+    """One benchmarked network: timings and the identical-tree verdict."""
+
+    spec: str
+    family: str
+    n: int
+    m: int
+    radius: int
+    exhaustive_s: float
+    pruned_s: float
+    speedup: float
+    plan_cold_s: float
+    identical: bool
+    gated: bool
+
+
+class PlannerBenchReport:
+    """Cells plus the gates and serialisation the trajectory needs."""
+
+    def __init__(self, cells: Sequence[PlannerCell], *, min_speedup: float) -> None:
+        self.cells = list(cells)
+        self.min_speedup = min_speedup
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Raise ``AssertionError`` unless every gate holds.
+
+        * every cell's pruned tree is bit-identical to the exhaustive one;
+        * every gate cell (``grid`` with n >= 400) meets the speedup bar.
+        """
+        for cell in self.cells:
+            assert cell.identical, (
+                f"{cell.spec}: pruned sweep tree differs from the exhaustive sweep"
+            )
+        gated = [c for c in self.cells if c.gated]
+        assert gated, (
+            f"no gate network ({GATE_FAMILY} with n >= {GATE_MIN_N}) was benchmarked"
+        )
+        for cell in gated:
+            assert cell.speedup >= self.min_speedup, (
+                f"{cell.spec}: pruned sweep speedup {cell.speedup:.1f}x is below "
+                f"the {self.min_speedup:.1f}x gate "
+                f"(exhaustive {cell.exhaustive_s * 1e3:.1f}ms, "
+                f"pruned {cell.pruned_s * 1e3:.1f}ms)"
+            )
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Fixed-width table of every cell (timings in milliseconds)."""
+        header = (
+            f"{'network':<16} {'n':>5} {'m':>6} {'r':>4} "
+            f"{'exhaustive':>11} {'pruned':>8} {'speedup':>8} "
+            f"{'cold plan':>10} {'identical':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for c in self.cells:
+            gate_mark = "*" if c.gated else " "
+            lines.append(
+                f"{c.spec:<16} {c.n:>5} {c.m:>6} {c.radius:>4} "
+                f"{c.exhaustive_s * 1e3:>9.1f}ms {c.pruned_s * 1e3:>6.1f}ms "
+                f"{c.speedup:>6.1f}x{gate_mark} "
+                f"{c.plan_cold_s * 1e3:>8.1f}ms {'yes' if c.identical else 'NO':>9}"
+            )
+        lines.append(f"(* = {self.min_speedup:.0f}x speedup gate applies)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Machine-readable form written to ``BENCH_planner.json``."""
+        return {
+            "benchmark": "planner",
+            "gate": {
+                "family": GATE_FAMILY,
+                "min_n": GATE_MIN_N,
+                "min_speedup": self.min_speedup,
+            },
+            "cells": [asdict(c) for c in self.cells],
+        }
+
+    def write_json(self, path) -> None:
+        """Persist the trajectory artefact (indented, trailing newline)."""
+        with open(path, "w") as fh:
+            json.dump(self.to_json_dict(), fh, indent=2)
+            fh.write("\n")
+
+
+def _best_of(fn, repeats: int) -> Tuple[float, object]:
+    """Minimum wall-clock over ``repeats`` runs, with the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_planner_bench(
+    specs: Optional[Sequence[str]] = None,
+    *,
+    repeats: int = 3,
+    min_speedup: float = MIN_SPEEDUP,
+    algorithm: str = "concurrent-updown",
+) -> PlannerBenchReport:
+    """Time the pruned vs exhaustive sweep on each network spec.
+
+    ``specs`` are :func:`~repro.core.gossip.resolve_network` strings
+    (``"family:n"``).  For each network the exhaustive and pruned
+    minimum-depth constructions are timed (best of ``repeats``), the
+    resulting trees compared field-for-field, and the cold end-to-end
+    plan (:func:`~repro.core.gossip.gossip` with the fast path) timed
+    once.
+    """
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    chosen = tuple(specs) if specs is not None else DEFAULT_SPECS
+    if not chosen:
+        raise ReproError("no network specs to benchmark")
+    cells: List[PlannerCell] = []
+    for spec in chosen:
+        graph, _ = resolve_network(spec)
+        exhaustive_s, ref_tree = _best_of(
+            lambda: minimum_depth_spanning_tree(graph, method="exhaustive"), repeats
+        )
+        pruned_s, fast_tree = _best_of(
+            lambda: minimum_depth_spanning_tree(graph, method="pruned"), repeats
+        )
+        identical = (
+            fast_tree == ref_tree
+            and fast_tree.root == ref_tree.root
+            and fast_tree.parents() == ref_tree.parents()
+            and all(
+                fast_tree.children(v) == ref_tree.children(v)
+                for v in range(fast_tree.n)
+            )
+        )
+        plan_cold_s, _ = _best_of(lambda: gossip(graph, algorithm=algorithm), 1)
+        family = spec.partition(":")[0]
+        cells.append(
+            PlannerCell(
+                spec=spec,
+                family=family,
+                n=graph.n,
+                m=graph.m,
+                radius=fast_tree.height,
+                exhaustive_s=exhaustive_s,
+                pruned_s=pruned_s,
+                speedup=exhaustive_s / pruned_s if pruned_s > 0 else float("inf"),
+                plan_cold_s=plan_cold_s,
+                identical=identical,
+                gated=family == GATE_FAMILY and graph.n >= GATE_MIN_N,
+            )
+        )
+    return PlannerBenchReport(cells, min_speedup=min_speedup)

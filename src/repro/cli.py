@@ -8,7 +8,8 @@ Subcommands:
 * ``paper``       — verify every paper figure claim and print a summary;
 * ``bench``       — cold vs warm plan serving through :class:`GossipService`;
 * ``serve-stats`` — replay a synthetic request stream and print service stats;
-* ``chaos``       — seeded fault sweep (drop rate x topology) through recovery.
+* ``chaos``       — seeded fault sweep (drop rate x topology) through recovery;
+* ``plan-bench``  — pruned vs exhaustive sweep timings with the speedup gate.
 
 Examples
 --------
@@ -22,6 +23,7 @@ Examples
     python -m repro.cli bench --topology grid --n 256 --check
     python -m repro.cli serve-stats --requests 500
     python -m repro.cli chaos --family random:48 --drop 0.2 --seed 7
+    python -m repro.cli plan-bench --spec grid:400 --spec torus:1024 --check
 """
 
 from __future__ import annotations
@@ -179,6 +181,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit non-zero unless every cell completes >= 95%% of trials "
              "and all repairs pass fault-free re-validation",
+    )
+
+    p_pbench = sub.add_parser(
+        "plan-bench",
+        help="time the pruned vs exhaustive minimum-depth-tree sweep",
+    )
+    p_pbench.add_argument(
+        "--spec", action="append", default=None, metavar="SPEC",
+        help="network spec 'family:n' (repeatable; default: the standard sweep)",
+    )
+    p_pbench.add_argument(
+        "--quick", action="store_true",
+        help="benchmark the small tier-1 subset instead of the full sweep",
+    )
+    p_pbench.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    p_pbench.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the BENCH_planner.json trajectory artefact here",
+    )
+    p_pbench.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless trees are bit-identical and the "
+             "grid:400-class speedup gate holds",
     )
     return parser
 
@@ -427,6 +454,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_bench(args: argparse.Namespace) -> int:
+    from .analysis.planner_bench import QUICK_SPECS, run_planner_bench
+
+    specs = args.spec
+    if specs is None and args.quick:
+        specs = list(QUICK_SPECS)
+    report = run_planner_bench(specs, repeats=args.repeats)
+    print(report.format())
+    if args.json:
+        report.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.check:
+        try:
+            report.check()
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print("check: bit-identical trees and planner speedup gate hold  OK")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -443,6 +491,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "serve-stats": _cmd_serve_stats,
         "chaos": _cmd_chaos,
+        "plan-bench": _cmd_plan_bench,
     }
     return handlers[args.command](args)
 

@@ -277,8 +277,10 @@ def gossip(
         if len(args) > 1:
             tree = args[1]
         if len(args) > 2:
+            # The graph itself is the 1st positional argument, so the
+            # caller passed 1 + len(args) in total.
             raise TypeError(
-                f"gossip() takes at most 3 positional arguments ({2 + len(args)} given)"
+                f"gossip() takes at most 3 positional arguments ({1 + len(args)} given)"
             )
     graph, tree = resolve_network(graph, tree=tree)
     if algorithm not in ALGORITHMS:
@@ -301,8 +303,10 @@ def gossip_on_tree(tree: Tree, *args, algorithm: str = "concurrent-updown") -> G
         _warn_positional("gossip_on_tree()")
         algorithm = args[0]
         if len(args) > 1:
+            # The tree is the 1st positional argument, so the caller
+            # passed 1 + len(args) in total.
             raise TypeError(
                 f"gossip_on_tree() takes at most 2 positional arguments "
-                f"({2 + len(args)} given)"
+                f"({1 + len(args)} given)"
             )
     return gossip(tree_to_graph(tree), algorithm=algorithm, tree=tree)

@@ -44,7 +44,7 @@ def _heuristic(holds: Tuple[int, ...], full: int, dist: np.ndarray) -> int:
     best = 0
     for v in range(n):
         missing = full & ~holds[v]
-        count = bin(missing).count("1")
+        count = missing.bit_count()
         if count > best:
             best = count
         m = missing
@@ -176,7 +176,7 @@ def _search(
     options = _enumerate_rounds(graph, holds, telephone)
     # Explore most-progress-first: more new bits = likely shorter.
     options.sort(
-        key=lambda item: -sum(bin(x).count("1") for x in item[0])
+        key=lambda item: -sum(x.bit_count() for x in item[0])
     )
     for new_holds, _txs in options:
         if _search(graph, new_holds, full, dist, budget - 1, telephone, visited):
@@ -213,7 +213,7 @@ def optimal_schedule(graph: Graph, telephone: bool = False) -> Schedule:
     budget = opt
     while not all(h == full for h in holds):
         options = _enumerate_rounds(graph, holds, telephone)
-        options.sort(key=lambda item: -sum(bin(x).count("1") for x in item[0]))
+        options.sort(key=lambda item: -sum(x.bit_count() for x in item[0]))
         advanced = False
         for new_holds, txs in options:
             if _search(graph, new_holds, full, dist, budget - 1, telephone, {}):

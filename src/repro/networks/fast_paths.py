@@ -12,11 +12,13 @@ Guarantees:
 * :func:`all_pairs_distances` returns exactly
   :func:`repro.networks.bfs.distance_matrix` (property-tested);
 * :func:`minimum_depth_spanning_tree_fast` returns a tree **equal** to
-  :func:`repro.networks.spanning_tree.minimum_depth_spanning_tree` —
-  only the root *search* is accelerated; the canonical smallest-id
-  parent construction is shared.
+  :func:`repro.networks.spanning_tree.minimum_depth_spanning_tree` — it
+  now simply delegates to it, since the pruned + batched center sweep
+  in :mod:`repro.networks.spanning_tree` outruns a full scipy all-pairs
+  pass by skipping most candidate roots entirely.
 
-Falls back to the reference implementation when scipy is unavailable.
+The distance helpers fall back to the reference implementation when
+scipy is unavailable.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from ..exceptions import DisconnectedGraphError
 from ..tree.tree import Tree
 from .bfs import distance_matrix
 from .graph import Graph
-from .spanning_tree import bfs_spanning_tree
+from .spanning_tree import minimum_depth_spanning_tree
 
 __all__ = [
     "all_pairs_distances",
@@ -84,10 +86,13 @@ def fast_radius(graph: Graph) -> int:
 def minimum_depth_spanning_tree_fast(graph: Graph) -> Tree:
     """Fast minimum-depth spanning tree; equal to the reference result.
 
-    Finds the smallest-id center from the fast eccentricity sweep, then
-    builds the canonical BFS tree from it — identical tie-breaking to
-    :func:`repro.networks.spanning_tree.minimum_depth_spanning_tree`.
+    Since the pruned + batched center sweep landed,
+    :func:`repro.networks.spanning_tree.minimum_depth_spanning_tree` is
+    itself the fastest construction (it beats the full scipy
+    all-pairs sweep because it avoids visiting most candidate roots and
+    reuses the winner's parent array), so this delegates to it.  Kept as
+    a distinct entry point for callers pinned to the old name; the
+    scipy-backed eccentricity helpers above remain for analysis code
+    that needs full distance matrices.
     """
-    ecc = fast_eccentricities(graph)
-    root = int(np.flatnonzero(ecc == ecc.min())[0])
-    return bfs_spanning_tree(graph, root)
+    return minimum_depth_spanning_tree(graph)

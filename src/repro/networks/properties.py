@@ -27,8 +27,17 @@ __all__ = [
 
 
 def radius(graph: Graph) -> int:
-    """Network radius: the minimum eccentricity over all vertices."""
-    return int(all_eccentricities(graph).min())
+    """Network radius: the minimum eccentricity over all vertices.
+
+    Computed by the pruned center sweep
+    (:func:`repro.networks.spanning_tree.center_sweep`), which finds the
+    minimum without visiting every vertex — the remaining properties
+    below genuinely need all eccentricities and use the batched
+    bit-parallel sweep instead.
+    """
+    from .spanning_tree import center_sweep
+
+    return center_sweep(graph).eccentricity
 
 
 def diameter(graph: Graph) -> int:

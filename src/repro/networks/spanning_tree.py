@@ -12,8 +12,16 @@ Besides the paper's exhaustive procedure this module offers:
 
 * :func:`bfs_spanning_tree` — the BFS tree from a chosen root (height =
   eccentricity of the root);
-* :func:`minimum_depth_spanning_tree` — the paper's O(mn) sweep with a
-  deterministic tie-break (smallest center vertex id);
+* :func:`center_sweep` — the eccentricity sweep itself, returning the
+  winning root *and* its BFS parent array so callers never pay a
+  redundant extra traversal.  ``method="pruned"`` (the default) seeds
+  the sweep with a double-sweep (farthest-pair midpoint) ordering and
+  abandons candidates via BFS cutoffs and distance lower bounds;
+  ``method="exhaustive"`` is the paper's O(mn) reference.  Both produce
+  bit-identical results (property-tested);
+* :func:`minimum_depth_spanning_tree` — the paper's minimum-depth tree
+  with a deterministic tie-break (smallest center vertex id), built
+  directly from the sweep's parent array;
 * :func:`approximate_min_depth_tree` — a 2-approximate single/double-BFS
   heuristic useful on large graphs (height ≤ 2r because any BFS tree has
   height ≤ diameter ≤ 2r);
@@ -22,14 +30,21 @@ Besides the paper's exhaustive procedure this module offers:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..exceptions import DisconnectedGraphError
+from ..exceptions import DisconnectedGraphError, ReproError
 from ..tree.tree import Tree
 from ..types import Vertex
-from .bfs import UNREACHED, bfs_levels, bfs_tree
+from .bfs import (
+    UNREACHED,
+    bfs_levels,
+    bfs_levels_multi,
+    bfs_parents_from_levels,
+    bfs_tree,
+)
 from .graph import Graph
 
 __all__ = [
@@ -37,11 +52,21 @@ __all__ = [
     "minimum_depth_spanning_tree",
     "approximate_min_depth_tree",
     "best_root",
+    "center_sweep",
+    "CenterSweep",
     "RootSelector",
+    "SWEEP_METHODS",
 ]
 
 #: Signature of a root-selection policy: graph -> chosen root vertex.
 RootSelector = Callable[[Graph], Vertex]
+
+#: Valid ``method=`` values of :func:`center_sweep`.
+SWEEP_METHODS = ("pruned", "exhaustive")
+
+#: How many surviving candidates the pruned sweep traverses one at a
+#: time (cutoff BFS) before switching to bit-parallel batches.
+_SEQ_CANDIDATES = 12
 
 
 def bfs_spanning_tree(graph: Graph, root: Vertex) -> Tree:
@@ -60,37 +85,215 @@ def bfs_spanning_tree(graph: Graph, root: Vertex) -> Tree:
     return Tree(parent.tolist(), root=int(root), name=graph.name)
 
 
-def best_root(graph: Graph) -> Vertex:
-    """Smallest vertex id attaining the minimum eccentricity (a center).
+@dataclass(frozen=True)
+class CenterSweep:
+    """Result of an eccentricity sweep: the winning root and its BFS tree.
 
-    This is the deterministic tie-break used by
-    :func:`minimum_depth_spanning_tree`; alternative policies are ablated
-    in ``benchmarks/bench_ablation_root_choice.py``.
+    Attributes
+    ----------
+    root:
+        Smallest vertex id attaining the minimum eccentricity (a center).
+    eccentricity:
+        The root's eccentricity — the network radius.
+    parents:
+        The smallest-id BFS parent array rooted at :attr:`root`, exactly
+        what :func:`repro.networks.bfs.bfs_tree` would return; reusing it
+        is what saves :func:`minimum_depth_spanning_tree` the redundant
+        (n+1)-th traversal.
     """
-    best_v, best_ecc = 0, None
+
+    root: int
+    eccentricity: int
+    parents: np.ndarray
+
+
+def _exhaustive_sweep(graph: Graph) -> Tuple[int, int, np.ndarray]:
+    """The paper's O(mn) sweep: a full BFS from every vertex.
+
+    Returns ``(root, eccentricity, dist)`` keeping the *winner's*
+    distance array so the caller can derive the parent array without
+    another traversal.
+    """
+    best_v, best_ecc, best_dist = -1, -1, None
     for v in range(graph.n):
         dist = bfs_levels(graph, v)
         if (dist == UNREACHED).any():
             raise DisconnectedGraphError("graph is disconnected; no spanning tree")
         ecc = int(dist.max())
-        if best_ecc is None or ecc < best_ecc:
-            best_v, best_ecc = v, ecc
-    return best_v
+        if best_dist is None or ecc < best_ecc:
+            best_v, best_ecc, best_dist = v, ecc, dist
+    return best_v, best_ecc, best_dist
+
+
+def _pruned_sweep(graph: Graph) -> Tuple[int, int, np.ndarray]:
+    """Double-sweep seeded, cutoff-pruned eccentricity sweep.
+
+    Bit-identical to :func:`_exhaustive_sweep` (property-tested) but
+    visits far fewer vertices in anger:
+
+    1. a BFS from vertex 0 checks connectivity and finds a far vertex
+       ``a``; BFS from ``a`` finds the farthest pair ``(a, b)``;
+    2. ``lb[v] = max(d(a, v), d(b, v))`` lower-bounds every
+       eccentricity, candidates are visited in ascending ``lb`` order
+       (ties by id) — the midpoint of the ``a``–``b`` path, a
+       near-center, is seeded explicitly so the best-so-far bound is
+       tight from the start;
+    3. each candidate's BFS runs with ``cutoff=best_ecc`` and is
+       abandoned the moment it proves the candidate cannot win;
+       candidates whose lower bound already disqualifies them are never
+       traversed at all.
+
+    Candidates surviving the sequential phase are evaluated in 64-wide
+    bit-parallel :func:`~repro.networks.bfs.bfs_levels_multi` batches —
+    on vertex-transitive graphs (torus, hypercube, cycle), where every
+    vertex is a center and no lower bound can disqualify anyone, the
+    batched phase is what keeps the sweep fast.
+
+    The tie-break bookkeeping tracks the lexicographic minimum of
+    ``(eccentricity, vertex id)``, so the returned root is exactly the
+    smallest-id center regardless of visit order.
+    """
+    n = graph.n
+    dist0 = bfs_levels(graph, 0)
+    if (dist0 == UNREACHED).any():
+        raise DisconnectedGraphError("graph is disconnected; no spanning tree")
+    best_v, best_ecc, best_dist = 0, int(dist0.max()), dist0
+    if n == 1:
+        return best_v, best_ecc, best_dist
+
+    a = int(dist0.argmax())
+    dist_a, parent_a = bfs_tree(graph, a)
+    b = int(dist_a.argmax())
+    dist_b = bfs_levels(graph, b)
+    seen = {0, a, b}
+    for v, dist in ((a, dist_a), (b, dist_b)):
+        ecc = int(dist.max())
+        if (ecc, v) < (best_ecc, best_v):
+            best_v, best_ecc, best_dist = v, ecc, dist
+
+    # Midpoint of a shortest a--b path: a near-center whose eccentricity
+    # seeds a tight pruning bound before the ordered scan begins.
+    path: List[int] = [b]
+    while path[-1] != a:
+        path.append(int(parent_a[path[-1]]))
+    mid = path[len(path) // 2]
+    if mid not in seen:
+        seen.add(mid)
+        dist_m = bfs_levels(graph, mid)
+        ecc = int(dist_m.max())
+        if (ecc, mid) < (best_ecc, best_v):
+            best_v, best_ecc, best_dist = mid, ecc, dist_m
+
+    lb = np.maximum(dist_a, dist_b)
+    order = np.lexsort((np.arange(n), lb))
+
+    def disqualified(v: int) -> bool:
+        """Whether ``v`` provably cannot beat the current best.
+
+        ``lb[v] > best_ecc`` means its eccentricity is worse outright;
+        ``lb[v] == best_ecc`` with a larger id means it can at best tie
+        and would then lose the smallest-id tie-break (``best_v`` only
+        ever decreases at a fixed eccentricity, so the skip stays sound
+        as the sweep refines its bound).
+        """
+        bound = int(lb[v])
+        return bound > best_ecc or (bound == best_ecc and v > best_v)
+
+    # Phase 1 — sequential cutoff sweep over the most central-looking
+    # candidates: each BFS is abandoned the moment a frontier passes the
+    # best eccentricity so far, and every winner tightens the cutoff.
+    sequential_budget = _SEQ_CANDIDATES
+    pending: List[int] = []
+    for v in order:
+        v = int(v)
+        if v in seen:
+            continue
+        if disqualified(v):
+            continue
+        if sequential_budget <= 0:
+            pending.append(v)
+            continue
+        sequential_budget -= 1
+        dist = bfs_levels(graph, v, cutoff=best_ecc)
+        if (dist == UNREACHED).any():
+            continue  # proved ecc(v) > best_ecc without finishing the BFS
+        ecc = int(dist.max())
+        if (ecc, v) < (best_ecc, best_v):
+            best_v, best_ecc, best_dist = v, ecc, dist
+
+    # Phase 2 — whatever pruning could not eliminate is evaluated in
+    # bit-parallel batches, re-filtering between batches as the best
+    # eccentricity drops.
+    while pending:
+        pending = [v for v in pending if not disqualified(v)]
+        batch, pending = pending[:64], pending[64:]
+        if not batch:
+            break
+        dists = bfs_levels_multi(graph, batch)
+        eccs = dists.max(axis=1)
+        for i, v in enumerate(batch):
+            ecc = int(eccs[i])
+            if (ecc, v) < (best_ecc, best_v):
+                best_v, best_ecc, best_dist = v, ecc, dists[i]
+    return best_v, best_ecc, best_dist
+
+
+def center_sweep(graph: Graph, *, method: str = "pruned") -> CenterSweep:
+    """Find the smallest-id center and its BFS parent array in one sweep.
+
+    ``method="pruned"`` (default) runs the double-sweep seeded, pruned
+    search; ``method="exhaustive"`` runs the paper's full O(mn) sweep.
+    Both return bit-identical results — the pruned sweep is the fast
+    path :class:`repro.service.GossipService` plans through, the
+    exhaustive sweep is the reference ``benchmarks/bench_planner.py``
+    gates against.
+    """
+    if method == "pruned":
+        root, ecc, dist = _pruned_sweep(graph)
+    elif method == "exhaustive":
+        root, ecc, dist = _exhaustive_sweep(graph)
+    else:
+        raise ReproError(
+            f"unknown sweep method {method!r}; choose from {SWEEP_METHODS}"
+        )
+    return CenterSweep(
+        root=root, eccentricity=ecc, parents=bfs_parents_from_levels(graph, dist)
+    )
+
+
+def best_root(graph: Graph, *, method: str = "pruned") -> Vertex:
+    """Smallest vertex id attaining the minimum eccentricity (a center).
+
+    This is the deterministic tie-break used by
+    :func:`minimum_depth_spanning_tree`; alternative policies are ablated
+    in ``benchmarks/bench_ablation_root_choice.py``.  Prefer
+    :func:`center_sweep` when the spanning tree is needed too — it
+    returns the parent array of the winning BFS for free.
+    """
+    return center_sweep(graph, method=method).root
 
 
 def minimum_depth_spanning_tree(
-    graph: Graph, root_selector: Optional[RootSelector] = None
+    graph: Graph,
+    root_selector: Optional[RootSelector] = None,
+    *,
+    method: str = "pruned",
 ) -> Tree:
-    """The paper's O(mn) minimum-depth (minimum-height) spanning tree.
+    """The paper's minimum-depth (minimum-height) spanning tree.
 
-    Runs BFS from every vertex, keeps the tree of least height.  The
-    returned tree's height equals the network radius.  ``root_selector``
-    overrides the default smallest-center-id policy (used for ablations);
-    a custom selector may return a non-center root, in which case the tree
-    height is that root's eccentricity instead of the radius.
+    Sweeps eccentricities (pruned by default, exhaustively with
+    ``method="exhaustive"``), keeps the tree of least height, and builds
+    it from the parent array the winning traversal already produced —
+    no redundant extra BFS.  The returned tree's height equals the
+    network radius.  ``root_selector`` overrides the default
+    smallest-center-id policy (used for ablations); a custom selector
+    may return a non-center root, in which case the tree height is that
+    root's eccentricity instead of the radius.
     """
-    root = best_root(graph) if root_selector is None else root_selector(graph)
-    return bfs_spanning_tree(graph, root)
+    if root_selector is not None:
+        return bfs_spanning_tree(graph, root_selector(graph))
+    sweep = center_sweep(graph, method=method)
+    return Tree(sweep.parents.tolist(), root=sweep.root, name=graph.name)
 
 
 def approximate_min_depth_tree(graph: Graph, start: Vertex = 0) -> Tree:
@@ -129,14 +332,12 @@ def tree_height_profile(graph: Graph) -> np.ndarray:
     the radius.  Used by benchmarks to show how much the root choice
     matters for the ``n + height`` schedule bound.
     """
-    n = graph.n
-    profile = np.empty(n, dtype=np.int64)
-    for v in range(n):
-        dist = bfs_levels(graph, v)
-        if (dist == UNREACHED).any():
-            raise DisconnectedGraphError("graph is disconnected")
-        profile[v] = dist.max()
-    return profile
+    from .bfs import all_eccentricities
+
+    try:
+        return all_eccentricities(graph)
+    except DisconnectedGraphError:
+        raise DisconnectedGraphError("graph is disconnected") from None
 
 
 def spanning_tree_edges(tree: Tree) -> Sequence[tuple[int, int]]:

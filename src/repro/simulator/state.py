@@ -162,7 +162,7 @@ def bits_of(bitset: int) -> List[int]:
 
 def popcount(bitset: int) -> int:
     """Number of set bits (messages held)."""
-    return bin(bitset).count("1")
+    return bitset.bit_count()
 
 
 def union_all(bitsets: Iterable[int]) -> int:

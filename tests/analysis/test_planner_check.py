@@ -1,0 +1,105 @@
+"""Tier-1 smoke: the planner benchmark's ``--check`` gates hold.
+
+Runs ``benchmarks/bench_planner.py --check --quick`` and
+``python -m repro.cli plan-bench --check`` the same way CI does
+(standalone processes), asserting the bit-identical-tree and >= 3x
+``grid:400`` speedup gates plus the ``BENCH_planner.json`` trajectory
+artefact, and exercises
+:func:`repro.analysis.planner_bench.run_planner_bench` in-process for
+coverage of both entry points.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.planner_bench import (
+    GATE_MIN_N,
+    MIN_SPEEDUP,
+    run_planner_bench,
+)
+from repro.exceptions import ReproError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_planner.py"
+ARTIFACT = REPO_ROOT / "BENCH_planner.json"
+
+
+def _run(cmd):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_benchmark_check_mode_passes_and_writes_artifact():
+    proc = _run([sys.executable, str(BENCH), "--check", "--quick"])
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "check: bit-identical trees and planner speedup gate hold  OK" in proc.stdout
+    assert ARTIFACT.exists()
+    payload = json.loads(ARTIFACT.read_text())
+    assert payload["benchmark"] == "planner"
+    assert payload["gate"]["min_speedup"] == MIN_SPEEDUP
+    cells = payload["cells"]
+    assert any(c["gated"] for c in cells)
+    assert all(c["identical"] for c in cells)
+
+
+def test_cli_plan_bench_check_passes(tmp_path):
+    artefact = tmp_path / "BENCH_planner.json"
+    proc = _run([
+        sys.executable, "-m", "repro.cli", "plan-bench",
+        "--spec", "grid:400", "--spec", "path:128",
+        "--repeats", "1", "--check", "--json", str(artefact),
+    ])
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "check: bit-identical trees and planner speedup gate hold  OK" in proc.stdout
+    payload = json.loads(artefact.read_text())
+    assert [c["spec"] for c in payload["cells"]] == ["grid:400", "path:128"]
+
+
+class TestInProcessBench:
+    def test_cells_and_gates(self):
+        report = run_planner_bench(("grid:400", "star:64"), repeats=1)
+        assert [c.spec for c in report.cells] == ["grid:400", "star:64"]
+        gate = report.cells[0]
+        assert gate.gated and gate.n >= GATE_MIN_N
+        assert not report.cells[1].gated
+        assert all(c.identical for c in report.cells)
+        report.check()  # bit-identical + speedup gates
+
+    def test_check_requires_a_gate_network(self):
+        report = run_planner_bench(("star:32",), repeats=1)
+        with pytest.raises(AssertionError, match="no gate network"):
+            report.check()
+
+    def test_check_fails_below_speedup_gate(self):
+        report = run_planner_bench(("grid:400",), repeats=1, min_speedup=1e9)
+        with pytest.raises(AssertionError, match="below"):
+            report.check()
+
+    def test_format_lists_every_cell(self):
+        report = run_planner_bench(("path:64",), repeats=1)
+        out = report.format()
+        assert "path:64" in out and "speedup" in out
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            run_planner_bench(("grid:64",), repeats=0)
+        with pytest.raises(ReproError):
+            run_planner_bench(())

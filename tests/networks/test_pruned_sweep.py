@@ -1,0 +1,111 @@
+"""Property tests: the pruned sweep is bit-identical to the O(mn) sweep.
+
+The fast planner's acceptance bar (ISSUE 3): on every topology family in
+:data:`repro.analysis.sweep.FAMILIES`, ``center_sweep(method="pruned")``
+must return the same root, the same eccentricity, and the same parent
+array as the exhaustive reference — and the tree built from the sweep's
+parents must exactly equal the tree the old two-step
+``bfs_spanning_tree(graph, best_root(graph))`` path produced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import FAMILIES, family_instance
+from repro.exceptions import DisconnectedGraphError, ReproError
+from repro.networks import topologies
+from repro.networks.graph import Graph
+from repro.networks.properties import radius
+from repro.networks.random_graphs import random_connected_gnp
+from repro.networks.spanning_tree import (
+    CenterSweep,
+    SWEEP_METHODS,
+    best_root,
+    bfs_spanning_tree,
+    center_sweep,
+    minimum_depth_spanning_tree,
+)
+
+#: Keeps every family quick while still crossing the 64-lane batch
+#: boundary and the sequential-phase budget inside the pruned sweep.
+FAMILY_SIZE = 96
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_pruned_matches_exhaustive_on_every_family(family):
+    graph = family_instance(family, FAMILY_SIZE)
+    fast = center_sweep(graph, method="pruned")
+    slow = center_sweep(graph, method="exhaustive")
+    assert fast.root == slow.root
+    assert fast.eccentricity == slow.eccentricity
+    assert (fast.parents == slow.parents).all()
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_tree_equals_old_two_step_construction(family):
+    """Exact-equality regression: reusing the winning sweep's parent
+    array must reproduce the old ``bfs_spanning_tree(g, best_root(g))``
+    result, not merely an equally-shallow tree."""
+    graph = family_instance(family, FAMILY_SIZE)
+    new_tree = minimum_depth_spanning_tree(graph)
+    old_tree = bfs_spanning_tree(graph, best_root(graph))
+    assert new_tree == old_tree
+    assert new_tree.root == old_tree.root
+    assert new_tree.parents() == old_tree.parents()
+    for v in range(graph.n):
+        assert new_tree.children(v) == old_tree.children(v)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_pruned_matches_exhaustive_on_random_graphs(seed):
+    graph = random_connected_gnp(80, 0.05, seed=seed)
+    fast = center_sweep(graph, method="pruned")
+    slow = center_sweep(graph, method="exhaustive")
+    assert (fast.root, fast.eccentricity) == (slow.root, slow.eccentricity)
+    assert (fast.parents == slow.parents).all()
+
+
+class TestCenterSweepApi:
+    def test_returns_center_and_radius(self):
+        g = topologies.path_graph(11)
+        sweep = center_sweep(g)
+        assert isinstance(sweep, CenterSweep)
+        assert sweep.root == 5
+        assert sweep.eccentricity == radius(g) == 5
+        assert sweep.parents[sweep.root] == -1
+
+    def test_both_methods_exported(self):
+        assert SWEEP_METHODS == ("pruned", "exhaustive")
+        g = topologies.cycle_graph(9)
+        for method in SWEEP_METHODS:
+            assert center_sweep(g, method=method).eccentricity == 4
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ReproError, match="unknown sweep method"):
+            center_sweep(topologies.path_graph(4), method="magic")
+        with pytest.raises(ReproError, match="unknown sweep method"):
+            minimum_depth_spanning_tree(
+                topologies.path_graph(4), method="magic"
+            )
+
+    def test_disconnected_rejected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        for method in SWEEP_METHODS:
+            with pytest.raises(DisconnectedGraphError):
+                center_sweep(g, method=method)
+
+    def test_single_vertex(self):
+        sweep = center_sweep(Graph(1, []))
+        assert sweep.root == 0
+        assert sweep.eccentricity == 0
+        assert sweep.parents.tolist() == [-1]
+
+    def test_root_selector_fallback_still_honoured(self):
+        g = topologies.path_graph(9)
+        tree = minimum_depth_spanning_tree(g, root_selector=lambda _: 0)
+        assert tree.root == 0
+        assert tree.height == 8
+
+    def test_tree_height_is_radius(self):
+        g = random_connected_gnp(60, 0.07, seed=3)
+        assert minimum_depth_spanning_tree(g).height == radius(g)

@@ -57,6 +57,26 @@ class TestKeywordOnlyShims:
             with pytest.raises(TypeError):
                 gossip(g, "simple", None, "extra")
 
+    def test_gossip_typeerror_reports_exact_argument_count(self):
+        """Regression: the shim double-counted the graph, reporting
+        '5 given' for a 4-positional call."""
+        g = topologies.path_graph(4)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(
+                TypeError,
+                match=r"takes at most 3 positional arguments \(4 given\)",
+            ):
+                gossip(g, "simple", None, "extra")
+
+    def test_gossip_on_tree_typeerror_reports_exact_argument_count(self):
+        tree = gossip(topologies.star_graph(4)).tree
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(
+                TypeError,
+                match=r"takes at most 2 positional arguments \(3 given\)",
+            ):
+                gossip_on_tree(tree, "simple", "extra")
+
 
 class TestNetworkDispatch:
     def test_graph_passthrough(self):
@@ -75,6 +95,30 @@ class TestNetworkDispatch:
         b = gossip(topologies.star_graph(4)).tree
         with pytest.raises(ReproError):
             resolve_network(a, tree=b)
+
+    def test_tree_spec_with_equal_override_accepted(self):
+        """An *equal* tree= override is redundant, not conflicting: the
+        docstring promises rejection only for a *different* tree."""
+        base = gossip(topologies.grid_2d(3, 3)).tree
+        same = gossip(topologies.grid_2d(3, 3)).tree
+        assert same == base and same is not base  # exercises Tree.__eq__
+        graph, tree = resolve_network(base, tree=same)
+        assert tree is base
+        assert graph == tree_to_graph(base)
+
+    def test_empty_size_reports_bad_topology_size(self):
+        with pytest.raises(
+            ReproError,
+            match=r"bad topology size in 'grid:'; want 'family:n' with integer n",
+        ):
+            resolve_network("grid:")
+
+    def test_non_integer_size_reports_bad_topology_size(self):
+        with pytest.raises(
+            ReproError,
+            match=r"bad topology size in 'grid:abc'; want 'family:n' with integer n",
+        ):
+            resolve_network("grid:abc")
 
     def test_family_string_with_size(self):
         graph, _ = resolve_network("grid:9")

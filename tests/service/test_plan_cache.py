@@ -49,6 +49,23 @@ class TestLRU:
         assert cache.weight <= cache.max_weight
         assert len(cache) < len(plans)
 
+    def test_refresh_same_key_does_not_double_count_weight(self):
+        """Regression guard: ``put`` on an existing key must subtract the
+        old entry's weight before adding the new one, or repeated
+        refreshes inflate ``cache.weight`` until everything is evicted."""
+        cache = PlanCache()
+        plan = _plan(6)
+        for _ in range(3):
+            assert cache.put(_key(plan), plan) == 0
+        assert len(cache) == 1
+        assert cache.weight == plan_weight(plan)
+        # Replacing with a different plan under the same key accounts the
+        # delta, not the sum.
+        bigger = _plan(9)
+        cache.put(_key(plan), bigger)
+        assert len(cache) == 1
+        assert cache.weight == plan_weight(bigger)
+
     def test_oversized_entry_still_admitted(self):
         cache = PlanCache(max_entries=10, max_weight=5)
         big = _plan(30)  # weight 59 > bound
