@@ -1,0 +1,136 @@
+"""SURVIVAL — survivor coverage of degraded gossip vs fail-stop rate.
+
+The survivability claim behind :mod:`repro.core.survival`: after a run
+under permanent fail-stop crashes, a single diagnose pass either
+re-plans degraded gossip that gives every live processor every message
+whose origin is live in its own component (survivor coverage **1.0**),
+or raises the typed partition error — never a best-effort partial
+answer.  Measured on the chaos-sweep default family ``random:48``:
+
+* the coverage / partition / appended-rounds curve per fail-stop rate,
+* the null-permanence parity gate: ``fail_stop_rate=0`` with no link
+  failures must leave the residual network intact, append zero survival
+  rounds, and reproduce the transient-only semantics bit-for-bit.
+
+Runs two ways:
+
+* under pytest(-benchmark) with the rest of the suite — records rows in
+  the reproduction summary;
+* standalone: ``python benchmarks/bench_survival.py --check`` exits
+  non-zero unless the parity and coverage gates hold (wired into tier-1
+  via ``tests/analysis/test_survival_check.py``).
+"""
+
+import argparse
+import sys
+
+from repro.analysis.survival import run_survival_sweep
+from repro.core.gossip import gossip, resolve_network
+from repro.core.recovery import execute_plan_with_faults
+from repro.core.survival import survive
+from repro.simulator.engine import execute_schedule
+from repro.simulator.lossy import FaultModel
+from repro.simulator.state import labeled_holdings
+
+#: The acceptance-criteria network and sweep shape.
+FAMILY = "random:48"
+FAIL_STOP_RATES = (0.0, 0.01, 0.02, 0.05)
+TRIALS = 10
+SEED = 7
+
+
+def run(*, trials: int = TRIALS, seed: int = SEED):
+    """The coverage-vs-fail-stop curve on the chaos default family."""
+    return run_survival_sweep(
+        families=(FAMILY,),
+        fail_stop_rates=FAIL_STOP_RATES,
+        trials=trials,
+        seed=seed,
+    )
+
+
+def check_null_permanence_parity(*, seed: int = SEED) -> None:
+    """Gate: zero permanent rates are indistinguishable from PR 2/3 semantics.
+
+    Asserts that a model with explicit ``fail_stop_rate=0.0`` and
+    ``link_fail_rate=0.0`` equals the plain transient model (so every
+    draw, and therefore every execution, is bit-identical), that the
+    null model still matches :func:`execute_schedule` exactly, and that
+    :func:`survive` on an intact residual network appends zero rounds.
+    """
+    graph, tree = resolve_network(FAMILY)
+    plan = gossip(graph, tree=tree)
+    holds0 = labeled_holdings(plan.labeled.labels())
+
+    transient = FaultModel(seed=seed, drop_rate=0.25)
+    explicit = FaultModel(
+        seed=seed, drop_rate=0.25, fail_stop_rate=0.0, link_fail_rate=0.0
+    )
+    assert transient == explicit, "zero permanent rates changed the model"
+    a = execute_plan_with_faults(plan, transient)
+    b = execute_plan_with_faults(plan, explicit)
+    assert a.lost == b.lost and a.final_holds == b.final_holds, (
+        "zero permanent rates changed the transient execution"
+    )
+
+    null = execute_plan_with_faults(plan, FaultModel(seed=seed))
+    reference = execute_schedule(
+        graph, plan.schedule, initial_holds=holds0, require_complete=True
+    )
+    assert null.to_execution_result() == reference, (
+        "null-model lossy execution diverged from execute_schedule"
+    )
+    outcome = survive(graph, plan, null)
+    assert outcome.diagnosis.intact, "null model produced permanent residue"
+    assert outcome.appended_rounds == 0, (
+        f"survive() appended {outcome.appended_rounds} rounds to an "
+        "intact, complete run"
+    )
+    assert outcome.survivor_coverage == 1.0
+
+
+def test_survival_coverage_curve(benchmark, report):
+    """Coverage per fail-stop rate; zero-rate must be pure parity."""
+    check_null_permanence_parity()
+    sweep = benchmark.pedantic(run, iterations=1, rounds=1)
+    for cell in sweep.cells:
+        report.row(
+            network=cell.family,
+            fail_stop=f"{cell.fail_stop_rate:.2f}",
+            coverage=f"{cell.coverage_rate:.0%}",
+            partitioned=cell.partitioned,
+            dead_max=cell.dead_max,
+            rounds_p50=cell.rounds_p50,
+            rounds_max=cell.rounds_max,
+        )
+    sweep.check()
+    zero = next(c for c in sweep.cells if c.fail_stop_rate == 0.0)
+    assert zero.intact == zero.trials and zero.partitioned == 0
+    assert zero.rounds_max == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the parity and survivor-coverage gates hold",
+    )
+    parser.add_argument("--trials", type=int, default=TRIALS)
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    sweep = run(trials=args.trials, seed=args.seed)
+    print(sweep.format())
+    if args.check:
+        try:
+            check_null_permanence_parity(seed=args.seed)
+            sweep.check()
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print("check: null-permanence parity and survivor-coverage gates hold  OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

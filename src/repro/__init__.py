@@ -44,20 +44,30 @@ from .core.repeated import repeated_gossip
 from .core.ring import hamiltonian_circuit, ring_gossip, ring_gossip_on_graph
 from .core.schedule import Round, Schedule, ScheduleBuilder, Transmission
 from .core.simple import simple_gossip, simple_total_time
+from .core.survival import (
+    SurvivalDiagnosis,
+    SurvivalResult,
+    diagnose_survival,
+    survive,
+    validate_survival,
+)
 from .core.updown import updown_gossip, updown_total_time_bound
 from .core.weighted import weighted_gossip
 from .exceptions import (
+    CircuitOpenError,
     DisconnectedGraphError,
     GraphError,
     IncompleteGossipError,
     LabelingError,
     ModelViolationError,
+    PartitionedNetworkError,
     PlanTimeoutError,
     RecoveryExhaustedError,
     ReproError,
     ScheduleConflictError,
     ScheduleError,
     SimulationError,
+    SurvivorSetError,
     TreeError,
 )
 from .networks import topologies
@@ -130,6 +140,12 @@ __all__ = [
     "recover",
     "RecoveryResult",
     "execute_plan_with_faults",
+    # survivability
+    "survive",
+    "diagnose_survival",
+    "validate_survival",
+    "SurvivalResult",
+    "SurvivalDiagnosis",
     # exceptions
     "ReproError",
     "GraphError",
@@ -143,4 +159,7 @@ __all__ = [
     "SimulationError",
     "RecoveryExhaustedError",
     "PlanTimeoutError",
+    "PartitionedNetworkError",
+    "SurvivorSetError",
+    "CircuitOpenError",
 ]

@@ -1,7 +1,8 @@
-"""Analysis layer: bounds, comparisons, sweeps, chaos runs, paper tables."""
+"""Analysis layer: bounds, comparisons, sweeps, chaos/survival runs, paper tables."""
 
 from .chaos import ChaosCell, ChaosReport, run_chaos_sweep
 from .planner_bench import PlannerBenchReport, PlannerCell, run_planner_bench
+from .survival import SurvivalCell, SurvivalReport, run_survival_sweep
 from .bounds import (
     approximation_ratio_bound,
     concurrent_updown_upper_bound,
@@ -49,6 +50,9 @@ __all__ = [
     "ChaosCell",
     "ChaosReport",
     "run_chaos_sweep",
+    "SurvivalCell",
+    "SurvivalReport",
+    "run_survival_sweep",
     "PlannerCell",
     "PlannerBenchReport",
     "run_planner_bench",

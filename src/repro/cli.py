@@ -8,7 +8,10 @@ Subcommands:
 * ``paper``       — verify every paper figure claim and print a summary;
 * ``bench``       — cold vs warm plan serving through :class:`GossipService`;
 * ``serve-stats`` — replay a synthetic request stream and print service stats;
-* ``chaos``       — seeded fault sweep (drop rate x topology) through recovery;
+* ``chaos``       — seeded fault sweep (drop rate x topology) through recovery
+  (``--permanent`` reroutes through the survival layer instead);
+* ``survive``     — seeded permanent-failure sweep (fail-stop rate x topology)
+  measuring survivor coverage through ``repro.core.survival``;
 * ``plan-bench``  — pruned vs exhaustive sweep timings with the speedup gate.
 
 Examples
@@ -23,6 +26,7 @@ Examples
     python -m repro.cli bench --topology grid --n 256 --check
     python -m repro.cli serve-stats --requests 500
     python -m repro.cli chaos --family random:48 --drop 0.2 --seed 7
+    python -m repro.cli survive --family random:32 --fail-stop 0.05 --check
     python -m repro.cli plan-bench --spec grid:400 --spec torus:1024 --check
 """
 
@@ -178,9 +182,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-round transient processor crash probability",
     )
     p_chaos.add_argument(
+        "--permanent", type=float, action="append", default=None, metavar="RATE",
+        help="permanent fail-stop rate(s): route the sweep through the "
+             "survival layer instead of transient recovery (repeatable)",
+    )
+    p_chaos.add_argument(
         "--check", action="store_true",
         help="exit non-zero unless every cell completes >= 95%% of trials "
-             "and all repairs pass fault-free re-validation",
+             "and all repairs pass fault-free re-validation "
+             "(with --permanent: the survivor-coverage gates)",
+    )
+
+    p_survive = sub.add_parser(
+        "survive",
+        help="seeded permanent-failure sweep: fail-stop, diagnose, re-plan "
+             "degraded gossip per surviving component",
+    )
+    p_survive.add_argument(
+        "--family", action="append", default=None, metavar="SPEC",
+        help="network spec 'family:n' (repeatable; default: random:48)",
+    )
+    p_survive.add_argument(
+        "--fail-stop", type=float, action="append", default=None,
+        help="per-round permanent fail-stop probability "
+             "(repeatable; default: 0.02)",
+    )
+    p_survive.add_argument(
+        "--link-fail", type=float, default=0.0,
+        help="per-round permanent link-failure probability",
+    )
+    p_survive.add_argument(
+        "--drop", type=float, default=0.0,
+        help="transient per-delivery drop probability layered on top",
+    )
+    p_survive.add_argument("--trials", type=int, default=20, help="trials per cell")
+    p_survive.add_argument("--seed", type=int, default=7, help="sweep seed")
+    p_survive.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="concurrent-updown"
+    )
+    p_survive.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless every survivable trial reaches 100%% "
+             "survivor coverage, every partitioned trial raises the typed "
+             "error, and all schedules respect the degraded bound",
     )
 
     p_pbench = sub.add_parser(
@@ -433,6 +477,31 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .analysis.chaos import run_chaos_sweep
 
+    if args.permanent is not None:
+        # Permanent-failure mode: transient repair cannot help once
+        # processors are gone for good, so route through survival.
+        from .analysis.survival import run_survival_sweep
+
+        drops = args.drop if args.drop is not None else [0.0]
+        report = run_survival_sweep(
+            families=args.family or ["random:48"],
+            fail_stop_rates=args.permanent,
+            trials=args.trials,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            drop_rate=drops[0],
+        )
+        print(report.format())
+        if args.check:
+            try:
+                report.check()
+            except AssertionError as err:
+                print(f"CHECK FAILED: {err}")
+                return 1
+            print("check: full survivor coverage, typed partitions, "
+                  "degraded bound hold  OK")
+        return 0
+
     report = run_chaos_sweep(
         families=args.family or ["random:48"],
         drop_rates=args.drop if args.drop is not None else [0.2],
@@ -451,6 +520,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"CHECK FAILED: {err}")
             return 1
         print("check: completion >= 95% and all repairs verified fault-free  OK")
+    return 0
+
+
+def _cmd_survive(args: argparse.Namespace) -> int:
+    from .analysis.survival import run_survival_sweep
+
+    report = run_survival_sweep(
+        families=args.family or ["random:48"],
+        fail_stop_rates=(
+            args.fail_stop if args.fail_stop is not None else [0.02]
+        ),
+        trials=args.trials,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        link_fail_rate=args.link_fail,
+        drop_rate=args.drop,
+    )
+    print(report.format())
+    if args.check:
+        try:
+            report.check()
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print("check: full survivor coverage, typed partitions, "
+              "degraded bound hold  OK")
     return 0
 
 
@@ -491,6 +586,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "serve-stats": _cmd_serve_stats,
         "chaos": _cmd_chaos,
+        "survive": _cmd_survive,
         "plan-bench": _cmd_plan_bench,
     }
     return handlers[args.command](args)

@@ -12,7 +12,9 @@
   baselines;
 * :mod:`~repro.core.gossip` — the end-to-end network pipeline;
 * :mod:`~repro.core.recovery` — repair scheduling for lossy executions
-  (the fault-tolerance layer over :mod:`repro.simulator.lossy`).
+  (the fault-tolerance layer over :mod:`repro.simulator.lossy`);
+* :mod:`~repro.core.survival` — degraded gossip among the survivors of
+  permanent fail-stop crashes and severed links.
 """
 
 from .ablations import concurrent_updown_no_lip, no_lip_penalty, propagate_up_no_lip
@@ -41,6 +43,15 @@ from .recovery import (
 )
 from .repeated import RepeatedGossipPlan, minimal_pipeline_offset, repeated_gossip
 from .ring import hamiltonian_circuit, ring_gossip, ring_gossip_on_graph
+from .survival import (
+    ComponentPlan,
+    SurvivalDiagnosis,
+    SurvivalResult,
+    diagnose_survival,
+    survive,
+    survivor_coverage,
+    validate_survival,
+)
 from .schedule import Round, Schedule, ScheduleBuilder, Transmission, merge_schedules
 from .simple import simple_gossip, simple_gossip_on_tree, simple_total_time
 from .store_forward import (
@@ -98,6 +109,13 @@ __all__ = [
     "execute_plan_with_faults",
     "plan_repair_rounds",
     "REPAIR_POLICIES",
+    "survive",
+    "diagnose_survival",
+    "validate_survival",
+    "survivor_coverage",
+    "SurvivalDiagnosis",
+    "SurvivalResult",
+    "ComponentPlan",
     "weighted_gossip",
     "expand_weighted_tree",
     "WeightedGossipPlan",

@@ -8,6 +8,15 @@ only ever grow, the union of all hold sets always covers every message
 a *nearest holder* exists for every missing ``(processor, message)``
 pair, so gossip is always finishable by appending more rounds.
 
+That contract holds for *transient* faults only.  Permanent fail-stop
+crashes and severed links (``fail_stop_rate`` / ``link_fail_rate``) can
+make a missing pair unreachable forever; :func:`recover` detects this
+*before* entering its repair loop and raises a typed
+:class:`~repro.exceptions.PartitionedNetworkError` naming the offending
+pairs, instead of burning the whole exponential budget on doomed
+retransmissions.  The degraded "gossip among survivors" guarantee for
+that regime lives in :mod:`repro.core.survival`.
+
 :func:`recover` is the execute → diagnose → repair loop:
 
 1. diagnose the missing sets of the latest lossy execution;
@@ -41,7 +50,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from ..exceptions import RecoveryExhaustedError, ReproError
+from ..exceptions import (
+    PartitionedNetworkError,
+    RecoveryExhaustedError,
+    ReproError,
+)
 from .schedule import Round, Schedule, Transmission
 
 if TYPE_CHECKING:  # runtime imports are lazy to avoid core <-> simulator cycles
@@ -237,6 +250,13 @@ def recover(
     ------
     RecoveryExhaustedError
         The budget ran out with processors still missing messages.
+    PartitionedNetworkError
+        The fault model killed processors or links for good and some
+        missing ``(processor, message)`` pair has no live holder
+        reachable over the surviving repair substrate — full recovery is
+        *impossible*, so the error is raised before a single repair
+        round is planned (use :func:`repro.core.survival.survive` for
+        the degraded guarantee instead).
     """
     from ..simulator.lossy import execute_with_faults
 
@@ -246,6 +266,8 @@ def recover(
         raise ReproError("max_repair_rounds must be >= 1")
 
     tree_adjacency = _tree_adjacency(plan.tree)
+    if not result.complete and model.has_permanent:
+        _check_recoverable(tree_adjacency, result, model)
     baseline_total = plan.schedule.total_time
     schedule = plan.schedule
     current = result
@@ -304,6 +326,67 @@ def recover(
         repair_rounds=appended,
         baseline_total=baseline_total,
     )
+
+
+def _check_recoverable(
+    tree_adjacency: Dict[int, Tuple[int, ...]],
+    result: "FaultyExecutionResult",
+    model: "FaultModel",
+) -> None:
+    """Raise :class:`PartitionedNetworkError` when full recovery is doomed.
+
+    Walks the repair substrate (the tree edges) restricted to processors
+    and links still alive at the diagnosis horizon.  A missing
+    ``(processor, message)`` pair is *unrecoverable* when the processor
+    is dead (it will never receive again) or when no live holder of the
+    message is reachable from it over live links.  Permanent failures
+    are monotone, so an unrecoverable pair at the horizon stays
+    unrecoverable no matter how many repair rounds are appended.
+    """
+    horizon = result.total_time
+    dead = {
+        v for v in tree_adjacency if model.fail_stopped(horizon, v)
+    }
+    live_adjacency: Dict[int, Tuple[int, ...]] = {
+        v: tuple(
+            u
+            for u in nbrs
+            if u not in dead and not model.link_failed(horizon, v, u)
+        )
+        for v, nbrs in tree_adjacency.items()
+        if v not in dead
+    }
+    holds = [int(h) for h in result.final_holds]
+    offending: List[Tuple[int, int]] = []
+    reach_union: Dict[int, int] = {}
+    for v, missing in sorted(result.missing_sets().items()):
+        if v in dead:
+            offending.extend((v, m) for m in missing)
+            continue
+        union = reach_union.get(v)
+        if union is None:
+            union = 0
+            stack, seen = [v], {v}
+            while stack:
+                u = stack.pop()
+                union |= holds[u]
+                for w in live_adjacency[u]:
+                    if w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+            for u in seen:  # one traversal answers every member's query
+                reach_union[u] = union
+        offending.extend((v, m) for m in missing if not union >> m & 1)
+    if offending:
+        raise PartitionedNetworkError(
+            f"permanent failures make {len(offending)} missing "
+            f"(processor, message) pairs unrecoverable "
+            f"({len(dead)} fail-stopped processors); first few: "
+            f"{offending[:8]} — full recovery is impossible, consider "
+            "repro.core.survival.survive for the degraded guarantee",
+            pairs=offending,
+            dead=tuple(sorted(dead)),
+        )
 
 
 def _tree_adjacency(tree) -> Dict[int, Tuple[int, ...]]:

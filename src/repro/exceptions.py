@@ -19,7 +19,10 @@ __all__ = [
     "IncompleteGossipError",
     "SimulationError",
     "RecoveryExhaustedError",
+    "PartitionedNetworkError",
+    "SurvivorSetError",
     "PlanTimeoutError",
+    "CircuitOpenError",
 ]
 
 
@@ -104,6 +107,56 @@ class RecoveryExhaustedError(ReproError):
         self.missing = dict(missing or {})
 
 
+class PartitionedNetworkError(ReproError):
+    """Permanent failures severed the network; full gossip is impossible.
+
+    Raised *before* any repair budget is spent, by
+    :func:`repro.core.recovery.recover` when some missing
+    ``(processor, message)`` pair has no live holder reachable over the
+    surviving repair substrate, and by
+    :func:`repro.core.survival.survive` (with ``allow_partition=False``)
+    when the residual network splits into several surviving components.
+
+    Attributes
+    ----------
+    pairs:
+        The offending ``(processor, message)`` pairs — each names a live
+        processor and a message no live, reachable holder can supply.
+    components:
+        The surviving connected components (tuples of vertex ids) of the
+        residual network, ordered by smallest member.
+    dead:
+        The permanently fail-stopped processors at diagnosis time.
+    """
+
+    def __init__(self, message: str, *, pairs=(), components=(), dead=()) -> None:
+        super().__init__(message)
+        self.pairs = tuple(tuple(p) for p in pairs)
+        self.components = tuple(tuple(c) for c in components)
+        self.dead = tuple(dead)
+
+
+class SurvivorSetError(ReproError):
+    """The survivor set cannot satisfy the degraded completion semantics.
+
+    Raised by :mod:`repro.core.survival` when no processor survived at
+    all, or when the strict :func:`~repro.core.survival.validate_survival`
+    check finds a live processor missing a message whose origin is live
+    and reachable in its own component (which the survival schedule
+    guarantees to deliver).
+
+    Attributes
+    ----------
+    pairs:
+        Offending ``(processor, message)`` pairs (empty when the error
+        is about an empty survivor set).
+    """
+
+    def __init__(self, message: str, *, pairs=()) -> None:
+        super().__init__(message)
+        self.pairs = tuple(tuple(p) for p in pairs)
+
+
 class PlanTimeoutError(ReproError):
     """A service plan request exceeded its planner timeout.
 
@@ -111,3 +164,27 @@ class PlanTimeoutError(ReproError):
     planner times out (and, if configured, the degraded fallback could
     not produce a plan either).
     """
+
+
+class CircuitOpenError(ReproError):
+    """A plan request was fast-failed by an open circuit breaker.
+
+    Raised by :class:`repro.service.GossipService` when the per-key
+    breaker is open (too many consecutive planner failures/timeouts) and
+    no degraded fallback is configured — the typed signal that the
+    planner for this key is considered down until the cooldown elapses.
+
+    Attributes
+    ----------
+    algorithm:
+        The algorithm whose planner the breaker is protecting.
+    retry_after:
+        Seconds until the breaker will allow a half-open probe (0.0 when
+        a probe is already in flight).
+    """
+
+    def __init__(self, message: str, *, algorithm: str = "",
+                 retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.algorithm = algorithm
+        self.retry_after = retry_after

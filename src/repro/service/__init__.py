@@ -11,6 +11,8 @@ package is that serving layer:
   topology maintenance hooks;
 * :class:`~repro.service.cache.PlanCache` — the bounded thread-safe LRU
   underneath;
+* :class:`~repro.service.breaker.CircuitBreaker` — the per-key circuit
+  breaker behind the service's ``breaker_threshold`` option;
 * :class:`~repro.service.maintenance.MaintainedNetwork` — churn-aware
   cache patching/invalidation on top of
   :class:`~repro.networks.dynamic.TreeMaintainer`;
@@ -28,6 +30,7 @@ Quickstart
 True
 """
 
+from .breaker import CircuitBreaker
 from .cache import PlanCache, PlanKey, plan_weight, tree_fingerprint
 from .maintenance import MaintainedNetwork
 from .service import GossipService, Planner
@@ -37,6 +40,7 @@ from .workload import CacheBenchResult, bench_plan_cache, run_synthetic_workload
 __all__ = [
     "GossipService",
     "Planner",
+    "CircuitBreaker",
     "PlanCache",
     "PlanKey",
     "plan_weight",

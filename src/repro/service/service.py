@@ -17,6 +17,12 @@ is wasted work.  ``GossipService`` amortises it:
   to the cache so topology churn *patches or invalidates* affected
   entries instead of flushing everything
   (:class:`~repro.service.maintenance.MaintainedNetwork`);
+* an optional per-key circuit breaker
+  (:class:`~repro.service.breaker.CircuitBreaker`) stops hammering a
+  planner that keeps failing: after ``breaker_threshold`` consecutive
+  failures the key is served degraded (or fast-failed with a typed
+  :class:`~repro.exceptions.CircuitOpenError`) until a half-open probe
+  succeeds;
 * every request is instrumented
   (:class:`~repro.service.stats.ServiceStats`).
 
@@ -37,9 +43,10 @@ from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.gossip import GossipPlan, NetworkSpec, gossip, resolve_network
-from ..exceptions import PlanTimeoutError, ReproError
+from ..exceptions import CircuitOpenError, PlanTimeoutError, ReproError
 from ..networks.graph import Graph
 from ..tree.tree import Tree
+from .breaker import CircuitBreaker
 from .cache import PlanCache, PlanKey, tree_fingerprint
 from .stats import ServiceStats, StatsRecorder
 
@@ -115,6 +122,24 @@ class GossipService:
         under the *fallback* key only, so the primary is re-attempted
         on the next request and the service heals itself once the
         planner recovers.
+    breaker_threshold:
+        Enable a per-key circuit breaker
+        (:class:`~repro.service.breaker.CircuitBreaker`): after this
+        many *consecutive* primary-planner failures (timeouts or
+        transient errors that survived the retry budget) the breaker
+        opens and requests for that key stop touching the primary
+        planner — they are served from the degraded fallback when one
+        is configured, or fast-failed with a typed
+        :class:`~repro.exceptions.CircuitOpenError` otherwise.  After
+        ``breaker_cooldown`` seconds a single half-open probe is let
+        through; success closes the breaker, failure re-opens it.
+        ``None`` (the default) disables the breaker entirely.
+    breaker_cooldown:
+        Seconds an open breaker short-circuits requests before allowing
+        the half-open probe (default 30).
+    clock:
+        Monotonic time source for breaker cooldowns (injectable for
+        tests; defaults to :func:`time.monotonic`).
 
     Examples
     --------
@@ -142,11 +167,18 @@ class GossipService:
         retries: int = 2,
         retry_backoff: float = 0.05,
         fallback_algorithm: Optional[str] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if planner_timeout is not None and planner_timeout <= 0:
             raise ReproError("planner_timeout must be positive (or None)")
         if retries < 0:
             raise ReproError("retries must be >= 0")
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ReproError("breaker_threshold must be >= 1 (or None)")
+        if breaker_cooldown <= 0:
+            raise ReproError("breaker_cooldown must be positive")
         self._algorithm = algorithm
         self._cache = PlanCache(max_entries=max_entries, max_weight=max_weight)
         self._stats = StatsRecorder()
@@ -155,7 +187,11 @@ class GossipService:
         self._retries = retries
         self._retry_backoff = retry_backoff
         self._fallback_algorithm = fallback_algorithm
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._clock = clock
         self._lock = threading.Lock()
+        self._breakers: Dict[PlanKey, CircuitBreaker] = {}
         self._inflight: Dict[PlanKey, Future] = {}
         self._max_workers = max_workers or min(8, os.cpu_count() or 1)
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -230,20 +266,85 @@ class GossipService:
 
         Returns ``(plan, degraded)`` where ``degraded`` marks a fallback
         algorithm's plan served in place of the primary.
+
+        With a circuit breaker configured, the primary planner only runs
+        while the key's breaker admits it: an open breaker skips the
+        primary entirely (degraded fallback, or fast-fail with
+        :class:`~repro.exceptions.CircuitOpenError`), and once per
+        cooldown a single half-open probe re-tests the planner.
+        Deterministic :class:`ReproError`\\ s never count against the
+        breaker — they indict the input, not the planner.
         """
         algorithm = key[2]
+        breaker = self._breaker_for(key)
+        probing = False
+        if breaker is not None:
+            with self._lock:
+                decision = breaker.acquire(self._clock())
+                retry_after = breaker.retry_after(self._clock())
+            if decision == "reject":
+                self._stats.record_fast_fail()
+                return self._serve_fallback(
+                    graph, tree, key, failure=None, retry_after=retry_after
+                )
+            if decision == "probe":
+                probing = True
+                self._stats.record_probe()
         try:
-            return self._build_with_retries(graph, tree, algorithm, key), False
+            plan = self._build_with_retries(graph, tree, algorithm, key)
         except PlanTimeoutError as exc:
             primary_failure: BaseException = exc
         except ReproError:
+            if probing:
+                with self._lock:
+                    breaker.cancel_probe()
             raise  # deterministic library error: fallback cannot help
         except BaseException as exc:
             primary_failure = exc  # transient failures survived retries
+        else:
+            if breaker is not None:
+                with self._lock:
+                    healed = breaker.record_success()
+                if healed:
+                    self._stats.record_breaker_close()
+            return plan, False
 
+        if breaker is not None:
+            with self._lock:
+                opened = breaker.record_failure(self._clock())
+            if opened:
+                self._stats.record_breaker_open()
+        return self._serve_fallback(
+            graph, tree, key, failure=primary_failure, retry_after=None
+        )
+
+    def _serve_fallback(
+        self,
+        graph: Graph,
+        tree: Optional[Tree],
+        key: PlanKey,
+        *,
+        failure: Optional[BaseException],
+        retry_after: Optional[float],
+    ) -> Tuple[GossipPlan, bool]:
+        """Serve the degraded fallback plan, or raise the typed error.
+
+        ``failure`` is the primary planner's exception, or ``None`` when
+        an open breaker short-circuited the primary without running it
+        (``retry_after`` then carries the breaker's remaining cooldown).
+        """
+        algorithm = key[2]
         fallback = self._fallback_algorithm
         if fallback is None or fallback == algorithm:
-            raise primary_failure
+            if failure is not None:
+                raise failure
+            raise CircuitOpenError(
+                f"circuit breaker open for algorithm {algorithm!r} "
+                f"(retry in {retry_after:.3f}s) and no fallback_algorithm "
+                f"is configured",
+                algorithm=algorithm,
+                retry_after=retry_after,
+            )
         fallback_key = (key[0], key[1], fallback)
         with self._lock:
             cached = self._cache.get(fallback_key)
@@ -251,9 +352,17 @@ class GossipService:
             try:
                 cached = self._build_with_retries(graph, tree, fallback, fallback_key)
             except BaseException as exc:
+                if failure is None:
+                    raise CircuitOpenError(
+                        f"circuit breaker open for algorithm {algorithm!r} "
+                        f"and the degraded fallback ({fallback!r}) failed "
+                        f"too: {exc!r}",
+                        algorithm=algorithm,
+                        retry_after=retry_after or 0.0,
+                    ) from exc
                 raise PlanTimeoutError(
                     f"primary planner ({algorithm!r}) failed "
-                    f"({primary_failure!r}) and the degraded fallback "
+                    f"({failure!r}) and the degraded fallback "
                     f"({fallback!r}) failed too: {exc!r}"
                 ) from exc
             with self._lock:
@@ -261,6 +370,39 @@ class GossipService:
             self._stats.record_evictions(evicted)
         self._stats.record_degraded()
         return cached, True
+
+    def _breaker_for(self, key: PlanKey) -> Optional[CircuitBreaker]:
+        """The key's breaker, created on first use (None when disabled)."""
+        if self._breaker_threshold is None:
+            return None
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self._breaker_threshold, self._breaker_cooldown
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def breaker_state(
+        self,
+        network: NetworkSpec,
+        *,
+        algorithm: Optional[str] = None,
+        tree: Optional[Tree] = None,
+    ) -> Optional[str]:
+        """The breaker state for one network/algorithm key.
+
+        Returns ``"closed"``, ``"open"`` or ``"half-open"``; ``None``
+        when breakers are disabled or no request touched the key yet.
+        """
+        if self._breaker_threshold is None:
+            return None
+        graph, tree = resolve_network(network, tree=tree)
+        key = self._key(graph, tree, algorithm)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            return None if breaker is None else breaker.state
 
     def _build_with_retries(
         self, graph: Graph, tree: Optional[Tree], algorithm: str, key: PlanKey

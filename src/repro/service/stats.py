@@ -66,7 +66,20 @@ class ServiceStats:
         the service's ``retries`` setting per request).
     degraded:
         Requests served by the fallback algorithm's plan because the
-        primary planner timed out or kept failing.
+        primary planner timed out or kept failing — or because an open
+        circuit breaker short-circuited the primary entirely.
+    breaker_opens:
+        Circuit-breaker trips: transitions into the open state (either
+        the consecutive-failure threshold was reached or a half-open
+        probe failed).
+    breaker_probes:
+        Half-open probes dispatched after a cooldown elapsed.
+    breaker_closes:
+        Successful probes that healed a breaker (half-open -> closed).
+    fast_fails:
+        Requests rejected with
+        :class:`~repro.exceptions.CircuitOpenError` because the breaker
+        was open and no degraded fallback was configured.
     """
 
     requests: int
@@ -87,6 +100,10 @@ class ServiceStats:
     timeouts: int = 0
     retries: int = 0
     degraded: int = 0
+    breaker_opens: int = 0
+    breaker_probes: int = 0
+    breaker_closes: int = 0
+    fast_fails: int = 0
 
     @property
     def hit_rate(self) -> Optional[float]:
@@ -113,6 +130,9 @@ class ServiceStats:
                 f"occupancy     : {self.entries} plans, weight {self.weight} (n + m)",
                 f"resilience    : {self.timeouts} timeouts, {self.retries} retries, "
                 f"{self.degraded} degraded",
+                f"breaker       : {self.breaker_opens} opens, "
+                f"{self.breaker_probes} probes, {self.breaker_closes} closes, "
+                f"{self.fast_fails} fast-fails",
                 f"build latency : p50 {ms(self.plan_p50_ms)}  "
                 f"p90 {ms(self.plan_p90_ms)}  p99 {ms(self.plan_p99_ms)}  "
                 f"max {ms(self.plan_max_ms)}",
@@ -142,6 +162,10 @@ class StatsRecorder:
         self.timeouts = 0
         self.retries = 0
         self.degraded = 0
+        self.breaker_opens = 0
+        self.breaker_probes = 0
+        self.breaker_closes = 0
+        self.fast_fails = 0
         self._build_latencies: Deque[float] = deque(maxlen=latency_window)
         self._hit_latencies: Deque[float] = deque(maxlen=latency_window)
 
@@ -194,6 +218,22 @@ class StatsRecorder:
         with self._lock:
             self.degraded += 1
 
+    def record_breaker_open(self) -> None:
+        with self._lock:
+            self.breaker_opens += 1
+
+    def record_probe(self) -> None:
+        with self._lock:
+            self.breaker_probes += 1
+
+    def record_breaker_close(self) -> None:
+        with self._lock:
+            self.breaker_closes += 1
+
+    def record_fast_fail(self) -> None:
+        with self._lock:
+            self.fast_fails += 1
+
     # ------------------------------------------------------------------
     def snapshot(self, *, entries: int, weight: int) -> ServiceStats:
         """Freeze the counters into a :class:`ServiceStats`."""
@@ -223,4 +263,8 @@ class StatsRecorder:
                 timeouts=self.timeouts,
                 retries=self.retries,
                 degraded=self.degraded,
+                breaker_opens=self.breaker_opens,
+                breaker_probes=self.breaker_probes,
+                breaker_closes=self.breaker_closes,
+                fast_fails=self.fast_fails,
             )

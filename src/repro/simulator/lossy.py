@@ -28,19 +28,39 @@ tested in ``tests/property/test_property_lossy.py``).
 
 Fault semantics, applied to the round sent at time ``t``:
 
-* **sender crash** — a processor inside a crash window at ``t`` sends
-  nothing; its whole multicast is suppressed;
+* **sender fail-stop** — a processor that permanently crashed at or
+  before ``t`` sends nothing, ever again;
+* **sender crash** — a processor inside a transient crash window at
+  ``t`` sends nothing; its whole multicast is suppressed;
 * **possession gap** — a sender that (because of earlier losses) does
   not hold the scheduled message sends nothing; in a lossy world this
   is not a model violation, it is a consequence of the faults, and it
   is recorded as a suppressed send.  Adjacency violations are still
   hard errors: faults never excuse a malformed schedule;
+* **receiver fail-stop** — a processor that permanently crashed at or
+  before ``t`` receives nothing, ever again;
+* **link failure** — a link that permanently failed at or before ``t``
+  loses every delivery crossing it from then on;
 * **link outage** — a link down for round ``t`` loses every delivery
   crossing it that round;
-* **receiver crash** — a processor inside a crash window at ``t``
-  receives nothing that round;
+* **receiver crash** — a processor inside a transient crash window at
+  ``t`` receives nothing that round;
 * **delivery drop** — each surviving delivery is lost independently
   with probability ``drop_rate``.
+
+Permanent failures (``fail_stop_rate`` / ``link_fail_rate``) are
+*per-round hazards*: at every round each live processor (each intact
+link) independently fail-stops with the given probability, and once the
+first failing round is drawn the processor (link) stays dead for the
+rest of the run.  Hazard draws are pure functions of
+``(seed, round, endpoints)`` like every other fault decision, so the
+determinism contract above carries over unchanged — extending a
+schedule never rewrites who died in the prefix.  Both checks are
+evaluated *at send time* (a delivery in flight when its receiver dies
+still lands), matching the transient-crash convention.
+
+The residual network after permanent failures is what
+:mod:`repro.core.survival` diagnoses and replans over.
 """
 
 from __future__ import annotations
@@ -70,6 +90,8 @@ _GOLDEN = 0x9E3779B97F4A7C15
 _TAG_DROP = 0xD09
 _TAG_LINK = 0x11F
 _TAG_CRASH = 0xC9A
+_TAG_FAIL_STOP = 0xF57
+_TAG_LINK_FAIL = 0x1F1
 
 
 def _mix64(x: int) -> int:
@@ -108,6 +130,13 @@ class FaultModel:
     crash_length:
         Length of a crash window in rounds; while crashed a processor
         neither sends nor receives.
+    fail_stop_rate:
+        Per-round, per-processor probability that the processor
+        *permanently* crashes that round (a fail-stop failure: once
+        crashed it never sends or receives again).
+    link_fail_rate:
+        Per-round, per-link probability that the link *permanently*
+        fails that round (every later delivery crossing it is lost).
     """
 
     seed: int = 0
@@ -115,14 +144,31 @@ class FaultModel:
     link_outage_rate: float = 0.0
     crash_rate: float = 0.0
     crash_length: int = 1
+    fail_stop_rate: float = 0.0
+    link_fail_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("drop_rate", "link_outage_rate", "crash_rate"):
+        for name in (
+            "drop_rate",
+            "link_outage_rate",
+            "crash_rate",
+            "fail_stop_rate",
+            "link_fail_rate",
+        ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise SimulationError(f"{name}={p} is not a probability")
         if self.crash_length < 1:
             raise SimulationError("crash_length must be >= 1")
+        # Determinism-preserving memo caches (never part of the value:
+        # excluded from dataclass eq/hash/repr).  Every cached entry is a
+        # pure function of the frozen fields, so a cache hit and a fresh
+        # draw are indistinguishable.
+        object.__setattr__(self, "_crash_window_starts", {})
+        object.__setattr__(self, "_fail_stop_first", {})
+        object.__setattr__(self, "_fail_stop_scanned", {})
+        object.__setattr__(self, "_link_fail_first", {})
+        object.__setattr__(self, "_link_fail_scanned", {})
 
     @property
     def is_null(self) -> bool:
@@ -131,7 +177,21 @@ class FaultModel:
             self.drop_rate == 0.0
             and self.link_outage_rate == 0.0
             and self.crash_rate == 0.0
+            and self.fail_stop_rate == 0.0
+            and self.link_fail_rate == 0.0
         )
+
+    @property
+    def has_permanent(self) -> bool:
+        """Whether the model can kill processors or links for good.
+
+        Permanent failures invalidate the recovery contract ("a nearest
+        holder always exists"); :func:`repro.core.recovery.recover`
+        checks this to diagnose partitions *before* spending its repair
+        budget, and :mod:`repro.core.survival` is the layer that handles
+        the residue.
+        """
+        return self.fail_stop_rate > 0.0 or self.link_fail_rate > 0.0
 
     # ------------------------------------------------------------------
     def drops_delivery(self, time: int, sender: int, receiver: int) -> bool:
@@ -148,12 +208,65 @@ class FaultModel:
         return _uniform(self.seed, _TAG_LINK, time, a, b) < self.link_outage_rate
 
     def crashed(self, time: int, v: int) -> bool:
-        """Whether processor ``v`` is inside a crash window at round ``time``."""
+        """Whether processor ``v`` is inside a transient crash window at ``time``.
+
+        Window-start draws are memoised per ``(start, v)``: the per-round
+        execution hot path queries overlapping windows for every sender
+        and every delivery target, and without the cache each query
+        re-hashed ``crash_length`` seeds.
+        """
         if self.crash_rate == 0.0:
             return False
+        starts = self._crash_window_starts
         for start in range(max(0, time - self.crash_length + 1), time + 1):
-            if _uniform(self.seed, _TAG_CRASH, start, v) < self.crash_rate:
+            key = (start, v)
+            hit = starts.get(key)
+            if hit is None:
+                hit = _uniform(self.seed, _TAG_CRASH, start, v) < self.crash_rate
+                starts[key] = hit
+            if hit:
                 return True
+        return False
+
+    def fail_stopped(self, time: int, v: int) -> bool:
+        """Whether processor ``v`` has permanently crashed by round ``time``.
+
+        Monotone in ``time``: once true it stays true forever.  The scan
+        for the first failing round is incremental and memoised, so a
+        sweep over rounds ``0..T`` costs at most ``T + 1`` hash draws per
+        processor in total.
+        """
+        if self.fail_stop_rate == 0.0:
+            return False
+        first = self._fail_stop_first.get(v)
+        if first is not None:
+            return first <= time
+        start = self._fail_stop_scanned.get(v, 0)
+        for t in range(start, time + 1):
+            if _uniform(self.seed, _TAG_FAIL_STOP, t, v) < self.fail_stop_rate:
+                self._fail_stop_first[v] = t
+                return True
+        self._fail_stop_scanned[v] = time + 1
+        return False
+
+    def link_failed(self, time: int, u: int, v: int) -> bool:
+        """Whether the link ``{u, v}`` has permanently failed by ``time``.
+
+        Monotone in ``time`` and symmetric in the endpoints, with the
+        same memoised incremental scan as :meth:`fail_stopped`.
+        """
+        if self.link_fail_rate == 0.0:
+            return False
+        key = (u, v) if u < v else (v, u)
+        first = self._link_fail_first.get(key)
+        if first is not None:
+            return first <= time
+        start = self._link_fail_scanned.get(key, 0)
+        for t in range(start, time + 1):
+            if _uniform(self.seed, _TAG_LINK_FAIL, t, *key) < self.link_fail_rate:
+                self._link_fail_first[key] = t
+                return True
+        self._link_fail_scanned[key] = time + 1
         return False
 
 
@@ -163,7 +276,7 @@ class LostDelivery:
 
     ``time`` is the send time (the delivery would have landed at
     ``time + 1``); ``reason`` is one of ``"drop"``, ``"link-outage"``,
-    ``"receiver-crash"``.
+    ``"receiver-crash"``, ``"receiver-fail-stop"``, ``"link-fail"``.
     """
 
     time: int
@@ -177,9 +290,11 @@ class LostDelivery:
 class SuppressedSend:
     """One whole multicast that never happened.
 
-    ``reason`` is ``"sender-crash"`` (the sender was inside a crash
-    window) or ``"not-held"`` (earlier losses left the sender without
-    the scheduled message — a cascading fault, not a model violation).
+    ``reason`` is ``"sender-fail-stop"`` (the sender permanently
+    crashed), ``"sender-crash"`` (the sender was inside a transient
+    crash window) or ``"not-held"`` (earlier losses left the sender
+    without the scheduled message — a cascading fault, not a model
+    violation).
     """
 
     time: int
@@ -291,11 +406,17 @@ def execute_with_faults(
                         f"at time {t} processor {tx.sender} multicasts to {d}, "
                         "which is not an adjacent processor"
                     )
-            if not null_model and model.crashed(t, tx.sender):
-                suppressed.append(
-                    SuppressedSend(t, tx.sender, tx.message, "sender-crash")
-                )
-                continue
+            if not null_model:
+                if model.fail_stopped(t, tx.sender):
+                    suppressed.append(
+                        SuppressedSend(t, tx.sender, tx.message, "sender-fail-stop")
+                    )
+                    continue
+                if model.crashed(t, tx.sender):
+                    suppressed.append(
+                        SuppressedSend(t, tx.sender, tx.message, "sender-crash")
+                    )
+                    continue
             if not state.holds(tx.sender, tx.message):
                 # Cascading fault: an earlier loss starved this sender.
                 suppressed.append(
@@ -304,6 +425,18 @@ def execute_with_faults(
                 continue
             for d in tx.destinations:
                 if not null_model:
+                    if model.fail_stopped(t, d):
+                        lost.append(
+                            LostDelivery(
+                                t, d, tx.sender, tx.message, "receiver-fail-stop"
+                            )
+                        )
+                        continue
+                    if model.link_failed(t, tx.sender, d):
+                        lost.append(
+                            LostDelivery(t, d, tx.sender, tx.message, "link-fail")
+                        )
+                        continue
                     if model.link_out(t, tx.sender, d):
                         lost.append(
                             LostDelivery(t, d, tx.sender, tx.message, "link-outage")

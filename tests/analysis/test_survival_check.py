@@ -1,0 +1,126 @@
+"""Tier-1 smoke: the survival sweep's ``--check`` gates hold.
+
+Runs ``python -m repro.cli survive --check``, the ``chaos --permanent``
+rerouting, and ``benchmarks/bench_survival.py --check`` the same way CI
+does (standalone processes), asserting the full-survivor-coverage and
+typed-partition acceptance criteria plus byte-for-byte reproducibility,
+and exercises :func:`repro.analysis.survival.run_survival_sweep`
+in-process for coverage of both entry points.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.survival import run_survival_sweep
+from repro.exceptions import ReproError
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_survival.py"
+
+CLI_ARGS = [
+    "-m", "repro.cli", "survive",
+    "--family", "random:32", "--fail-stop", "0.05", "--trials", "6",
+    "--seed", "7", "--check",
+]
+
+
+def _run(cmd):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_cli_survive_check_passes_and_is_reproducible():
+    first = _run([sys.executable, *CLI_ARGS])
+    assert first.returncode == 0, (
+        f"stdout:\n{first.stdout}\nstderr:\n{first.stderr}"
+    )
+    assert "check: full survivor coverage" in first.stdout
+    second = _run([sys.executable, *CLI_ARGS])
+    assert second.stdout == first.stdout  # byte-for-byte reproducible
+
+
+def test_cli_chaos_permanent_routes_through_survival():
+    proc = _run([
+        sys.executable, "-m", "repro.cli", "chaos",
+        "--family", "path:12", "--permanent", "0.05",
+        "--trials", "4", "--seed", "3", "--check",
+    ])
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "survival sweep" in proc.stdout
+    assert "check: full survivor coverage" in proc.stdout
+
+
+def test_benchmark_check_mode_passes():
+    proc = _run([sys.executable, str(BENCH), "--check", "--trials", "4"])
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert (
+        "check: null-permanence parity and survivor-coverage gates hold  OK"
+        in proc.stdout
+    )
+
+
+class TestInProcessSweep:
+    def test_cells_and_gates(self):
+        report = run_survival_sweep(
+            families=("grid:16",),
+            fail_stop_rates=(0.0, 0.05),
+            trials=5,
+            seed=3,
+        )
+        assert len(report.cells) == 2
+        zero, harsh = report.cells
+        assert zero.fail_stop_rate == 0.0
+        assert zero.intact == zero.trials and zero.partitioned == 0
+        assert zero.rounds_max == 0
+        assert harsh.dead_max > 0
+        report.check()  # coverage, typed-partition, and bound gates
+
+    def test_format_is_deterministic(self):
+        a = run_survival_sweep(families=("grid:9",), trials=3, seed=5)
+        b = run_survival_sweep(families=("grid:9",), trials=3, seed=5)
+        assert a.format() == b.format()
+
+    def test_transient_drops_layer_on_top(self):
+        """A transient drop rate alongside the permanent failures must
+        not break the coverage guarantee (survival rounds run fault-free)."""
+        report = run_survival_sweep(
+            families=("grid:16",),
+            fail_stop_rates=(0.02,),
+            trials=4,
+            seed=11,
+            drop_rate=0.3,
+        )
+        report.check()
+
+    def test_link_failures_count_toward_partitions(self):
+        report = run_survival_sweep(
+            families=("path:10",),
+            fail_stop_rates=(0.0,),
+            trials=6,
+            seed=2,
+            link_fail_rate=0.1,
+        )
+        (cell,) = report.cells
+        assert cell.partitioned > 0  # a severed path splits
+        report.check()
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ReproError):
+            run_survival_sweep(trials=0)

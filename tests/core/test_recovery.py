@@ -9,7 +9,11 @@ from repro.core.recovery import (
     plan_repair_rounds,
     recover,
 )
-from repro.exceptions import RecoveryExhaustedError, ReproError
+from repro.exceptions import (
+    PartitionedNetworkError,
+    RecoveryExhaustedError,
+    ReproError,
+)
 from repro.networks import topologies
 from repro.networks.random_graphs import random_connected_gnp
 from repro.simulator.engine import execute_schedule
@@ -108,6 +112,85 @@ class TestRecover:
         b = recover(graph, plan, faulty)
         assert a.schedule.rounds == b.schedule.rounds
         assert a.repair_rounds == b.repair_rounds
+
+
+class TestPartitionPreCheck:
+    """Permanent failures must be diagnosed *before* the repair budget."""
+
+    def test_dead_cut_vertex_raises_typed_error_immediately(self):
+        """A path severed by a fail-stopped middle vertex can never be
+        repaired; the typed error fires without burning the exponential
+        budget (a huge budget would take minutes to exhaust)."""
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class MidDeath(FaultModel):
+            @property
+            def is_null(self):
+                return False
+
+            @property
+            def has_permanent(self):
+                return True
+
+            def fail_stopped(self, time, v):
+                return v == 4
+
+        graph = topologies.path_graph(8)
+        plan = gossip(graph)
+        faulty = execute_plan_with_faults(plan, MidDeath())
+        assert not faulty.complete
+        with pytest.raises(PartitionedNetworkError) as err:
+            recover(graph, plan, faulty, max_repair_rounds=10**9)
+        assert err.value.dead == (4,)
+        assert err.value.pairs
+        # Every witness names a live (or dead) processor and a message it
+        # can genuinely never obtain across the dead cut vertex.
+        labels = [int(x) for x in plan.labeled.labels()]
+        for v, m in err.value.pairs:
+            if v == 4:
+                continue  # the dead processor itself misses everything
+            origin = labels.index(m)
+            assert (v < 4) != (origin < 4) or origin == 4
+
+    def test_transient_only_path_is_unchanged(self):
+        """Without permanent failures the pre-check never engages and
+        recovery completes exactly as before."""
+        graph = topologies.grid_2d(3, 3)
+        plan, faulty = lossy_run(graph, seed=5)
+        outcome = recover(graph, plan, faulty)
+        assert outcome.result.complete
+
+    def test_dead_leaf_witnesses_are_exact(self):
+        """A leaf that dies before sending takes its own message to the
+        grave: the typed error names the dead leaf's pairs plus every
+        live processor's claim on the leaf's origin message — nothing
+        else is unrecoverable on a star."""
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class LeafDeath(FaultModel):
+            @property
+            def is_null(self):
+                return False
+
+            @property
+            def has_permanent(self):
+                return True
+
+            def fail_stopped(self, time, v):
+                return v == 3
+
+        graph = topologies.star_graph(6)
+        plan = gossip(graph)
+        faulty = execute_plan_with_faults(plan, LeafDeath())
+        with pytest.raises(PartitionedNetworkError) as err:
+            recover(graph, plan, faulty)
+        leaf_message = int(plan.labeled.labels()[3])
+        assert err.value.pairs
+        assert all(
+            v == 3 or m == leaf_message for v, m in err.value.pairs
+        )
 
 
 class TestPlanRepairRounds:

@@ -1,0 +1,224 @@
+"""Unit tests for the survivability layer (`repro.core.survival`)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.core.recovery import execute_plan_with_faults
+from repro.core.survival import (
+    diagnose_survival,
+    survive,
+    survivor_coverage,
+    validate_survival,
+)
+from repro.exceptions import (
+    PartitionedNetworkError,
+    ReproError,
+    SurvivorSetError,
+)
+from repro.networks import topologies
+from repro.networks.graph import Graph
+from repro.simulator.lossy import FaultModel
+
+
+@dataclass(frozen=True)
+class ScriptedModel(FaultModel):
+    """A fault model with a hand-picked permanent casualty list."""
+
+    dead_set: frozenset = frozenset()
+    dead_links: frozenset = frozenset()
+
+    @property
+    def is_null(self):
+        return not self.dead_set and not self.dead_links and super().is_null
+
+    @property
+    def has_permanent(self):
+        return bool(self.dead_set or self.dead_links) or super().has_permanent
+
+    def fail_stopped(self, time, v):
+        return v in self.dead_set
+
+    def link_failed(self, time, u, v):
+        key = (u, v) if u < v else (v, u)
+        return key in self.dead_links
+
+
+def scripted_run(graph, *, dead=(), links=(), algorithm="concurrent-updown"):
+    plan = gossip(graph, algorithm=algorithm)
+    model = ScriptedModel(
+        dead_set=frozenset(dead),
+        dead_links=frozenset(tuple(sorted(e)) for e in links),
+    )
+    return plan, execute_plan_with_faults(plan, model)
+
+
+class TestDiagnose:
+    def test_partition_of_a_path(self):
+        g = topologies.path_graph(5)
+        plan, faulty = scripted_run(g, dead={2})
+        diag = diagnose_survival(g, faulty)
+        assert diag.dead == (2,)
+        assert diag.components == ((0, 1), (3, 4))
+        assert diag.partitioned and not diag.intact
+        assert diag.live == (0, 1, 3, 4)
+        assert diag.component_of(3) == (3, 4)
+        assert diag.component_of(2) is None
+
+    def test_failed_link_with_chord_stays_connected(self):
+        """Killing one cycle edge leaves the ring connected the long way."""
+        g = topologies.cycle_graph(6)
+        plan, faulty = scripted_run(g, links={(0, 1)})
+        diag = diagnose_survival(g, faulty)
+        assert diag.dead == ()
+        assert diag.failed_links == ((0, 1),)
+        assert not diag.partitioned
+        assert diag.components == (tuple(range(6)),)
+
+    def test_intact_when_nothing_permanent(self):
+        g = topologies.star_graph(5)
+        plan, faulty = scripted_run(g)
+        diag = diagnose_survival(g, faulty)
+        assert diag.intact and not diag.partitioned
+        assert len(diag.components) == 1
+
+    def test_deterministic_across_passes(self):
+        g = topologies.grid_2d(3, 3)
+        plan = gossip(g)
+        model = FaultModel(seed=6, fail_stop_rate=0.03)
+        faulty = execute_plan_with_faults(plan, model)
+        assert diagnose_survival(g, faulty) == diagnose_survival(g, faulty)
+
+
+class TestSurvive:
+    def test_partitioned_path_reaches_full_survivor_coverage(self):
+        g = topologies.path_graph(7)
+        plan, faulty = scripted_run(g, dead={3})
+        outcome = survive(g, plan, faulty)
+        assert outcome.survivor_coverage == 1.0
+        assert outcome.diagnosis.partitioned
+        validate_survival(
+            outcome.diagnosis, outcome.labels, outcome.final_holds,
+            before=faulty.final_holds,
+        )
+
+    def test_partition_refused_with_typed_error_and_witnesses(self):
+        g = topologies.path_graph(5)
+        plan, faulty = scripted_run(g, dead={2})
+        with pytest.raises(PartitionedNetworkError) as err:
+            survive(g, plan, faulty, allow_partition=False)
+        labels = [int(x) for x in plan.labeled.labels()]
+        expected = sorted(
+            (v, labels[u])
+            for v in (0, 1, 3, 4)
+            for u in (0, 1, 3, 4)
+            if (v <= 1) != (u <= 1)
+        )
+        assert list(err.value.pairs) == expected
+        assert err.value.components == ((0, 1), (3, 4))
+        assert err.value.dead == (2,)
+
+    def test_leaf_death_keeps_network_connected(self):
+        """Killing a star leaf leaves one component; the survival rounds
+        respect the degraded Theorem 1 bound n_i + r_i."""
+        g = topologies.star_graph(8)
+        plan, faulty = scripted_run(g, dead={5})
+        outcome = survive(g, plan, faulty)
+        assert not outcome.diagnosis.partitioned
+        assert outcome.survivor_coverage == 1.0
+        for cp in outcome.component_plans:
+            assert cp.rounds <= cp.degraded_bound
+        if outcome.component_plans:
+            bound = max(cp.degraded_bound for cp in outcome.component_plans)
+            assert outcome.appended_rounds <= bound
+
+    def test_severed_cycle_uses_the_long_way_round(self):
+        g = topologies.cycle_graph(8)
+        plan, faulty = scripted_run(g, links={(0, 1)})
+        outcome = survive(g, plan, faulty)
+        assert outcome.survivor_coverage == 1.0
+        assert not outcome.diagnosis.partitioned
+        # The survival schedule must never use the severed link.
+        failed = set(outcome.diagnosis.failed_links)
+        for rnd in outcome.schedule:
+            for tx in rnd:
+                for d in tx.destinations:
+                    key = (tx.sender, d) if tx.sender < d else (d, tx.sender)
+                    assert key not in failed
+
+    def test_all_dead_raises_survivor_set_error(self):
+        g = topologies.path_graph(4)
+        plan, faulty = scripted_run(g, dead={0, 1, 2, 3})
+        with pytest.raises(SurvivorSetError):
+            survive(g, plan, faulty)
+
+    def test_already_complete_run_appends_nothing(self):
+        g = topologies.grid_2d(3, 3)
+        plan, faulty = scripted_run(g)  # no permanent faults at all
+        outcome = survive(g, plan, faulty)
+        assert outcome.appended_rounds == 0
+        assert outcome.component_plans == ()
+        assert outcome.final_holds == tuple(faulty.final_holds)
+
+    def test_nothing_delivered_to_the_dead(self):
+        g = topologies.grid_2d(3, 4)
+        plan, faulty = scripted_run(g, dead={5})
+        outcome = survive(g, plan, faulty)
+        for v in outcome.diagnosis.dead:
+            assert outcome.final_holds[v] == faulty.final_holds[v]
+
+    def test_non_gossip_instance_rejected(self):
+        g = topologies.path_graph(4)
+        plan, faulty = scripted_run(g, dead={1})
+        faulty.n_messages = g.n + 1  # mutable dataclass: fake a weighted run
+        with pytest.raises(ReproError):
+            survive(g, plan, faulty)
+
+    def test_seeded_fail_stop_end_to_end(self):
+        g = topologies.grid_2d(4, 4)
+        plan = gossip(g)
+        model = FaultModel(seed=3, fail_stop_rate=0.02)
+        faulty = execute_plan_with_faults(plan, model)
+        outcome = survive(g, plan, faulty)
+        assert outcome.survivor_coverage == 1.0
+        again = survive(g, plan, faulty)
+        assert again.schedule.rounds == outcome.schedule.rounds
+
+
+class TestValidateAndCoverage:
+    def test_coverage_counts_guaranteed_pairs_only(self):
+        g = topologies.path_graph(5)
+        plan, faulty = scripted_run(g, dead={2})
+        diag = diagnose_survival(g, faulty)
+        labels = [int(x) for x in plan.labeled.labels()]
+        # Give every live processor everything: coverage is still 1.0
+        # (cross-component messages are not owed, holding them is fine).
+        full = (1 << g.n) - 1
+        holds = [full] * g.n
+        assert survivor_coverage(diag, labels, holds) == 1.0
+
+    def test_missing_guaranteed_pair_is_reported(self):
+        g = topologies.path_graph(4)
+        plan, faulty = scripted_run(g, dead={3})
+        diag = diagnose_survival(g, faulty)
+        labels = [int(x) for x in plan.labeled.labels()]
+        holds = [1 << labels[v] for v in range(g.n)]  # only own messages
+        assert survivor_coverage(diag, labels, holds) < 1.0
+        with pytest.raises(SurvivorSetError) as err:
+            validate_survival(diag, labels, holds)
+        assert err.value.pairs  # offending (processor, message) witnesses
+        assert all(v not in diag.dead for v, _ in err.value.pairs)
+
+    def test_delivery_to_the_dead_is_rejected(self):
+        g = topologies.path_graph(3)
+        plan, faulty = scripted_run(g, dead={2})
+        diag = diagnose_survival(g, faulty)
+        labels = [int(x) for x in plan.labeled.labels()]
+        before = list(faulty.final_holds)
+        grown = list(before)
+        grown[2] = (1 << g.n) - 1  # the dead processor "received" everything
+        comp_mask = (1 << labels[0]) | (1 << labels[1])
+        grown[0] = grown[1] = comp_mask
+        with pytest.raises(SurvivorSetError):
+            validate_survival(diag, labels, grown, before=before)

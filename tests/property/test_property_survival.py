@@ -1,0 +1,115 @@
+"""Property tests: permanent-failure parity and survival completeness.
+
+Two acceptance-criteria invariants:
+
+* a fault model with *explicitly zero* permanent rates is bit-identical
+  to the pre-existing transient-only model — same dataclass value, same
+  draws, same execution on every field;
+* on any topology family in :data:`repro.analysis.sweep.FAMILIES`,
+  :func:`~repro.core.survival.survive` either achieves **full survivor
+  coverage** in a single diagnose pass (validated strictly, with the
+  dead untouched) or raises the typed
+  :class:`~repro.exceptions.SurvivorSetError` (nobody survived) —
+  never a partial, silent answer.  When the residual network is
+  partitioned, ``allow_partition=False`` must refuse with the typed
+  :class:`~repro.exceptions.PartitionedNetworkError`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweep import FAMILIES, family_instance
+from repro.core.gossip import gossip
+from repro.core.recovery import execute_plan_with_faults
+from repro.core.survival import survive, validate_survival
+from repro.exceptions import PartitionedNetworkError, SurvivorSetError
+from repro.simulator.lossy import FaultModel
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    drop=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    outage=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+    crash=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+    family=st.sampled_from(sorted(FAMILIES)),
+    n=st.integers(min_value=4, max_value=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_zero_permanent_rates_are_bit_identical(
+    seed, drop, outage, crash, family, n
+):
+    """``fail_stop_rate=0, link_fail_rate=0`` must not change a single
+    observable of the transient-only semantics."""
+    transient = FaultModel(
+        seed=seed, drop_rate=drop, link_outage_rate=outage, crash_rate=crash
+    )
+    explicit = FaultModel(
+        seed=seed,
+        drop_rate=drop,
+        link_outage_rate=outage,
+        crash_rate=crash,
+        fail_stop_rate=0.0,
+        link_fail_rate=0.0,
+    )
+    assert transient == explicit
+    assert transient.is_null == explicit.is_null
+    assert not explicit.has_permanent
+    graph = family_instance(family, n)
+    plan = gossip(graph)
+    a = execute_plan_with_faults(plan, transient, record_arrivals=True)
+    b = execute_plan_with_faults(plan, explicit, record_arrivals=True)
+    assert a.lost == b.lost
+    assert a.suppressed == b.suppressed
+    assert a.final_holds == b.final_holds
+    assert a.completion_times == b.completion_times
+    assert a.arrivals == b.arrivals
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    rate=st.floats(min_value=0.0, max_value=0.15, allow_nan=False),
+    link_rate=st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    family=st.sampled_from(sorted(FAMILIES)),
+    n=st.integers(min_value=4, max_value=14),
+)
+@settings(max_examples=25, deadline=None)
+def test_survive_full_coverage_or_typed_error(
+    seed, rate, link_rate, family, n
+):
+    """One diagnose pass: full survivor coverage, or a typed refusal."""
+    graph = family_instance(family, n)
+    plan = gossip(graph)
+    model = FaultModel(
+        seed=seed, fail_stop_rate=rate, link_fail_rate=link_rate
+    )
+    faulty = execute_plan_with_faults(plan, model)
+    try:
+        outcome = survive(graph, plan, faulty)
+    except SurvivorSetError:
+        # Legal only when literally nobody survived.
+        horizon = faulty.total_time
+        assert all(model.fail_stopped(horizon, v) for v in range(graph.n))
+        return
+    assert outcome.survivor_coverage == 1.0
+    validate_survival(
+        outcome.diagnosis,
+        outcome.labels,
+        outcome.final_holds,
+        before=faulty.final_holds,
+    )
+    for v in outcome.diagnosis.dead:
+        assert outcome.final_holds[v] == faulty.final_holds[v]
+    for cp in outcome.component_plans:
+        assert cp.rounds <= cp.degraded_bound
+    if outcome.diagnosis.partitioned:
+        try:
+            survive(graph, plan, faulty, allow_partition=False)
+            raise AssertionError("partitioned run must refuse strict mode")
+        except PartitionedNetworkError as err:
+            assert err.pairs
+            assert err.components == outcome.diagnosis.components
+    else:
+        # Connected residual: the guarantee is *all live messages
+        # everywhere alive*, and strict mode must accept it too.
+        strict = survive(graph, plan, faulty, allow_partition=False)
+        assert strict.survivor_coverage == 1.0

@@ -1,0 +1,276 @@
+"""GossipService circuit breaker: open, fast-fail, degraded, half-open probe."""
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.exceptions import CircuitOpenError, PlanTimeoutError, ReproError
+from repro.networks import topologies
+from repro.service import CircuitBreaker, GossipService
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class SwitchablePlanner:
+    """Fails (transiently) while ``broken`` for the listed algorithms."""
+
+    def __init__(self, broken_algorithms=("concurrent-updown",)):
+        self.broken = True
+        self.broken_algorithms = set(broken_algorithms)
+        self.calls = []
+
+    def __call__(self, graph, *, algorithm, tree=None):
+        self.calls.append(algorithm)
+        if self.broken and algorithm in self.broken_algorithms:
+            raise OSError("planner down")
+        return gossip(graph, algorithm=algorithm, tree=tree)
+
+
+def breaker_service(planner, clock, *, threshold=3, cooldown=10.0, **kwargs):
+    return GossipService(
+        planner=planner,
+        retries=0,
+        breaker_threshold=threshold,
+        breaker_cooldown=cooldown,
+        clock=clock,
+        **kwargs,
+    )
+
+
+class TestCircuitBreakerUnit:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CircuitBreaker(0, 1.0)
+        with pytest.raises(ReproError):
+            CircuitBreaker(1, 0.0)
+
+    def test_threshold_consecutive_failures_open(self):
+        b = CircuitBreaker(3, 5.0)
+        assert not b.record_failure(now=0.0)
+        assert not b.record_failure(now=1.0)
+        assert b.state == "closed"
+        assert b.record_failure(now=2.0)  # third consecutive failure trips
+        assert b.state == "open"
+        assert b.retry_after(3.0) == 4.0
+
+    def test_success_resets_the_streak(self):
+        b = CircuitBreaker(2, 5.0)
+        b.record_failure(now=0.0)
+        b.record_success()
+        b.record_failure(now=1.0)
+        assert b.state == "closed"  # streak broken: 1 + 1, never 2 in a row
+
+    def test_probe_handed_to_exactly_one_caller(self):
+        b = CircuitBreaker(1, 5.0)
+        b.record_failure(now=0.0)
+        assert b.acquire(now=1.0) == "reject"  # still cooling down
+        assert b.acquire(now=5.0) == "probe"
+        assert b.state == "half-open"
+        assert b.acquire(now=5.0) == "reject"  # probe already in flight
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        b = CircuitBreaker(1, 5.0)
+        b.record_failure(now=0.0)
+        assert b.acquire(now=6.0) == "probe"
+        assert b.record_success() is True  # healed
+        assert b.state == "closed"
+        b.record_failure(now=10.0)
+        assert b.acquire(now=16.0) == "probe"
+        assert b.record_failure(now=16.0) is True  # probe failed: reopen
+        assert b.state == "open"
+        assert b.acquire(now=17.0) == "reject"  # fresh cooldown from 16.0
+        assert b.acquire(now=21.5) == "probe"
+
+    def test_cancelled_probe_allows_the_next_request_to_probe(self):
+        b = CircuitBreaker(1, 5.0)
+        b.record_failure(now=0.0)
+        assert b.acquire(now=6.0) == "probe"
+        b.cancel_probe()  # probe never exercised the planner
+        assert b.state == "open"
+        assert b.acquire(now=6.0) == "probe"  # original timestamp kept
+
+
+class TestBreakerFastFail:
+    def test_opens_after_k_failures_and_fast_fails(self):
+        clock, planner = FakeClock(), SwitchablePlanner()
+        service = breaker_service(planner, clock, threshold=3)
+        g = topologies.grid_2d(3, 3)
+        for _ in range(3):
+            with pytest.raises(OSError):
+                service.plan(g)
+        assert service.breaker_state(g) == "open"
+        with pytest.raises(CircuitOpenError) as err:
+            service.plan(g)
+        assert err.value.algorithm == "concurrent-updown"
+        assert err.value.retry_after == pytest.approx(10.0)
+        # The open breaker never touched the planner.
+        assert len(planner.calls) == 3
+        stats = service.stats()
+        assert stats.breaker_opens == 1 and stats.fast_fails == 1
+
+    def test_half_open_probe_success_closes(self):
+        clock, planner = FakeClock(), SwitchablePlanner()
+        service = breaker_service(planner, clock, threshold=2)
+        g = topologies.grid_2d(3, 3)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                service.plan(g)
+        clock.advance(10.0)
+        planner.broken = False  # planner recovers during the cooldown
+        plan = service.plan(g)  # the probe
+        assert plan.algorithm == "concurrent-updown"
+        assert service.breaker_state(g) == "closed"
+        stats = service.stats()
+        assert stats.breaker_probes == 1 and stats.breaker_closes == 1
+
+    def test_half_open_probe_failure_reopens(self):
+        clock, planner = FakeClock(), SwitchablePlanner()
+        service = breaker_service(planner, clock, threshold=2)
+        g = topologies.grid_2d(3, 3)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                service.plan(g)
+        clock.advance(10.0)
+        with pytest.raises(OSError):
+            service.plan(g)  # probe runs the (still broken) planner
+        assert service.breaker_state(g) == "open"
+        assert len(planner.calls) == 3
+        assert service.stats().breaker_opens == 2  # trip + failed probe
+
+    def test_timeout_counts_as_breaker_failure(self):
+        import time as time_module
+
+        def slow(graph, *, algorithm, tree=None):
+            time_module.sleep(1.0)
+            return gossip(graph, algorithm=algorithm, tree=tree)
+
+        clock = FakeClock()
+        service = GossipService(
+            planner=slow,
+            planner_timeout=0.05,
+            breaker_threshold=1,
+            breaker_cooldown=10.0,
+            clock=clock,
+        )
+        g = topologies.path_graph(6)
+        with pytest.raises(PlanTimeoutError):
+            service.plan(g)
+        assert service.breaker_state(g) == "open"
+        with pytest.raises(CircuitOpenError):
+            service.plan(g)
+
+    def test_deterministic_errors_do_not_trip_the_breaker(self):
+        clock = FakeClock()
+
+        def bad_input(graph, *, algorithm, tree=None):
+            raise ReproError("deterministic: the input is at fault")
+
+        service = GossipService(
+            planner=bad_input,
+            breaker_threshold=1,
+            breaker_cooldown=10.0,
+            clock=clock,
+        )
+        g = topologies.path_graph(4)
+        for _ in range(3):
+            with pytest.raises(ReproError):
+                service.plan(g)
+        assert service.breaker_state(g) == "closed"
+
+    def test_keys_have_independent_breakers(self):
+        clock, planner = FakeClock(), SwitchablePlanner()
+        service = breaker_service(planner, clock, threshold=1)
+        broken, healthy = topologies.grid_2d(3, 3), topologies.path_graph(5)
+        with pytest.raises(OSError):
+            service.plan(broken)
+        assert service.breaker_state(broken) == "open"
+        planner.broken_algorithms = set()  # only 'broken' is poisoned now
+        assert service.plan(healthy).graph.n == 5
+        assert service.breaker_state(healthy) == "closed"
+        with pytest.raises(CircuitOpenError):
+            service.plan(broken)
+
+
+class TestBreakerDegraded:
+    def test_open_breaker_serves_fallback_without_primary(self):
+        clock, planner = FakeClock(), SwitchablePlanner()
+        service = breaker_service(
+            planner, clock, threshold=2, fallback_algorithm="simple"
+        )
+        g = topologies.grid_2d(3, 3)
+        for _ in range(2):
+            assert service.plan(g).algorithm == "simple"  # degraded
+        assert service.breaker_state(g) == "open"
+        primary_calls = planner.calls.count("concurrent-updown")
+        plan = service.plan(g)  # breaker open: fallback only
+        assert plan.algorithm == "simple"
+        assert planner.calls.count("concurrent-updown") == primary_calls
+        stats = service.stats()
+        assert stats.degraded == 3 and stats.fast_fails == 1
+
+    def test_probe_after_cooldown_heals_the_degraded_key(self):
+        clock, planner = FakeClock(), SwitchablePlanner()
+        service = breaker_service(
+            planner, clock, threshold=1, fallback_algorithm="simple"
+        )
+        g = topologies.grid_2d(3, 3)
+        assert service.plan(g).algorithm == "simple"
+        assert service.breaker_state(g) == "open"
+        clock.advance(10.0)
+        planner.broken = False
+        assert service.plan(g).algorithm == "concurrent-updown"
+        assert service.breaker_state(g) == "closed"
+
+    def test_open_with_failing_fallback_raises_circuit_open(self):
+        clock = FakeClock()
+        planner = SwitchablePlanner(
+            broken_algorithms=("concurrent-updown", "simple")
+        )
+        service = breaker_service(
+            planner, clock, threshold=1, fallback_algorithm="simple"
+        )
+        g = topologies.path_graph(6)
+        with pytest.raises(PlanTimeoutError):
+            service.plan(g)  # primary and fallback both fail: trips breaker
+        with pytest.raises(CircuitOpenError):
+            service.plan(g)  # open: fallback still failing, typed fast-fail
+
+
+class TestBreakerConfig:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            GossipService(breaker_threshold=0)
+        with pytest.raises(ReproError):
+            GossipService(breaker_threshold=1, breaker_cooldown=0.0)
+
+    def test_disabled_by_default(self):
+        service = GossipService()
+        g = topologies.path_graph(4)
+        assert service.breaker_state(g) is None
+        service.plan(g)
+        assert service.breaker_state(g) is None
+
+    def test_untouched_key_has_no_state(self):
+        service = GossipService(breaker_threshold=2)
+        assert service.breaker_state(topologies.path_graph(4)) is None
+
+    def test_stats_format_shows_breaker_line(self):
+        clock, planner = FakeClock(), SwitchablePlanner()
+        service = breaker_service(planner, clock, threshold=1)
+        with pytest.raises(OSError):
+            service.plan(topologies.path_graph(6))
+        with pytest.raises(CircuitOpenError):
+            service.plan(topologies.path_graph(6))
+        text = service.stats().format()
+        assert "breaker" in text
+        assert "1 opens" in text and "1 fast-fails" in text

@@ -37,6 +37,9 @@ class TestFaultModel:
             {"link_outage_rate": 2.0},
             {"crash_rate": -1.0},
             {"crash_length": 0},
+            {"fail_stop_rate": -0.1},
+            {"fail_stop_rate": 1.5},
+            {"link_fail_rate": 2.0},
         ],
     )
     def test_invalid_parameters_rejected(self, kwargs):
@@ -48,6 +51,13 @@ class TestFaultModel:
         assert not FaultModel(drop_rate=0.01).is_null
         assert not FaultModel(link_outage_rate=0.01).is_null
         assert not FaultModel(crash_rate=0.01).is_null
+        assert not FaultModel(fail_stop_rate=0.01).is_null
+        assert not FaultModel(link_fail_rate=0.01).is_null
+
+    def test_has_permanent(self):
+        assert not FaultModel(seed=1, drop_rate=0.5, crash_rate=0.5).has_permanent
+        assert FaultModel(fail_stop_rate=0.01).has_permanent
+        assert FaultModel(link_fail_rate=0.01).has_permanent
 
     def test_draws_deterministic_and_seed_sensitive(self):
         a = FaultModel(seed=1, drop_rate=0.5)
@@ -78,6 +88,124 @@ class TestFaultModel:
         assert starts, "seed 0 should produce at least one crash window start"
         t = starts[0]
         assert m.crashed(t + 1, 4) and m.crashed(t + 2, 4)
+
+
+class TestPermanentFailures:
+    def test_fail_stop_monotone(self):
+        """Once a processor fail-stops it stays dead forever."""
+        m = FaultModel(seed=3, fail_stop_rate=0.1)
+        for v in range(8):
+            states = [m.fail_stopped(t, v) for t in range(64)]
+            assert states == sorted(states)  # False... then True forever
+
+    def test_fail_stop_query_order_irrelevant(self):
+        """The memoised incremental scan answers out-of-order queries
+        identically to a sequential sweep on a fresh model."""
+        sequential = FaultModel(seed=13, fail_stop_rate=0.05)
+        forward = [sequential.fail_stopped(t, 2) for t in range(48)]
+        shuffled = FaultModel(seed=13, fail_stop_rate=0.05)
+        order = [37, 5, 47, 0, 21, 12, 46, 3]
+        assert all(shuffled.fail_stopped(t, 2) == forward[t] for t in order)
+        assert [shuffled.fail_stopped(t, 2) for t in range(48)] == forward
+
+    def test_fail_stop_rate_extremes(self):
+        never = FaultModel(seed=5, fail_stop_rate=0.0)
+        always = FaultModel(seed=5, fail_stop_rate=1.0)
+        assert not any(never.fail_stopped(t, 0) for t in range(32))
+        assert all(always.fail_stopped(t, 0) for t in range(32))
+
+    def test_link_fail_symmetric_and_monotone(self):
+        m = FaultModel(seed=9, link_fail_rate=0.1)
+        for t in range(40):
+            assert m.link_failed(t, 2, 7) == m.link_failed(t, 7, 2)
+        states = [m.link_failed(t, 0, 1) for t in range(64)]
+        assert states == sorted(states)
+
+    def test_sender_fail_stop_suppresses_whole_multicast(self):
+        g = topologies.star_graph(4)
+        model = FaultModel(seed=0, fail_stop_rate=1.0)
+        result = execute_with_faults(g, sched([tx(0, 0, {1, 2, 3})]), model)
+        assert [sup.reason for sup in result.suppressed] == ["sender-fail-stop"]
+        assert result.lost == ()
+
+    def test_fail_stop_checked_before_transient_crash(self):
+        """A processor that is both dead and transiently crashed reports
+        the permanent reason — the one the survival layer diagnoses."""
+        g = Graph(2, [(0, 1)])
+        model = FaultModel(seed=0, fail_stop_rate=1.0, crash_rate=1.0)
+        result = execute_with_faults(g, sched([tx(0, 0, {1})]), model)
+        assert [sup.reason for sup in result.suppressed] == ["sender-fail-stop"]
+
+    def test_link_fail_loses_crossing_deliveries(self):
+        g = Graph(2, [(0, 1)])
+        model = FaultModel(seed=0, link_fail_rate=1.0)
+        result = execute_with_faults(g, sched([tx(0, 0, {1})]), model)
+        assert [ld.reason for ld in result.lost] == ["link-fail"]
+
+    def test_prefix_replay_is_bit_identical(self):
+        """Extending a schedule never rewrites who died in the prefix."""
+        g = topologies.grid_2d(3, 3)
+        plan = gossip(g)
+        model = FaultModel(seed=17, drop_rate=0.1, fail_stop_rate=0.02,
+                           link_fail_rate=0.01)
+        holds = labeled_holdings(plan.labeled.labels())
+        prefix = execute_with_faults(
+            g, plan.schedule, model, initial_holds=holds, n_messages=g.n
+        )
+        extended_schedule = Schedule(
+            list(plan.schedule.rounds) + [Round([])] * 5
+        )
+        extended = execute_with_faults(
+            g, extended_schedule, FaultModel(seed=17, drop_rate=0.1,
+                                             fail_stop_rate=0.02,
+                                             link_fail_rate=0.01),
+            initial_holds=holds, n_messages=g.n,
+        )
+        assert extended.lost[: len(prefix.lost)] == prefix.lost
+        assert extended.suppressed[: len(prefix.suppressed)] == prefix.suppressed
+
+
+class TestDrawMemoisation:
+    """Micro-regressions: memo caches must cut hash draws, not change them."""
+
+    @staticmethod
+    def _counting_uniform(monkeypatch):
+        from repro.simulator import lossy
+
+        counts = {}
+        real = lossy._uniform
+
+        def counting(seed, tag, *coords):
+            counts[tag] = counts.get(tag, 0) + 1
+            return real(seed, tag, *coords)
+
+        monkeypatch.setattr(lossy, "_uniform", counting)
+        return counts
+
+    def test_crash_window_starts_drawn_once(self, monkeypatch):
+        """Querying rounds 0..63 draws each window start once (~64 draws),
+        not crash_length times per query (~250 for length 4)."""
+        from repro.simulator.lossy import _TAG_CRASH
+
+        counts = self._counting_uniform(monkeypatch)
+        m = FaultModel(seed=1, crash_rate=0.3, crash_length=4)
+        sweep = [m.crashed(t, 0) for t in range(64)]
+        assert counts[_TAG_CRASH] <= 64 + 4
+        # Cached answers match a fresh, uncached-at-that-point model.
+        fresh = FaultModel(seed=1, crash_rate=0.3, crash_length=4)
+        assert sweep == [fresh.crashed(t, 0) for t in range(64)]
+
+    def test_fail_stop_scan_is_incremental(self, monkeypatch):
+        """A sweep over rounds 0..T costs at most T + 1 draws per
+        processor in total, not a fresh scan per query."""
+        from repro.simulator.lossy import _TAG_FAIL_STOP
+
+        counts = self._counting_uniform(monkeypatch)
+        m = FaultModel(seed=2, fail_stop_rate=0.01)
+        for t in range(64):
+            m.fail_stopped(t, 0)
+        m.fail_stopped(63, 0)  # repeat query: fully cached
+        assert counts[_TAG_FAIL_STOP] <= 64
 
 
 class TestLossAccounting:
