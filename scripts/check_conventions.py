@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""AST-based conventions gate for ``src/repro`` (stdlib only).
+
+Enforced conventions:
+
+1. **Typed exceptions** — every ``raise SomeException(...)`` must use an
+   exception defined by the library (all of which derive from
+   ``ReproError``), never a bare builtin.  ``TypeError`` is allowlisted:
+   the deprecated-positional-call shims in ``repro.core.gossip``
+   deliberately mirror Python's own signature errors.  Bare ``raise``
+   re-raises are always fine.
+2. **No ``bin(x).count("1")``** — popcounts use ``int.bit_count()``
+   (Python >= 3.8 baseline was dropped when the planner went
+   bit-parallel; the idiom is both slower and easier to typo).
+3. **Keyword-only public API calls** — calls to ``gossip`` /
+   ``gossip_on_tree`` pass at most one positional argument (the network
+   spec / tree) and ``.execute()`` method calls pass none; everything
+   else is keyword-only.  The deprecated positional shims only exist for
+   *external* callers mid-migration — library code never goes through
+   them.
+
+Exit status: 0 when clean, 1 with one ``file:line: message`` per
+violation on stdout.  Run from the repository root::
+
+    python scripts/check_conventions.py
+    python scripts/check_conventions.py src/repro/core  # narrower scope
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import pathlib
+import sys
+from typing import Iterator, List, Tuple
+
+#: Builtin exception raises that stay legal in library code.
+ALLOWED_BUILTIN_RAISES = {"TypeError"}
+
+#: Public API callables whose calls must be keyword-only past the first
+#: positional argument (functions) or past zero (methods).
+KEYWORD_ONLY_FUNCTIONS = {"gossip": 1, "gossip_on_tree": 1}
+KEYWORD_ONLY_METHODS = {"execute": 0}
+
+Violation = Tuple[pathlib.Path, int, str]
+
+
+def _builtin_exception_names() -> frozenset:
+    return frozenset(
+        name
+        for name in dir(builtins)
+        if isinstance(getattr(builtins, name), type)
+        and issubclass(getattr(builtins, name), BaseException)
+    )
+
+
+BUILTIN_EXCEPTIONS = _builtin_exception_names()
+
+
+def _raised_name(node: ast.Raise) -> str:
+    """The name being raised, or '' for bare/complex raises."""
+    exc = node.exc
+    if exc is None:
+        return ""  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return ""  # attribute raises (module.Error) are library-defined
+
+
+def check_file(path: pathlib.Path) -> Iterator[Violation]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise):
+            name = _raised_name(node)
+            if name in BUILTIN_EXCEPTIONS and name not in ALLOWED_BUILTIN_RAISES:
+                yield (
+                    path,
+                    node.lineno,
+                    f"raises builtin {name}; raise a ReproError subclass "
+                    f"from repro.exceptions instead",
+                )
+        elif isinstance(node, ast.Call):
+            yield from _check_call(path, node)
+
+
+def _check_call(path: pathlib.Path, node: ast.Call) -> Iterator[Violation]:
+    func = node.func
+    # bin(x).count(...) — the pre-bit_count popcount idiom
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "count"
+        and isinstance(func.value, ast.Call)
+        and isinstance(func.value.func, ast.Name)
+        and func.value.func.id == "bin"
+    ):
+        yield (
+            path,
+            node.lineno,
+            'popcount via bin(x).count("1"); use int.bit_count()',
+        )
+    # keyword-only public API calls
+    if isinstance(func, ast.Name) and func.id in KEYWORD_ONLY_FUNCTIONS:
+        limit = KEYWORD_ONLY_FUNCTIONS[func.id]
+        if len(node.args) > limit:
+            yield (
+                path,
+                node.lineno,
+                f"{func.id}() called with {len(node.args)} positional "
+                f"arguments; everything after the first is keyword-only",
+            )
+    elif isinstance(func, ast.Attribute) and func.attr in KEYWORD_ONLY_METHODS:
+        limit = KEYWORD_ONLY_METHODS[func.attr]
+        if len(node.args) > limit:
+            yield (
+                path,
+                node.lineno,
+                f".{func.attr}() called with positional arguments; "
+                f"its options are keyword-only",
+            )
+
+
+def main(argv: List[str]) -> int:
+    roots = [pathlib.Path(a) for a in argv] or [pathlib.Path("src/repro")]
+    violations: List[Violation] = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            violations.extend(check_file(path))
+    for path, line, message in violations:
+        print(f"{path}:{line}: {message}")
+    if violations:
+        print(f"\n{len(violations)} convention violation(s)")
+        return 1
+    print("conventions: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -20,6 +20,7 @@ Packages
 * :mod:`repro.tree`      — rooted trees and DFS message labelling;
 * :mod:`repro.core`      — the scheduling algorithms and data model;
 * :mod:`repro.simulator` — round-based execution and validation;
+* :mod:`repro.lint`      — execution-free static schedule analysis;
 * :mod:`repro.service`   — cached, concurrent plan serving;
 * :mod:`repro.analysis`  — bounds, comparisons, paper tables;
 * :mod:`repro.viz`       — ASCII rendering helpers.
@@ -59,6 +60,7 @@ from .exceptions import (
     GraphError,
     IncompleteGossipError,
     LabelingError,
+    MessageClassError,
     ModelViolationError,
     PartitionedNetworkError,
     PlanTimeoutError,
@@ -66,10 +68,13 @@ from .exceptions import (
     ReproError,
     ScheduleConflictError,
     ScheduleError,
+    ScheduleLintError,
     SimulationError,
     SurvivorSetError,
     TreeError,
+    UnknownTimelineRowError,
 )
+from .lint import Diagnostic, LintReport, Severity, lint_schedule
 from .networks import topologies
 from .networks.graph import Graph, GraphBuilder
 from .networks.properties import center, diameter, radius, summarize
@@ -133,6 +138,11 @@ __all__ = [
     "ServiceStats",
     # execution
     "execute_schedule",
+    # static analysis
+    "lint_schedule",
+    "LintReport",
+    "Diagnostic",
+    "Severity",
     # fault tolerance
     "FaultModel",
     "FaultyExecutionResult",
@@ -156,7 +166,10 @@ __all__ = [
     "ScheduleConflictError",
     "ModelViolationError",
     "IncompleteGossipError",
+    "ScheduleLintError",
+    "MessageClassError",
     "SimulationError",
+    "UnknownTimelineRowError",
     "RecoveryExhaustedError",
     "PlanTimeoutError",
     "PartitionedNetworkError",

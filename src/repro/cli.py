@@ -12,13 +12,18 @@ Subcommands:
   (``--permanent`` reroutes through the survival layer instead);
 * ``survive``     — seeded permanent-failure sweep (fail-stop rate x topology)
   measuring survivor coverage through ``repro.core.survival``;
-* ``plan-bench``  — pruned vs exhaustive sweep timings with the speedup gate.
+* ``plan-bench``  — pruned vs exhaustive sweep timings with the speedup gate;
+* ``lint``        — static schedule analysis (``repro.lint``): verify plans
+  against the model, efficiency and paper-invariant rules without executing
+  them (``--json`` for CI, ``--check`` to gate on error diagnostics).
 
 Examples
 --------
 ::
 
     python -m repro.cli gossip --topology grid --n 16 --algorithm simple
+    python -m repro.cli lint --family grid:16 --family random:24
+    python -m repro.cli lint --all --check --no-warnings
     python -m repro.cli gossip --topology cycle --n 12 --show-schedule
     python -m repro.cli tables --vertex 4
     python -m repro.cli compare --sizes 16 32 64
@@ -250,6 +255,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit non-zero unless trees are bit-identical and the "
              "grid:400-class speedup gate holds",
+    )
+
+    p_lint = sub.add_parser(
+        "lint", help="statically analyze gossip plans without executing them"
+    )
+    p_lint.add_argument(
+        "--family", action="append", default=None, metavar="SPEC",
+        help="network spec 'family:n' (repeatable; default: a standard subset)",
+    )
+    p_lint.add_argument(
+        "--all", action="store_true",
+        help="lint every topology family (at size --n)",
+    )
+    p_lint.add_argument(
+        "--n", type=int, default=16,
+        help="processor count for specs without an explicit size",
+    )
+    p_lint.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="concurrent-updown"
+    )
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document (for CI)",
+    )
+    p_lint.add_argument(
+        "--no-warnings", action="store_true",
+        help="show error diagnostics only",
+    )
+    p_lint.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any plan has error-severity diagnostics",
     )
     return parser
 
@@ -570,6 +606,54 @@ def _cmd_plan_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Plan each requested network, statically analyze, render diagnostics."""
+    import json as json_mod
+
+    from .lint import lint_schedule
+
+    if args.all:
+        specs = [f"{fam}:{args.n}" for fam in sorted(FAMILIES)]
+    elif args.family is not None:
+        specs = list(args.family)
+    else:
+        specs = ["grid:16", "path:16", "star:16", "hypercube:16", "random:24"]
+
+    results = []
+    failures = 0
+    for spec in specs:
+        fam, _, size = spec.partition(":")
+        graph = family_instance(fam, int(size) if size else args.n)
+        plan = gossip(graph, algorithm=args.algorithm)
+        report = lint_schedule(plan.graph, plan.schedule, plan=plan)
+        results.append((spec, report))
+        if not report.ok:
+            failures += 1
+
+    if args.json:
+        doc = {
+            "algorithm": args.algorithm,
+            "ok": failures == 0,
+            "reports": [
+                dict(report.to_dict(), spec=spec) for spec, report in results
+            ],
+        }
+        print(json_mod.dumps(doc, indent=2))
+    else:
+        for spec, report in results:
+            verdict = "ok" if report.ok else "FAIL"
+            print(f"{spec:<18} {verdict:>4}  {len(report.errors)} error(s), "
+                  f"{len(report.warnings)} warning(s)")
+            shown = report.diagnostics if not args.no_warnings else report.errors
+            for diag in shown:
+                print(f"    {diag.format()}")
+        print(f"\nlinted {len(results)} plan(s) "
+              f"({args.algorithm}): {failures} with errors")
+    if args.check and failures:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -588,6 +672,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "survive": _cmd_survive,
         "plan-bench": _cmd_plan_bench,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

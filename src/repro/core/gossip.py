@@ -36,7 +36,10 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # the engine is never imported at module load time
+    from ..simulator.engine import ExecutionResult
 
 from ..exceptions import ReproError
 from ..networks.bfs import require_connected
@@ -194,7 +197,12 @@ class GossipPlan:
         """Theorem 1's guarantee ``n + height`` for this tree."""
         return self.graph.n + self.tree.height
 
-    def execute(self, *args, record_arrivals: bool = False, on_tree_only: bool = False):
+    def execute(
+        self,
+        *args: object,
+        record_arrivals: bool = False,
+        on_tree_only: bool = False,
+    ) -> "ExecutionResult":
         """Replay the schedule on the simulator; raises if anything breaks.
 
         The default replay (no flags) is computed once and memoised on

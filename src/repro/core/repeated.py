@@ -36,7 +36,10 @@ is the one family that squeezes out a round).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Set, Tuple
+
+if TYPE_CHECKING:  # the engine is only imported lazily, inside execute()
+    from ..simulator.engine import ExecutionResult
 
 from ..exceptions import ReproError, ScheduleConflictError
 from ..tree.labeling import LabeledTree
@@ -127,7 +130,7 @@ class RepeatedGossipPlan:
         """Average rounds per gossip instance in steady state."""
         return self.total_time / self.instances
 
-    def execute(self):
+    def execute(self) -> "ExecutionResult":
         """Validate on the simulator with per-instance message spaces."""
         from ..networks.builders import tree_to_graph
         from ..simulator.engine import execute_schedule

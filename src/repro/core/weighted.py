@@ -29,7 +29,10 @@ quantifies how much per-round parallelism the mimicry actually needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # the engine is only imported lazily, inside execute()
+    from ..simulator.engine import ExecutionResult
 
 from ..exceptions import ReproError
 from ..networks.builders import tree_to_graph
@@ -128,7 +131,7 @@ class WeightedGossipPlan:
         """Theorem 1 applied to the expanded tree: ``N + height'``."""
         return self.expanded.n + self.expanded.height
 
-    def execute(self):
+    def execute(self) -> "ExecutionResult":
         """Validate the schedule on the expanded network (raises on error)."""
         from ..simulator.engine import execute_schedule
         from ..simulator.state import labeled_holdings

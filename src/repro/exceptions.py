@@ -7,17 +7,22 @@ able to distinguish graph-construction problems from schedule violations.
 
 from __future__ import annotations
 
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
 __all__ = [
     "ReproError",
     "GraphError",
     "DisconnectedGraphError",
     "TreeError",
     "LabelingError",
+    "MessageClassError",
     "ScheduleError",
     "ScheduleConflictError",
     "ModelViolationError",
     "IncompleteGossipError",
+    "ScheduleLintError",
     "SimulationError",
+    "UnknownTimelineRowError",
     "RecoveryExhaustedError",
     "PartitionedNetworkError",
     "SurvivorSetError",
@@ -51,6 +56,15 @@ class LabelingError(TreeError):
     """DFS labelling invariants are violated (non-contiguous subtree interval...)."""
 
 
+class MessageClassError(TreeError, ValueError):
+    """A message id does not belong to any s/l/r/o class at a vertex.
+
+    Also a :class:`ValueError` for backwards compatibility: the message
+    classification helpers historically raised ``ValueError`` for
+    out-of-range ids.
+    """
+
+
 class ScheduleError(ReproError):
     """A communication schedule is structurally invalid."""
 
@@ -77,8 +91,40 @@ class IncompleteGossipError(ScheduleError):
     """After executing the whole schedule some processor misses a message."""
 
 
+class ScheduleLintError(ScheduleError):
+    """Static analysis found error-severity diagnostics in a schedule.
+
+    Raised by :class:`repro.service.GossipService` (with ``lint="error"``)
+    when :func:`repro.lint.lint_schedule` refuses to certify a plan before
+    cache admission.  Carries the offending diagnostics so callers can
+    render them without re-running the analyzer.
+
+    Attributes
+    ----------
+    diagnostics:
+        The error-severity :class:`repro.lint.Diagnostic` objects, in
+        emission (round) order.
+    """
+
+    def __init__(self, message: str, *, diagnostics: Iterable[object] = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class SimulationError(ReproError):
     """The round-based simulator was driven into an inconsistent state."""
+
+
+class UnknownTimelineRowError(SimulationError, KeyError):
+    """A paper-table timeline row was requested under an unknown caption.
+
+    Also a :class:`KeyError` for backwards compatibility: the trace
+    helpers historically raised ``KeyError`` for unknown row names.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message; keep it readable.
+        return str(self.args[0]) if self.args else ""
 
 
 class RecoveryExhaustedError(ReproError):
@@ -100,7 +146,8 @@ class RecoveryExhaustedError(ReproError):
     """
 
     def __init__(self, message: str, *, attempts: int = 0,
-                 repair_rounds: int = 0, missing=None) -> None:
+                 repair_rounds: int = 0,
+                 missing: Optional[Mapping[int, Sequence[int]]] = None) -> None:
         super().__init__(message)
         self.attempts = attempts
         self.repair_rounds = repair_rounds
@@ -129,10 +176,15 @@ class PartitionedNetworkError(ReproError):
         The permanently fail-stopped processors at diagnosis time.
     """
 
-    def __init__(self, message: str, *, pairs=(), components=(), dead=()) -> None:
+    def __init__(self, message: str, *,
+                 pairs: Iterable[Sequence[int]] = (),
+                 components: Iterable[Sequence[int]] = (),
+                 dead: Iterable[int] = ()) -> None:
         super().__init__(message)
-        self.pairs = tuple(tuple(p) for p in pairs)
-        self.components = tuple(tuple(c) for c in components)
+        self.pairs: Tuple[Tuple[int, ...], ...] = tuple(tuple(p) for p in pairs)
+        self.components: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(c) for c in components
+        )
         self.dead = tuple(dead)
 
 
@@ -152,9 +204,9 @@ class SurvivorSetError(ReproError):
         is about an empty survivor set).
     """
 
-    def __init__(self, message: str, *, pairs=()) -> None:
+    def __init__(self, message: str, *, pairs: Iterable[Sequence[int]] = ()) -> None:
         super().__init__(message)
-        self.pairs = tuple(tuple(p) for p in pairs)
+        self.pairs: Tuple[Tuple[int, ...], ...] = tuple(tuple(p) for p in pairs)
 
 
 class PlanTimeoutError(ReproError):

@@ -1,0 +1,209 @@
+"""The rule catalogue of the static schedule analyzer.
+
+Rules come in three tiers:
+
+* ``model`` — violations of the multicasting communication model of
+  paper Section 1 (one send and one receive per processor per round,
+  receive-before-send possession, adjacency, id ranges).  All errors;
+  a schedule with a model finding would be rejected by the dynamic
+  engine too (the differential tests prove the two layers agree).
+* ``efficiency`` — wasteful-but-legal constructs the engine happily
+  executes: redundant deliveries to holders, idle capacity, unicasts
+  that could have fused into an earlier multicast, rounds beyond the
+  paper's ``n + r`` certificate.  All warnings.
+* ``paper`` — the structural invariants of a ConcurrentUpDown plan
+  (Theorem 1): DFS-preorder label contiguity, tree-edge-only traffic,
+  monotone up-phase, no downward backflow into the originating subtree,
+  root completion by round ``n``, exact ``n + r`` length.  All errors;
+  these rules only run when the driver is given a plan produced by the
+  ``concurrent-updown`` algorithm (or when explicitly selected).
+
+Every rule is registered here with its id, tier, severity and a
+one-line summary; the driver consults :data:`RULES` to resolve
+selections and the doc generator renders the catalogue from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..exceptions import ReproError
+from .diagnostics import Severity
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "TIERS",
+    "MODEL",
+    "EFFICIENCY",
+    "PAPER",
+    "STATIC_MODEL_RULES",
+    "expand_selection",
+]
+
+#: Tier names, in severity order.
+MODEL = "model"
+EFFICIENCY = "efficiency"
+PAPER = "paper"
+TIERS: Tuple[str, ...] = (MODEL, EFFICIENCY, PAPER)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata of one lint rule.
+
+    Attributes
+    ----------
+    id:
+        Stable identifier ``tier/name`` used in diagnostics, selections
+        and docs.
+    tier:
+        One of :data:`TIERS`.
+    severity:
+        Severity of every diagnostic the rule emits.
+    summary:
+        One-line description for the rule catalogue.
+    """
+
+    id: str
+    tier: str
+    severity: Severity
+    summary: str
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def _register(rule_id: str, tier: str, severity: Severity, summary: str) -> Rule:
+    rule = Rule(id=rule_id, tier=tier, severity=severity, summary=summary)
+    RULES[rule_id] = rule
+    return rule
+
+
+# ----------------------------------------------------------------------
+# Tier 1 — model rules (abstract possession-flow; all errors)
+# ----------------------------------------------------------------------
+SENDER_COLLISION = _register(
+    "model/sender-collision", MODEL, Severity.ERROR,
+    "a processor sends two messages in one round (model rule 2)",
+)
+RECEIVER_COLLISION = _register(
+    "model/receiver-collision", MODEL, Severity.ERROR,
+    "a processor is targeted by two deliveries in one round (model rule 1)",
+)
+VERTEX_RANGE = _register(
+    "model/vertex-range", MODEL, Severity.ERROR,
+    "a sender or destination id is outside the network's vertex range",
+)
+MESSAGE_RANGE = _register(
+    "model/message-range", MODEL, Severity.ERROR,
+    "a message id is outside [0, n_messages)",
+)
+NON_EDGE = _register(
+    "model/non-edge", MODEL, Severity.ERROR,
+    "a transmission does not follow an edge of the network",
+)
+SEND_WITHOUT_HOLD = _register(
+    "model/send-without-hold", MODEL, Severity.ERROR,
+    "a processor sends a message it cannot hold yet (possession flow)",
+)
+INCOMPLETE_GOSSIP = _register(
+    "model/incomplete-gossip", MODEL, Severity.ERROR,
+    "after the final round some processor still misses a message",
+)
+
+#: The execution-history-free subset backing
+#: :func:`repro.simulator.validator.check_static` — no possession or
+#: completeness reasoning, exactly the checks a schedule admits without
+#: knowing the initial holdings.
+STATIC_MODEL_RULES: Tuple[str, ...] = (
+    VERTEX_RANGE.id,
+    MESSAGE_RANGE.id,
+    NON_EDGE.id,
+    SENDER_COLLISION.id,
+    RECEIVER_COLLISION.id,
+)
+
+# ----------------------------------------------------------------------
+# Tier 2 — efficiency lints (legal but wasteful; all warnings)
+# ----------------------------------------------------------------------
+REDUNDANT_DELIVERY = _register(
+    "efficiency/redundant-delivery", EFFICIENCY, Severity.WARNING,
+    "a message is delivered to a processor that already holds it",
+)
+IDLE_ROUND = _register(
+    "efficiency/idle-round", EFFICIENCY, Severity.WARNING,
+    "an interior round performs no communication at all",
+)
+IDLE_SENDER = _register(
+    "efficiency/idle-sender", EFFICIENCY, Severity.WARNING,
+    "an idle processor holds a message a free neighbour still misses",
+)
+UNICAST_MERGEABLE = _register(
+    "efficiency/unicast-mergeable", EFFICIENCY, Severity.WARNING,
+    "a repeat send could have joined an earlier multicast of the same message",
+)
+OVER_BUDGET = _register(
+    "efficiency/over-budget", EFFICIENCY, Severity.WARNING,
+    "the schedule runs past the paper's n + r certificate",
+)
+
+# ----------------------------------------------------------------------
+# Tier 3 — paper invariants of ConcurrentUpDown plans (all errors)
+# ----------------------------------------------------------------------
+LABEL_CONTIGUITY = _register(
+    "paper/label-contiguity", PAPER, Severity.ERROR,
+    "subtree labels must form contiguous DFS-preorder intervals [i, j]",
+)
+TREE_EDGE = _register(
+    "paper/tree-edge", PAPER, Severity.ERROR,
+    "every transmission must travel between a tree parent and child",
+)
+UP_MONOTONE = _register(
+    "paper/up-monotone", PAPER, Severity.ERROR,
+    "up-phase sends must carry the sender's subtree messages in "
+    "increasing label order",
+)
+DOWN_NO_BACKFLOW = _register(
+    "paper/down-no-backflow", PAPER, Severity.ERROR,
+    "a message must never be sent down into the subtree it originated in",
+)
+ROOT_COMPLETE = _register(
+    "paper/root-complete", PAPER, Severity.ERROR,
+    "the root must hold all n messages by round n",
+)
+LENGTH_CERTIFICATE = _register(
+    "paper/length-certificate", PAPER, Severity.ERROR,
+    "a ConcurrentUpDown schedule must take exactly n + r rounds (n >= 2)",
+)
+
+
+def expand_selection(
+    selection: Optional[Iterable[str]],
+    *,
+    default_tiers: Iterable[str],
+) -> FrozenSet[str]:
+    """Resolve a user selection into a set of rule ids.
+
+    ``selection`` entries may be rule ids (``"model/non-edge"``) or tier
+    names (``"model"``).  ``None`` selects every rule of
+    ``default_tiers``.  Unknown entries raise
+    :class:`~repro.exceptions.ReproError` so typos never silently
+    disable a rule.
+    """
+    if selection is None:
+        wanted = set(default_tiers)
+        return frozenset(r.id for r in RULES.values() if r.tier in wanted)
+    out = set()
+    for entry in selection:
+        if entry in RULES:
+            out.add(entry)
+        elif entry in TIERS:
+            out.update(r.id for r in RULES.values() if r.tier == entry)
+        else:
+            raise ReproError(
+                f"unknown lint rule or tier {entry!r}; "
+                f"tiers: {list(TIERS)}, rules: {sorted(RULES)}"
+            )
+    return frozenset(out)

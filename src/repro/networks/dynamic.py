@@ -22,7 +22,10 @@ carry a cumulative ``rebuilds`` counter, so amortisation is measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
+
+if TYPE_CHECKING:  # avoid a networks -> core import cycle at load time
+    from ..core.gossip import GossipPlan
 
 from ..exceptions import GraphError, ReproError
 from ..tree.tree import Tree
@@ -128,7 +131,7 @@ class TreeMaintainer:
             rebuilds=self.rebuilds + 1,
         )
 
-    def plan(self, algorithm: str = "concurrent-updown"):
+    def plan(self, algorithm: str = "concurrent-updown") -> "GossipPlan":
         """Schedule gossiping on the maintained tree."""
         from ..core.gossip import gossip
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import List
 
 from ..core.schedule import Round, Schedule, Transmission
+from ..exceptions import GraphError
 from ..tree.tree import Tree
 from .graph import Graph, GraphBuilder
 
@@ -46,7 +47,7 @@ __all__ = [
 def fig1_ring(n: int = 8) -> Graph:
     """Fig. 1's network ``N1``: a Hamiltonian circuit on ``n`` processors."""
     if n < 3:
-        raise ValueError("the ring needs at least 3 processors")
+        raise GraphError("the ring needs at least 3 processors")
     return GraphBuilder(n, name="N1").add_cycle(range(n)).build()
 
 

@@ -40,10 +40,19 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from time import perf_counter
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from .maintenance import MaintainedNetwork
 
 from ..core.gossip import GossipPlan, NetworkSpec, gossip, resolve_network
-from ..exceptions import CircuitOpenError, PlanTimeoutError, ReproError
+from ..exceptions import (
+    CircuitOpenError,
+    PlanTimeoutError,
+    ReproError,
+    ScheduleLintError,
+)
+from ..lint import MODEL, PAPER, lint_schedule
 from ..networks.graph import Graph
 from ..tree.tree import Tree
 from .breaker import CircuitBreaker
@@ -140,6 +149,18 @@ class GossipService:
     clock:
         Monotonic time source for breaker cooldowns (injectable for
         tests; defaults to :func:`time.monotonic`).
+    lint:
+        Static-analysis gate on cache admission.  ``"off"`` (default)
+        admits every freshly-built plan; ``"warn"`` runs
+        :func:`repro.lint.lint_schedule` (``model`` rules, plus the
+        ``paper`` invariants for ConcurrentUpDown plans) and records
+        findings in :attr:`ServiceStats.lint_errors` while still
+        admitting the plan; ``"error"`` additionally *rejects* a plan
+        with error-severity findings by raising
+        :class:`~repro.exceptions.ScheduleLintError` — a dirty plan
+        never enters the cache.  Lint rejections are deterministic
+        library errors: they never trip the circuit breaker and never
+        trigger the degraded fallback.
 
     Examples
     --------
@@ -170,9 +191,14 @@ class GossipService:
         breaker_threshold: Optional[int] = None,
         breaker_cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        lint: str = "off",
     ) -> None:
         if planner_timeout is not None and planner_timeout <= 0:
             raise ReproError("planner_timeout must be positive (or None)")
+        if lint not in ("off", "warn", "error"):
+            raise ReproError(
+                f"lint must be 'off', 'warn' or 'error', not {lint!r}"
+            )
         if retries < 0:
             raise ReproError("retries must be >= 0")
         if breaker_threshold is not None and breaker_threshold < 1:
@@ -190,6 +216,7 @@ class GossipService:
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
         self._clock = clock
+        self._lint = lint
         self._lock = threading.Lock()
         self._breakers: Dict[PlanKey, CircuitBreaker] = {}
         self._inflight: Dict[PlanKey, Future] = {}
@@ -412,7 +439,7 @@ class GossipService:
         attempt = 0
         while True:
             try:
-                return self._invoke_planner(graph, tree, algorithm, key)
+                plan = self._invoke_planner(graph, tree, algorithm, key)
             except (ReproError, PlanTimeoutError):
                 raise  # deterministic, or already accounted as a timeout
             except BaseException:
@@ -421,6 +448,38 @@ class GossipService:
                 self._stats.record_retry()
                 time.sleep(self._retry_backoff * (2**attempt))
                 attempt += 1
+            else:
+                self._lint_admit(plan)
+                return plan
+
+    def _lint_admit(self, plan: GossipPlan) -> None:
+        """Statically certify a fresh plan before it may enter the cache.
+
+        Runs the ``model`` rules (and the ``paper`` invariants for
+        ConcurrentUpDown plans) — never the efficiency lints, which are
+        advisory.  ``"warn"`` only counts findings; ``"error"`` raises
+        :class:`~repro.exceptions.ScheduleLintError` so the plan is
+        neither cached nor served.  The exception is a deterministic
+        :class:`ReproError`: it indicts the planner's output, not its
+        availability, so it bypasses retries, breakers and fallbacks.
+        """
+        if self._lint == "off":
+            return
+        tiers = [MODEL]
+        if plan.algorithm == "concurrent-updown":
+            tiers.append(PAPER)
+        report = lint_schedule(
+            plan.graph, plan.schedule, plan=plan, select=tiers
+        )
+        self._stats.record_lint(errors=len(report.errors))
+        if report.errors and self._lint == "error":
+            raise ScheduleLintError(
+                f"static analysis rejected the {plan.algorithm!r} plan: "
+                f"{report.errors[0].message}"
+                + (f" (+{len(report.errors) - 1} more)"
+                   if len(report.errors) > 1 else ""),
+                diagnostics=report.errors,
+            )
 
     def _invoke_planner(
         self, graph: Graph, tree: Optional[Tree], algorithm: str, key: PlanKey
@@ -489,7 +548,9 @@ class GossipService:
         ]
         return [f.result() for f in futures]
 
-    def maintain(self, graph: Graph, *, policy: str = "eager"):
+    def maintain(
+        self, graph: Graph, *, policy: str = "eager"
+    ) -> "MaintainedNetwork":
         """Maintain ``graph``'s spanning tree against this service's cache.
 
         Returns a :class:`~repro.service.maintenance.MaintainedNetwork`
@@ -608,7 +669,7 @@ class GossipService:
     def __enter__(self) -> "GossipService":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

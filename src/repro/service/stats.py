@@ -80,6 +80,14 @@ class ServiceStats:
         Requests rejected with
         :class:`~repro.exceptions.CircuitOpenError` because the breaker
         was open and no degraded fallback was configured.
+    lints:
+        Static-analysis runs performed on freshly-built plans (the
+        service's ``lint="warn"`` / ``lint="error"`` admission gate).
+    lint_errors:
+        Error-severity diagnostics found across those runs.  Under
+        ``lint="error"`` each finding also means a plan was refused
+        cache admission with
+        :class:`~repro.exceptions.ScheduleLintError`.
     """
 
     requests: int
@@ -104,6 +112,8 @@ class ServiceStats:
     breaker_probes: int = 0
     breaker_closes: int = 0
     fast_fails: int = 0
+    lints: int = 0
+    lint_errors: int = 0
 
     @property
     def hit_rate(self) -> Optional[float]:
@@ -133,6 +143,8 @@ class ServiceStats:
                 f"breaker       : {self.breaker_opens} opens, "
                 f"{self.breaker_probes} probes, {self.breaker_closes} closes, "
                 f"{self.fast_fails} fast-fails",
+                f"lint          : {self.lints} runs, "
+                f"{self.lint_errors} error diagnostics",
                 f"build latency : p50 {ms(self.plan_p50_ms)}  "
                 f"p90 {ms(self.plan_p90_ms)}  p99 {ms(self.plan_p99_ms)}  "
                 f"max {ms(self.plan_max_ms)}",
@@ -166,6 +178,8 @@ class StatsRecorder:
         self.breaker_probes = 0
         self.breaker_closes = 0
         self.fast_fails = 0
+        self.lints = 0
+        self.lint_errors = 0
         self._build_latencies: Deque[float] = deque(maxlen=latency_window)
         self._hit_latencies: Deque[float] = deque(maxlen=latency_window)
 
@@ -234,6 +248,11 @@ class StatsRecorder:
         with self._lock:
             self.fast_fails += 1
 
+    def record_lint(self, *, errors: int = 0) -> None:
+        with self._lock:
+            self.lints += 1
+            self.lint_errors += errors
+
     # ------------------------------------------------------------------
     def snapshot(self, *, entries: int, weight: int) -> ServiceStats:
         """Freeze the counters into a :class:`ServiceStats`."""
@@ -241,7 +260,7 @@ class StatsRecorder:
             builds = sorted(self._build_latencies)
             hits = sorted(self._hit_latencies)
 
-            def pct(vals, q):
+            def pct(vals: Sequence[float], q: float) -> Optional[float]:
                 return _percentile(vals, q) * 1e3 if vals else None
 
             return ServiceStats(
@@ -267,4 +286,6 @@ class StatsRecorder:
                 breaker_probes=self.breaker_probes,
                 breaker_closes=self.breaker_closes,
                 fast_fails=self.fast_fails,
+                lints=self.lints,
+                lint_errors=self.lint_errors,
             )

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.schedule import Schedule
+from ..exceptions import UnknownTimelineRowError
 from ..tree.tree import Tree
 from ..types import Message, Time, Vertex
 
@@ -63,7 +64,7 @@ class VertexTimeline:
             "send_to_children": self.send_to_child,
         }
         if key not in aliases:
-            raise KeyError(f"unknown timeline row {name!r}")
+            raise UnknownTimelineRowError(f"unknown timeline row {name!r}")
         return aliases[key]
 
     def as_lists(self, horizon: Optional[int] = None) -> Dict[str, List[Optional[int]]]:

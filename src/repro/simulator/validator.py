@@ -4,7 +4,11 @@
 violations at construction.  This module adds:
 
 * :func:`check_static` — network-level checks that need no execution:
-  all endpoints in range, every transmission along an existing edge;
+  all endpoints and message ids in range, every transmission along an
+  existing edge.  Implemented on top of the static analyzer's model
+  rules (:data:`repro.lint.STATIC_MODEL_RULES`) so the static and
+  dynamic layers cannot drift: both judge a schedule through the same
+  rule registry;
 * :func:`validate_schedule` — the full dynamic check: run the
   round-based engine and verify possession, adjacency and (optionally)
   completeness;
@@ -21,32 +25,39 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..core.schedule import Schedule
-from ..exceptions import ModelViolationError, ScheduleError
+from ..exceptions import ScheduleError
+from ..lint import STATIC_MODEL_RULES, diagnostic_exception, lint_schedule
 from ..networks.graph import Graph
 from .engine import ExecutionResult, execute_schedule
 
 __all__ = ["check_static", "validate_schedule", "assert_gossip_schedule"]
 
 
-def check_static(graph: Graph, schedule: Schedule) -> None:
-    """Raise unless every transmission uses existing vertices and edges."""
-    n = graph.n
-    for t, rnd in enumerate(schedule):
-        for tx in rnd:
-            if not 0 <= tx.sender < n:
-                raise ScheduleError(
-                    f"round {t}: sender {tx.sender} out of range for n={n}"
-                )
-            for d in tx.destinations:
-                if not 0 <= d < n:
-                    raise ScheduleError(
-                        f"round {t}: destination {d} out of range for n={n}"
-                    )
-                if not graph.has_edge(tx.sender, d):
-                    raise ModelViolationError(
-                        f"round {t}: transmission {tx.sender} -> {d} does not "
-                        "follow an edge of the network"
-                    )
+def check_static(
+    graph: Graph,
+    schedule: Schedule,
+    *,
+    n_messages: Optional[int] = None,
+) -> None:
+    """Raise unless every transmission is statically well-formed.
+
+    Checks vertex ranges, message-id ranges (``[0, n_messages)``,
+    defaulting to ``[0, n)`` — an out-of-range id used to sail through
+    and only explode inside the engine), and adjacency.  Runs the lint
+    model rules in :data:`repro.lint.STATIC_MODEL_RULES` and re-raises
+    the first error with its historical exception type
+    (:class:`~repro.exceptions.ScheduleError` for range violations,
+    :class:`~repro.exceptions.ModelViolationError` for non-edges).
+    """
+    report = lint_schedule(
+        graph,
+        schedule,
+        n_messages=n_messages,
+        select=STATIC_MODEL_RULES,
+        require_complete=False,
+    )
+    if report.errors:
+        raise diagnostic_exception(report.errors[0])
 
 
 def validate_schedule(

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..exceptions import MessageClassError
 from ..types import Message
 from .labeling import VertexLabel
 
@@ -121,4 +122,4 @@ def class_name_of(classes: MessageClasses, m: Message) -> str:
         return "r"
     if classes.is_o_message(m):
         return "o"
-    raise ValueError(f"message {m} out of range for n={classes.n}")
+    raise MessageClassError(f"message {m} out of range for n={classes.n}")

@@ -1,0 +1,175 @@
+"""Paper-invariant rules: the structural shape of ConcurrentUpDown plans.
+
+These rules re-verify Theorem 1's invariants from the schedule and the
+labelling alone: tree-edge-only traffic, contiguous DFS label intervals,
+label-monotone up-phase, no downward backflow, root completion by round
+``n``, and the exact ``n + r`` length.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.core.schedule import Transmission
+from repro.lint import lint_schedule
+from repro.networks import topologies
+from repro.tree.labeling import LabeledTree
+
+
+def tx(sender, message, dests):
+    return Transmission(sender=sender, message=message, destinations=frozenset(dests))
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return gossip(topologies.grid_2d(3, 4))
+
+
+def paper_lint(plan_, rounds):
+    return lint_schedule(plan_.graph, rounds, plan=plan_, select=["paper"])
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize(
+        "family", ["path", "star", "grid", "hypercube", "binary-tree", "random"]
+    )
+    def test_all_paper_rules_hold(self, family):
+        from repro.analysis.sweep import family_instance
+
+        p = gossip(family_instance(family, 16))
+        report = lint_schedule(p.graph, p.schedule, plan=p)
+        assert report.errors == ()
+
+    def test_paper_tier_auto_active_for_concurrent_updown(self, plan):
+        report = lint_schedule(plan.graph, plan.schedule, plan=plan)
+        assert any(r.startswith("paper/") for r in report.rules_run)
+
+    def test_paper_tier_inactive_for_other_algorithms(self):
+        p = gossip(topologies.grid_2d(3, 4), algorithm="simple")
+        report = lint_schedule(p.graph, p.schedule, plan=p)
+        assert not any(r.startswith("paper/") for r in report.rules_run)
+
+
+class TestTreeEdge:
+    def test_non_tree_edge_flagged(self, plan):
+        tree = plan.tree
+        # find a graph edge that is not a tree parent-child pair
+        u, v = next(
+            (a, b)
+            for a in range(plan.graph.n)
+            for b in plan.graph.neighbors(a)
+            if tree.parent(a) != b and tree.parent(b) != a
+        )
+        rounds = [list(r) for r in plan.schedule]
+        rounds.append([tx(u, plan.labeled.label_of(u), {v})])
+        report = paper_lint(plan, rounds)
+        found = report.by_rule("paper/tree-edge")
+        assert len(found) == 1
+        d = found[0]
+        assert (d.round, d.sender, d.destination) == (len(rounds) - 1, u, v)
+
+
+class TestUpMonotone:
+    def _up_sends(self, plan):
+        """(round, tx_index, tx) triples whose destinations include the
+        sender's parent."""
+        out = []
+        for t, rnd in enumerate(plan.schedule):
+            for i, transmission in enumerate(rnd):
+                if plan.tree.parent(transmission.sender) in transmission.destinations:
+                    out.append((t, i, transmission))
+        return out
+
+    def test_foreign_message_up_flagged(self, plan):
+        t, i, up = self._up_sends(plan)[0]
+        blk = plan.labeled.block(up.sender)
+        foreign = (blk.j + 1) % plan.graph.n
+        assert not blk.i <= foreign <= blk.j
+        rounds = [list(r) for r in plan.schedule]
+        rounds[t][i] = dataclasses.replace(up, message=foreign)
+        report = paper_lint(plan, rounds)
+        found = report.by_rule("paper/up-monotone")
+        assert found and found[0].round == t and found[0].sender == up.sender
+
+    def test_order_violation_flagged(self, plan):
+        # find one vertex with two up-sends and swap their messages
+        by_vertex = {}
+        for t, i, up in self._up_sends(plan):
+            by_vertex.setdefault(up.sender, []).append((t, i, up))
+        sender, events = next(
+            (s, e) for s, e in by_vertex.items() if len(e) >= 2
+        )
+        (t1, i1, up1), (t2, i2, up2) = events[0], events[1]
+        rounds = [list(r) for r in plan.schedule]
+        rounds[t1][i1] = dataclasses.replace(up1, message=up2.message)
+        rounds[t2][i2] = dataclasses.replace(up2, message=up1.message)
+        report = paper_lint(plan, rounds)
+        found = report.by_rule("paper/up-monotone")
+        assert any(d.sender == sender for d in found)
+
+
+class TestDownNoBackflow:
+    def test_backflow_flagged(self, plan):
+        # find a down-send and replace its message with the child's own label
+        for t, rnd in enumerate(plan.schedule):
+            for i, transmission in enumerate(rnd):
+                kids = set(plan.tree.children(transmission.sender))
+                down = sorted(kids & transmission.destinations)
+                if down:
+                    child = down[0]
+                    rounds = [list(r) for r in plan.schedule]
+                    rounds[t][i] = dataclasses.replace(
+                        transmission, message=plan.labeled.label_of(child)
+                    )
+                    report = paper_lint(plan, rounds)
+                    found = report.by_rule("paper/down-no-backflow")
+                    assert any(
+                        d.round == t and d.destination == child for d in found
+                    )
+                    return
+        pytest.fail("no down-send found in the plan")
+
+
+class TestLabelContiguity:
+    def test_swapped_labels_flagged(self, plan):
+        # forge a labelling whose label map disagrees with its blocks
+        good = plan.labeled
+        labels = list(good.labels())
+        a, b = 0, plan.graph.n - 1
+        labels[a], labels[b] = labels[b], labels[a]
+        forged = object.__new__(LabeledTree)
+        vertex = [0] * len(labels)
+        for v, lbl in enumerate(labels):
+            vertex[lbl] = v
+        forged._tree = good.tree
+        forged._label = tuple(labels)
+        forged._vertex = tuple(vertex)
+        forged._blocks = good.blocks()
+        forged._blocks_by_label = tuple(
+            good.blocks()[vertex[lbl]] for lbl in range(len(labels))
+        )
+        broken_plan = dataclasses.replace(plan, labeled=forged)
+        report = paper_lint(broken_plan, plan.schedule)
+        assert report.by_rule("paper/label-contiguity")
+
+
+class TestRootComplete:
+    def test_truncated_schedule_flagged(self, plan):
+        rounds = [list(r) for r in plan.schedule][:5]
+        report = paper_lint(plan, rounds)
+        found = report.by_rule("paper/root-complete")
+        assert found and "never" in found[0].message
+
+
+class TestLengthCertificate:
+    def test_padded_schedule_flagged(self, plan):
+        rounds = [list(r) for r in plan.schedule] + [[]]
+        report = paper_lint(plan, rounds)
+        found = report.by_rule("paper/length-certificate")
+        assert len(found) == 1
+        assert found[0].round == len(rounds)
+
+    def test_exact_plan_passes(self, plan):
+        report = paper_lint(plan, plan.schedule)
+        assert report.by_rule("paper/length-certificate") == ()
