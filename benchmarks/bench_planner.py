@@ -7,10 +7,14 @@ minimum-depth spanning tree at a fraction of the cost.  Measured across
 topology families and sizes:
 
 * exhaustive vs pruned sweep wall-clock and the speedup ratio,
-* cold end-to-end plan latency through :func:`repro.core.gossip.gossip`,
+* cold end-to-end plan latency through :func:`repro.core.gossip.gossip`
+  and its ratio to the pruned sweep alone,
 * the bit-identical gate (same root, parents, and child order) on every
   benchmarked network,
-* the >= 3x speedup gate on ``grid:400``-class graphs.
+* the >= 3x speedup gate on ``grid:400``-class graphs,
+* the cold-plan gate (``plan_cold_s`` within ``COLD_MAX_RATIO``x of the
+  pruned sweep on gate networks) plus the all-families schedule-identity
+  sweep (array pipeline vs seed builder, round for round).
 
 Runs three ways:
 
@@ -28,6 +32,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.planner_bench import (
+    COLD_MAX_RATIO,
     DEFAULT_SPECS,
     MIN_SPEEDUP,
     QUICK_SPECS,
@@ -56,6 +61,7 @@ def test_planner_speedup(benchmark, report):
             exhaustive_ms=f"{cell.exhaustive_s * 1e3:.1f}",
             pruned_ms=f"{cell.pruned_s * 1e3:.1f}",
             speedup=f"{cell.speedup:.1f}x",
+            cold_ratio=f"{cell.cold_ratio:.2f}x",
             identical=cell.identical,
         )
     result.check()
@@ -65,8 +71,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--check", action="store_true",
-        help="exit non-zero unless trees are bit-identical and the "
-             f">= {MIN_SPEEDUP:.0f}x grid:400 speedup gate holds",
+        help="exit non-zero unless trees are bit-identical, the "
+             f">= {MIN_SPEEDUP:.0f}x grid:400 speedup gate and the "
+             f"<= {COLD_MAX_RATIO:.0f}x cold-plan gate hold, and array "
+             "schedules match the seed builder on every family",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -91,7 +99,10 @@ def main(argv=None) -> int:
         except AssertionError as err:
             print(f"CHECK FAILED: {err}")
             return 1
-        print("check: bit-identical trees and planner speedup gate hold  OK")
+        print(
+            "check: bit-identical trees, identical schedules, and "
+            "planner speedup + cold-plan gates hold  OK"
+        )
     return 0
 
 

@@ -18,6 +18,15 @@ Enforced conventions:
    else is keyword-only.  The deprecated positional shims only exist for
    *external* callers mid-migration — library code never goes through
    them.
+4. **No Python loops in core hot paths** — the schedule-construction
+   modules (``core/propagate_up.py``, ``core/propagate_down.py``,
+   ``core/concurrent_updown.py``) build schedules as flat numpy arrays;
+   a ``for``/``while`` over transmissions or vertices silently drags a
+   hot path back to the seed's seconds-per-plan object pipeline.  Loops
+   are only allowed inside functions whose name ends with ``_builder``
+   (the per-vertex reference implementations kept for differential
+   tests) or whose docstring carries a ``hot-loop-ok`` marker next to a
+   justification (e.g. a loop over tree *levels*, not transmissions).
 
 Exit status: 0 when clean, 1 with one ``file:line: message`` per
 violation on stdout.  Run from the repository root::
@@ -41,6 +50,17 @@ ALLOWED_BUILTIN_RAISES = {"TypeError"}
 #: positional argument (functions) or past zero (methods).
 KEYWORD_ONLY_FUNCTIONS = {"gossip": 1, "gossip_on_tree": 1}
 KEYWORD_ONLY_METHODS = {"execute": 0}
+
+#: ``core/`` modules where Python-level loops are banned (vectorised
+#: schedule construction) unless explicitly exempted.
+HOT_PATH_MODULES = {
+    "propagate_up.py",
+    "propagate_down.py",
+    "concurrent_updown.py",
+}
+
+#: Docstring marker exempting one function from the hot-path loop rule.
+HOT_LOOP_MARKER = "hot-loop-ok"
 
 Violation = Tuple[pathlib.Path, int, str]
 
@@ -69,8 +89,44 @@ def _raised_name(node: ast.Raise) -> str:
     return ""  # attribute raises (module.Error) are library-defined
 
 
+def _is_hot_path(path: pathlib.Path) -> bool:
+    return path.name in HOT_PATH_MODULES and path.parent.name == "core"
+
+
+def _hot_loop_violations(
+    path: pathlib.Path, scope: ast.AST, exempt: bool
+) -> Iterator[Violation]:
+    """Flag ``for``/``while`` under ``scope`` unless exempted.
+
+    Exemption is per *function* — a ``*_builder`` name or a
+    ``hot-loop-ok`` docstring marker — and extends to functions nested
+    inside an exempt one (helpers of a reference implementation).
+    """
+    for node in ast.iter_child_nodes(scope):
+        child_exempt = exempt
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            doc = ast.get_docstring(node) or ""
+            child_exempt = (
+                exempt
+                or node.name.endswith("_builder")
+                or HOT_LOOP_MARKER in doc
+            )
+        elif isinstance(node, (ast.For, ast.AsyncFor, ast.While)) and not exempt:
+            yield (
+                path,
+                node.lineno,
+                "Python loop in a core hot path; vectorise it, or exempt "
+                "the function (name it *_builder for a reference "
+                f"implementation, or justify a '{HOT_LOOP_MARKER}' marker "
+                "in its docstring)",
+            )
+        yield from _hot_loop_violations(path, node, child_exempt)
+
+
 def check_file(path: pathlib.Path) -> Iterator[Violation]:
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    if _is_hot_path(path):
+        yield from _hot_loop_violations(path, tree, exempt=False)
     for node in ast.walk(tree):
         if isinstance(node, ast.Raise):
             name = _raised_name(node)

@@ -253,8 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_pbench.add_argument(
         "--check", action="store_true",
-        help="exit non-zero unless trees are bit-identical and the "
-             "grid:400-class speedup gate holds",
+        help="exit non-zero unless trees are bit-identical, the grid:400-"
+             "class speedup and cold-plan gates hold, and array schedules "
+             "match the seed builder on every family",
     )
 
     p_lint = sub.add_parser(
@@ -602,7 +603,10 @@ def _cmd_plan_bench(args: argparse.Namespace) -> int:
         except AssertionError as err:
             print(f"CHECK FAILED: {err}")
             return 1
-        print("check: bit-identical trees and planner speedup gate hold  OK")
+        print(
+            "check: bit-identical trees, identical schedules, and "
+            "planner speedup + cold-plan gates hold  OK"
+        )
     return 0
 
 
@@ -625,8 +629,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         fam, _, size = spec.partition(":")
         graph = family_instance(fam, int(size) if size else args.n)
         plan = gossip(graph, algorithm=args.algorithm)
-        report = lint_schedule(plan.graph, plan.schedule, plan=plan)
-        results.append((spec, report))
+        # Lint straight off the canonical array form — same diagnostics
+        # as the object view (the differential tests pin that), and the
+        # byte size it reports is the cache-weight unit.
+        report = lint_schedule(plan.graph, plan.arrays(), plan=plan)
+        results.append((spec, plan, report))
         if not report.ok:
             failures += 1
 
@@ -635,12 +642,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "algorithm": args.algorithm,
             "ok": failures == 0,
             "reports": [
-                dict(report.to_dict(), spec=spec) for spec, report in results
+                dict(
+                    report.to_dict(),
+                    spec=spec,
+                    schedule_nbytes=plan.arrays().nbytes,
+                )
+                for spec, plan, report in results
             ],
         }
         print(json_mod.dumps(doc, indent=2))
     else:
-        for spec, report in results:
+        for spec, _plan, report in results:
             verdict = "ok" if report.ok else "FAIL"
             print(f"{spec:<18} {verdict:>4}  {len(report.errors)} error(s), "
                   f"{len(report.warnings)} warning(s)")

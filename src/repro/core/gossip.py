@@ -48,7 +48,7 @@ from ..networks.graph import Graph
 from ..networks.spanning_tree import minimum_depth_spanning_tree
 from ..tree.labeling import LabeledTree
 from ..tree.tree import Tree
-from .schedule import Schedule
+from .schedule import ArraySchedule, Round, Schedule
 
 __all__ = [
     "GossipPlan",
@@ -191,6 +191,26 @@ class GossipPlan:
     def total_time(self) -> int:
         """Total communication time of the schedule."""
         return self.schedule.total_time
+
+    def arrays(self) -> ArraySchedule:
+        """The canonical array form of the schedule.
+
+        Flat ``(round, sender, message)`` columns plus the destination
+        bitmask matrix — the form every consumer (simulator, linter,
+        service cache) works from.  Cheap: array-backed schedules hand
+        back their backing :class:`~repro.core.schedule.ArraySchedule`
+        without materialising any per-transmission objects.
+        """
+        return self.schedule.arrays()
+
+    def rounds(self) -> Tuple[Round, ...]:
+        """The object view: one :class:`Round` of transmissions per time.
+
+        Materialised lazily from the array form on first call (and then
+        cached on the schedule facade); prefer :meth:`arrays` in
+        loops that only need the flat columns.
+        """
+        return self.schedule.rounds
 
     @property
     def radius_bound(self) -> int:

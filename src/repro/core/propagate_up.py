@@ -19,22 +19,76 @@ Steps (U1) and (U2) are the *receive* side of the same transmissions
 (l-message at time 1, r-message ``m`` at time ``m - k``) and need no
 separate events; Lemma 2 proves the two sides line up, and the test
 suite checks it by simulation.
+
+The production path (:func:`propagate_up_events`) emits all events as
+flat numpy columns in one vectorised sweep — the rip streams of all
+vertices are expanded with a single repeat/offset trick, never touching
+per-message Python objects.  Every event is implicitly a unicast to the
+sender's parent, so no destination masks are materialised here; the
+callers (:func:`propagate_up` and the ConcurrentUpDown assembly) set the
+parent bits where they need them.  :func:`propagate_up_builder` keeps
+the seed's per-vertex emission as the differential-testing reference.
 """
 
 from __future__ import annotations
 
-from ..tree.labeling import LabeledTree
-from .schedule import Schedule, ScheduleBuilder
+from typing import Tuple
 
-__all__ = ["propagate_up_builder", "propagate_up"]
+import numpy as np
+
+from ..tree.labeling import LabeledTree
+from .schedule import ArraySchedule, Schedule, ScheduleBuilder, _bit_of, _mask_width
+
+__all__ = ["propagate_up_builder", "propagate_up_events", "propagate_up"]
+
+
+def _repeat_offsets(counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """For per-group sizes ``counts``: (group index, 0-based offset) per item."""
+    reps = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    bounds = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=bounds[1:])
+    offs = np.arange(len(reps), dtype=np.int64) - np.repeat(bounds, counts)
+    return reps, offs
+
+
+def propagate_up_events(
+    labeled: LabeledTree,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All (U3)/(U4) sends as flat ``(time, sender, message)`` columns.
+
+    Every event is a unicast to ``parent(sender)``.  The (U4) stream
+    gives each nonroot vertex strictly increasing send times and (U3)
+    fires at time 0 only where the first rip leaves at time >= 1, so the
+    ``(time, sender)`` pairs are all distinct — the ConcurrentUpDown
+    assembly relies on (and re-verifies) this.
+    """
+    arr = labeled.arrays
+    nonroot = np.flatnonzero(arr.parent >= 0)
+
+    # (U3): the lip-message, one round ahead of the rip stream.
+    lip_v = nonroot[arr.w[nonroot] == 1]
+    lip_t = np.zeros(len(lip_v), dtype=np.int64)
+    lip_m = arr.i[lip_v]
+
+    # (U4): rip-messages i+w .. j, message m at time m - k.
+    starts = arr.i[nonroot] + arr.w[nonroot]
+    counts = arr.j[nonroot] - starts + 1
+    reps, offs = _repeat_offsets(counts)
+    rip_v = nonroot[reps]
+    rip_m = starts[reps] + offs
+    rip_t = rip_m - arr.k[rip_v]
+
+    times = np.concatenate([lip_t, rip_t])
+    senders = np.concatenate([lip_v, rip_v])
+    messages = np.concatenate([lip_m, rip_m])
+    return times, senders, messages
 
 
 def propagate_up_builder(labeled: LabeledTree) -> ScheduleBuilder:
     """Emit all (U3)/(U4) send events into a fresh builder.
 
-    Every event is a unicast to the parent; the builder representation
-    lets :func:`repro.core.concurrent_updown.concurrent_updown` merge the
-    coinciding (U4)/(D3) sends into single multicasts.
+    The seed per-vertex reference implementation, kept for ablations and
+    for differential tests against :func:`propagate_up_events`.
     """
     builder = ScheduleBuilder()
     tree = labeled.tree
@@ -58,4 +112,15 @@ def propagate_up(labeled: LabeledTree) -> Schedule:
     On its own this schedule delivers every message to the root by time
     ``n - 1`` (Lemma 2); it is one half of the ConcurrentUpDown overlap.
     """
-    return propagate_up_builder(labeled).build(name="Propagate-Up")
+    times, senders, messages = propagate_up_events(labeled)
+    arr = labeled.arrays
+    n = labeled.n
+    masks = np.zeros((len(times), _mask_width(n)), dtype=np.uint64)
+    if len(times):
+        word, bit = _bit_of(arr.parent[senders])
+        masks[np.arange(len(times)), word] = bit
+    arrays = ArraySchedule.from_events(
+        times, senders, messages, masks,
+        n=n, n_messages=n, name="Propagate-Up",
+    )
+    return Schedule.from_arrays(arrays)

@@ -12,8 +12,10 @@ deliveries before checking round ``t``'s sends therefore reproduces the
 engine's possession judgement bit for bit — without importing the
 engine (the differential tests in ``tests/lint`` prove both claims).
 
-The driver accepts either a :class:`~repro.core.schedule.Schedule` or a
-raw sequence of rounds (each an iterable of
+The driver accepts a :class:`~repro.core.schedule.Schedule`, a bare
+:class:`~repro.core.schedule.ArraySchedule` (the canonical array form —
+normalised through the lazy object-view facade), or a raw sequence of
+rounds (each an iterable of
 :class:`~repro.core.schedule.Transmission`).  Raw input matters: the
 ``Round`` constructor already rejects same-round sender/receiver
 collisions, so only raw rounds can reach the
@@ -37,7 +39,7 @@ from typing import (
 )
 
 from ..core.gossip import GossipPlan
-from ..core.schedule import Round, Schedule, Transmission
+from ..core.schedule import ArraySchedule, Round, Schedule, Transmission
 from ..exceptions import (
     IncompleteGossipError,
     ModelViolationError,
@@ -51,9 +53,12 @@ from . import rules as R
 
 __all__ = ["lint_schedule", "diagnostic_exception", "ScheduleLike"]
 
-#: Anything the driver understands as a schedule: the real object, or a
-#: raw sequence of rounds (each a ``Round`` or iterable of transmissions).
-ScheduleLike = Union[Schedule, Sequence[Union[Round, Iterable[Transmission]]]]
+#: Anything the driver understands as a schedule: the object view, the
+#: canonical array form, or a raw sequence of rounds (each a ``Round``
+#: or iterable of transmissions).
+ScheduleLike = Union[
+    Schedule, ArraySchedule, Sequence[Union[Round, Iterable[Transmission]]]
+]
 
 #: Exception class the dynamic layer raises for each model rule —
 #: :func:`repro.simulator.validator.check_static` uses this table so the
@@ -81,6 +86,8 @@ def diagnostic_exception(diag: Diagnostic) -> ScheduleError:
 
 def _normalize(schedule: ScheduleLike) -> Tuple[Tuple[Transmission, ...], ...]:
     """Flatten a schedule-like object into tuples of transmissions."""
+    if isinstance(schedule, ArraySchedule):
+        return tuple(rnd.transmissions for rnd in schedule.build_rounds())
     if isinstance(schedule, Schedule):
         return tuple(rnd.transmissions for rnd in schedule)
     out: List[Tuple[Transmission, ...]] = []
@@ -135,9 +142,10 @@ def lint_schedule(
     graph:
         The communication network the schedule claims to run on.
     schedule:
-        A :class:`~repro.core.schedule.Schedule`, or a raw sequence of
-        rounds (each a ``Round`` or an iterable of ``Transmission``) for
-        material the constructors would reject outright.
+        A :class:`~repro.core.schedule.Schedule`, a bare
+        :class:`~repro.core.schedule.ArraySchedule`, or a raw sequence
+        of rounds (each a ``Round`` or an iterable of ``Transmission``)
+        for material the constructors would reject outright.
     plan:
         The :class:`~repro.core.gossip.GossipPlan` that produced the
         schedule, when available.  Supplies the DFS labelling (initial
@@ -191,7 +199,11 @@ def lint_schedule(
         ctx.check_paper(plan)
     ctx.check_budget(plan)
 
-    name = schedule.name if isinstance(schedule, Schedule) else ""
+    name = (
+        schedule.name
+        if isinstance(schedule, (Schedule, ArraySchedule))
+        else ""
+    )
     return LintReport(
         diagnostics=tuple(ctx.diagnostics),
         rules_run=tuple(sorted(active)),

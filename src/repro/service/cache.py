@@ -11,9 +11,11 @@ tree, which is a pure function of the graph).
 Two bounds keep a long-lived service from growing without limit:
 
 * ``max_entries`` — LRU entry count;
-* ``max_weight`` — summed plan weight, where one plan weighs
-  ``n + m`` of its graph (a proxy for the memory the schedule and
-  trees hold).  ``None`` disables the weight bound.
+* ``max_weight`` — summed plan weight in *bytes* of the canonical
+  schedule arrays (:attr:`ArraySchedule.nbytes
+  <repro.core.schedule.ArraySchedule.nbytes>`: the flat columns plus
+  the destination-mask matrix, whether or not the mask has
+  materialised).  ``None`` disables the weight bound.
 """
 
 from __future__ import annotations
@@ -55,8 +57,15 @@ def tree_fingerprint(tree: Optional[Tree]) -> str:
 
 
 def plan_weight(plan: GossipPlan) -> int:
-    """Cache weight of one plan: ``n + m`` of its graph."""
-    return plan.graph.n + plan.graph.m
+    """Cache weight of one plan: its canonical schedule arrays' bytes.
+
+    ``plan.arrays().nbytes`` is an analytic property of the schedule
+    shape (it charges the destination-mask matrix whether or not it has
+    materialised), so a plan's weight never changes across its cache
+    lifetime — the invariant the accounting in :meth:`PlanCache.put`
+    relies on.
+    """
+    return plan.arrays().nbytes
 
 
 class PlanCache:

@@ -17,6 +17,15 @@ Model recap (paper Section 1):
 
 The engine therefore applies round ``t-1``'s deliveries before checking
 round ``t``'s sends.
+
+Array-backed schedules take a vectorised fast path (unless an arrival
+log was requested): possession, adjacency, and the hold-set updates all
+run on the flat round/sender/message columns and the uint64 destination
+masks via :class:`~repro.simulator.state.PackedHoldState`, one numpy
+round at a time instead of one Python transmission at a time.  Results
+— completion times, duplicate counts, final holds, and every error
+message — are identical to the object path; the differential tests
+execute both and assert it.
 """
 
 from __future__ import annotations
@@ -24,10 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..core.schedule import Schedule, Transmission
+import numpy as np
+
+from ..core.schedule import ArraySchedule, Schedule, Transmission
 from ..exceptions import IncompleteGossipError, ModelViolationError
 from ..networks.graph import Graph
-from .state import HoldState
+from .state import HoldState, PackedHoldState
 
 __all__ = ["ExecutionResult", "execute_schedule", "ArrivalEvent"]
 
@@ -85,7 +96,7 @@ class ExecutionResult:
 
 def execute_schedule(
     graph: Graph,
-    schedule: Schedule,
+    schedule: "Schedule | ArraySchedule",
     initial_holds: Optional[Sequence[int]] = None,
     n_messages: Optional[int] = None,
     require_complete: bool = False,
@@ -100,8 +111,11 @@ def execute_schedule(
         edges of this graph (multicast = one message to any subset of the
         sender's neighbours).
     schedule:
-        The rounds to execute.  Structural per-round rules were already
-        checked at :class:`~repro.core.schedule.Round` construction.
+        The rounds to execute — a :class:`Schedule` or a bare
+        :class:`ArraySchedule` (normalised through the facade).
+        Structural per-round rules were already checked at
+        :class:`~repro.core.schedule.Round` (object path) or
+        :class:`ArraySchedule` (array path) construction.
     initial_holds:
         Initial hold bitsets; defaults to "processor ``v`` holds message
         ``v``".  Pass :func:`repro.simulator.state.labeled_holdings` when
@@ -122,6 +136,20 @@ def execute_schedule(
     IncompleteGossipError
         Only with ``require_complete=True``.
     """
+    if isinstance(schedule, ArraySchedule):
+        schedule = Schedule.from_arrays(schedule)
+    if (
+        not record_arrivals
+        and schedule.is_array_backed
+        and schedule.arrays().n == graph.n
+    ):
+        return _execute_arrays(
+            graph,
+            schedule.arrays(),
+            initial_holds=initial_holds,
+            n_messages=n_messages,
+            require_complete=require_complete,
+        )
     state = HoldState(
         graph.n,
         initial=initial_holds,
@@ -167,6 +195,98 @@ def execute_schedule(
         duplicate_deliveries=state.duplicate_deliveries,
         final_holds=state.snapshot(),
         arrivals=arrivals,
+    )
+
+
+def _packed_adjacency(graph: Graph) -> np.ndarray:
+    """Neighbour sets as an ``(n, ceil(n / 64))`` uint64 bitmask matrix.
+
+    Same word/bit convention as the schedule destination masks, so
+    "every destination is adjacent" is one masked AND per transmission.
+    """
+    adj = np.zeros((graph.n, (graph.n + 63) // 64), dtype=np.uint64)
+    for v in range(graph.n):
+        for u in graph.neighbors(v):
+            adj[v, u >> 6] |= np.uint64(1) << np.uint64(u & 63)
+    return adj
+
+
+def _execute_arrays(
+    graph: Graph,
+    arrays,
+    *,
+    initial_holds: Optional[Sequence[int]],
+    n_messages: Optional[int],
+    require_complete: bool,
+) -> ExecutionResult:
+    """The vectorised execution path for array-backed schedules.
+
+    Walks the CSR round slices of an
+    :class:`~repro.core.schedule.ArraySchedule`, checking possession
+    against the packed hold matrix and adjacency against the packed
+    neighbour matrix, then applying the round's flat delivery stream in
+    one scatter.  Receive-before-send and all error messages mirror the
+    object path exactly.
+    """
+    state = PackedHoldState(graph.n, initial=initial_holds, n_messages=n_messages)
+    adj = _packed_adjacency(graph)
+    ptr = arrays.round_ptr
+    masks = arrays.dest_mask
+    senders = arrays.sender.astype(np.int64)
+    messages = arrays.message.astype(np.int64)
+    # Flat delivery stream, sliced per round: pair i delivers
+    # messages[pair_row[i]] to pair_dest[i].
+    pair_row, pair_dest = arrays.destination_pairs()
+    pair_ptr = np.searchsorted(pair_row, ptr)
+
+    final_time = arrays.total_time
+    pend_recv = pend_msg = np.zeros(0, dtype=np.int64)
+    for t in range(final_time):
+        # Receive-before-send: apply last round's deliveries first.
+        state.deliver_round(pend_recv, pend_msg, t)
+        lo, hi = int(ptr[t]), int(ptr[t + 1])
+        if hi > lo:
+            snd = senders[lo:hi]
+            msg = messages[lo:hi]
+            poss_ok = state.holds_mask(snd, msg)
+            adj_ok = ~np.any(masks[lo:hi] & ~adj[snd], axis=1)
+            if not (poss_ok.all() and adj_ok.all()):
+                i = int(np.flatnonzero(~poss_ok | ~adj_ok)[0])
+                s, m = int(snd[i]), int(msg[i])
+                if not poss_ok[i]:
+                    raise ModelViolationError(
+                        f"at time {t} processor {s} sends message {m} "
+                        f"it does not hold (holds {state.messages_of(s)})"
+                    )
+                stray = masks[lo + i] & ~adj[s]
+                w = int(np.flatnonzero(stray)[0])
+                d = w * 64 + (int(stray[w]) & -int(stray[w])).bit_length() - 1
+                raise ModelViolationError(
+                    f"at time {t} processor {s} multicasts to {d}, "
+                    "which is not an adjacent processor"
+                )
+        plo, phi = int(pair_ptr[t]), int(pair_ptr[t + 1])
+        pend_recv = pair_dest[plo:phi]
+        pend_msg = messages[pair_row[plo:phi]]
+    state.deliver_round(pend_recv, pend_msg, final_time)
+
+    complete = state.all_complete()
+    if require_complete and not complete:
+        missing = {
+            v: state.missing_of(v)
+            for v in range(graph.n)
+            if not state.is_complete(v)
+        }
+        raise IncompleteGossipError(
+            f"gossip incomplete after {final_time} rounds; missing: {missing}"
+        )
+    return ExecutionResult(
+        complete=complete,
+        total_time=final_time,
+        completion_times=state.completion_times(),
+        duplicate_deliveries=state.duplicate_deliveries,
+        final_holds=state.snapshot(),
+        arrivals=[],
     )
 
 

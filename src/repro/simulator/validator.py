@@ -3,6 +3,10 @@
 :class:`~repro.core.schedule.Round` already rejects per-round rule
 violations at construction.  This module adds:
 
+Every entry point accepts either a :class:`~repro.core.schedule.Schedule`
+or a bare :class:`~repro.core.schedule.ArraySchedule` (the canonical
+array form; both layers below normalise it through the facade):
+
 * :func:`check_static` — network-level checks that need no execution:
   all endpoints and message ids in range, every transmission along an
   existing edge.  Implemented on top of the static analyzer's model
@@ -22,9 +26,9 @@ in ``tests/simulator/test_faults.py``).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from ..core.schedule import Schedule
+from ..core.schedule import ArraySchedule, Schedule
 from ..exceptions import ScheduleError
 from ..lint import STATIC_MODEL_RULES, diagnostic_exception, lint_schedule
 from ..networks.graph import Graph
@@ -35,7 +39,7 @@ __all__ = ["check_static", "validate_schedule", "assert_gossip_schedule"]
 
 def check_static(
     graph: Graph,
-    schedule: Schedule,
+    schedule: Union[Schedule, ArraySchedule],
     *,
     n_messages: Optional[int] = None,
 ) -> None:
@@ -62,7 +66,7 @@ def check_static(
 
 def validate_schedule(
     graph: Graph,
-    schedule: Schedule,
+    schedule: Union[Schedule, ArraySchedule],
     initial_holds: Optional[Sequence[int]] = None,
     require_complete: bool = True,
 ) -> ExecutionResult:
@@ -83,7 +87,7 @@ def validate_schedule(
 
 def assert_gossip_schedule(
     graph: Graph,
-    schedule: Schedule,
+    schedule: Union[Schedule, ArraySchedule],
     initial_holds: Optional[Sequence[int]] = None,
     max_total_time: Optional[int] = None,
 ) -> ExecutionResult:

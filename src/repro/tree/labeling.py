@@ -14,18 +14,29 @@ subtree is a *contiguous interval* ``[i, j]``:
 The triple ``(i, j, k)`` is the only information a processor needs to run
 the online protocol of Section 4, so :class:`LabeledTree` exposes it
 prominently.
+
+The labelling itself is computed **without walking the DFS**: subtree
+sizes aggregate bottom-up level by level, sibling-prefix sums over the
+children CSR give each child's offset inside its parent's interval, and
+the preorder label is then ``i[child] = i[parent] + 1 + prefix`` pushed
+top-down level by level — all whole-level numpy operations.  The flat
+columns live in :class:`LabelArrays`; the per-vertex
+:class:`VertexLabel` objects are materialised lazily for the object
+view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from ..exceptions import LabelingError
 from ..types import Message, Vertex
 from .tree import Tree
 
-__all__ = ["VertexLabel", "LabeledTree", "label_tree"]
+__all__ = ["VertexLabel", "LabelArrays", "LabeledTree", "label_tree"]
 
 
 @dataclass(frozen=True)
@@ -78,12 +89,148 @@ class VertexLabel:
         return 1 if self.is_first_child else 0
 
 
+@dataclass(frozen=True)
+class LabelArrays:
+    """Flat ``(i, j, k)`` columns of a labelled tree, indexed by vertex.
+
+    All arrays have length ``n`` unless noted; this is the input of the
+    array-native schedule constructions in :mod:`repro.core`.
+
+    Attributes
+    ----------
+    i, j, k:
+        The interval columns (int64): DFS label, largest label in the
+        subtree, level.
+    parent:
+        Parent vertex (``-1`` for the root).
+    parent_i:
+        ``i`` of the parent (``-1`` for the root).
+    size:
+        Subtree sizes (``j - i + 1``).
+    w:
+        1 where the vertex is its parent's first child, else 0.
+    vertex_of_label:
+        Inverse permutation: ``vertex_of_label[i[v]] == v``.
+    child_ptr, child_ids:
+        Children CSR in the tree's fixed (DFS) child order: the children
+        of ``v`` are ``child_ids[child_ptr[v]:child_ptr[v + 1]]``.
+    level_ptr, by_level:
+        Vertices grouped by level: level-``l`` vertices are
+        ``by_level[level_ptr[l]:level_ptr[l + 1]]`` (``len(level_ptr) ==
+        height + 2``).
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    k: np.ndarray
+    parent: np.ndarray
+    parent_i: np.ndarray
+    size: np.ndarray
+    w: np.ndarray
+    vertex_of_label: np.ndarray
+    child_ptr: np.ndarray
+    child_ids: np.ndarray
+    level_ptr: np.ndarray
+    by_level: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of vertices / messages."""
+        return len(self.i)
+
+    @property
+    def height(self) -> int:
+        """Tree height (number of level groups minus one)."""
+        return len(self.level_ptr) - 2
+
+
+def _compute_arrays(tree: Tree) -> LabelArrays:
+    """Level-synchronous vectorised labelling (no DFS walk).
+
+    Columns are int64 on purpose: every one of them is consumed as a
+    fancy-indexing operand downstream, and numpy converts non-``intp``
+    index arrays to ``intp`` on each use — a narrower dtype would force
+    a conversion copy per gather.
+    """
+    n = tree.n
+    parent = np.asarray(tree.parents(), dtype=np.int64)
+    level = np.asarray(tree.levels(), dtype=np.int64)
+
+    # Children CSR in the tree's fixed child order.
+    counts = np.fromiter(
+        (len(tree.children(v)) for v in range(n)), dtype=np.int64, count=n
+    )
+    child_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=child_ptr[1:])
+    child_ids = np.fromiter(
+        (c for v in range(n) for c in tree.children(v)),
+        dtype=np.int64,
+        count=int(child_ptr[-1]),
+    )
+
+    # Vertices grouped by level (stable keeps ascending vertex id in ties).
+    by_level = np.argsort(level, kind="stable")
+    height = int(level.max(initial=0))
+    level_ptr = np.searchsorted(
+        level[by_level], np.arange(height + 2), side="left"
+    ).astype(np.int64)
+
+    # Subtree sizes: aggregate each level into its parents, deepest first.
+    size = np.ones(n, dtype=np.int64)
+    for lvl in range(height, 0, -1):
+        sel = by_level[level_ptr[lvl] : level_ptr[lvl + 1]]
+        np.add.at(size, parent[sel], size[sel])
+
+    # Exclusive prefix sums of sibling subtree sizes, per CSR group.
+    sib_size = size[child_ids]
+    running = np.zeros(len(child_ids), dtype=np.int64)
+    if len(child_ids):
+        np.cumsum(sib_size[:-1], out=running[1:])
+        # Count-0 groups contribute nothing to the repeat; clip their
+        # (one-past-end) start offsets so the gather stays in bounds.
+        group_starts = child_ptr[:-1].clip(max=len(child_ids) - 1)
+        group_base = np.repeat(running[group_starts], counts)
+        presib_flat = running - group_base
+        presib = np.zeros(n, dtype=np.int64)
+        presib[child_ids] = presib_flat
+    else:
+        presib = np.zeros(n, dtype=np.int64)
+
+    # Preorder labels pushed root-to-leaves one level at a time.
+    i = np.zeros(n, dtype=np.int64)
+    for lvl in range(1, height + 1):
+        sel = by_level[level_ptr[lvl] : level_ptr[lvl + 1]]
+        i[sel] = i[parent[sel]] + 1 + presib[sel]
+
+    j = i + size - 1
+    parent_i = np.where(parent >= 0, i[parent.clip(min=0)], -1)
+    w = ((parent >= 0) & (i == parent_i + 1)).astype(np.int64)
+    vertex_of_label = np.empty(n, dtype=np.int64)
+    vertex_of_label[i] = np.arange(n, dtype=np.int64)
+    return LabelArrays(
+        i=i,
+        j=j,
+        k=level,
+        parent=parent,
+        parent_i=parent_i,
+        size=size,
+        w=w,
+        vertex_of_label=vertex_of_label,
+        child_ptr=child_ptr,
+        child_ids=child_ids,
+        level_ptr=level_ptr,
+        by_level=by_level,
+    )
+
+
 class LabeledTree:
     """A :class:`~repro.tree.tree.Tree` plus its DFS preorder labelling.
 
     Exposes both directions of the label map and the ``(i, j, k)`` block of
     every vertex.  All schedule-construction algorithms in
-    :mod:`repro.core` consume a :class:`LabeledTree`.
+    :mod:`repro.core` consume a :class:`LabeledTree`; the array-native
+    ones read the flat :attr:`arrays` columns, the object view goes
+    through :meth:`block` (materialised lazily).
 
     Examples
     --------
@@ -95,66 +242,51 @@ class LabeledTree:
     2
     """
 
-    __slots__ = ("_tree", "_label", "_vertex", "_blocks", "_blocks_by_label")
+    __slots__ = ("_tree", "_arrays", "_label", "_vertex", "_blocks")
 
     def __init__(self, tree: Tree) -> None:
         self._tree = tree
-        n = tree.n
-        label: List[int] = [-1] * n
-        vertex: List[int] = [-1] * n
-        for idx, v in enumerate(tree.dfs_preorder()):
-            label[v] = idx
-            vertex[idx] = v
-        if -1 in label:
-            raise LabelingError("DFS preorder did not reach every vertex")
-        # j = max label in subtree.  Process vertices deepest-first so each
-        # parent aggregates its children's finished intervals.
-        j_of: List[int] = list(label)
-        order = sorted(range(n), key=tree.level, reverse=True)
-        for v in order:
-            p = tree.parent(v)
-            if p >= 0 and j_of[v] > j_of[p]:
-                j_of[p] = j_of[v]
-        blocks: List[VertexLabel] = []
-        for v in range(n):
-            p = tree.parent(v)
-            blocks.append(
-                VertexLabel(
-                    vertex=v,
-                    i=label[v],
-                    j=j_of[v],
-                    k=tree.level(v),
-                    parent_i=label[p] if p >= 0 else -1,
-                )
-            )
-        self._label = tuple(label)
-        self._vertex = tuple(vertex)
-        self._blocks = tuple(blocks)
-        self._blocks_by_label = tuple(blocks[vertex[lbl]] for lbl in range(n))
+        self._arrays = _compute_arrays(tree)
+        self._label: Tuple[int, ...] = tuple(self._arrays.i.tolist())
+        self._vertex: Tuple[int, ...] = tuple(self._arrays.vertex_of_label.tolist())
+        self._blocks: Optional[Tuple[VertexLabel, ...]] = None
         self._validate()
 
     def _validate(self) -> None:
         """Check the contiguous-interval invariants of a DFS labelling."""
-        t = self._tree
-        for v in range(t.n):
-            blk = self._blocks[v]
-            if blk.subtree_size != t.subtree_size(v):
+        arr = self._arrays
+        n = arr.n
+        if not np.array_equal(np.sort(arr.i), np.arange(n)):
+            raise LabelingError("DFS labels are not a permutation of 0..n-1")
+        if np.any(arr.j - arr.i + 1 != arr.size) or np.any(arr.j >= n):
+            raise LabelingError("subtree intervals disagree with subtree sizes")
+        if len(arr.child_ids):
+            # Children partition (i, j] of the parent: each child starts
+            # right after its left sibling ends, the first child starts at
+            # parent i + 1, and the last child ends at the parent's j.
+            parents_flat = np.repeat(np.arange(n), np.diff(arr.child_ptr))
+            first = np.zeros(len(arr.child_ids), dtype=bool)
+            first[arr.child_ptr[:-1][np.diff(arr.child_ptr) > 0]] = True
+            starts = arr.i[arr.child_ids]
+            expected = np.empty_like(starts)
+            expected[first] = arr.i[parents_flat[first]] + 1
+            expected[~first] = arr.j[arr.child_ids[np.flatnonzero(~first) - 1]] + 1
+            bad = np.flatnonzero(starts != expected)
+            if len(bad):
+                b = int(bad[0])
                 raise LabelingError(
-                    f"subtree interval of vertex {v} has size {blk.subtree_size}, "
-                    f"expected {t.subtree_size(v)}"
+                    f"child {int(arr.child_ids[b])} of {int(parents_flat[b])} "
+                    f"starts at label {int(starts[b])}, expected {int(expected[b])}"
                 )
-            kids = t.children(v)
-            cursor = blk.i + 1
-            for c in kids:
-                cb = self._blocks[c]
-                if cb.i != cursor:
-                    raise LabelingError(
-                        f"child {c} of {v} starts at label {cb.i}, expected {cursor}"
-                    )
-                cursor = cb.j + 1
-            if kids and cursor != blk.j + 1:
+            has_kids = np.diff(arr.child_ptr) > 0
+            last = arr.child_ids[arr.child_ptr[1:][has_kids] - 1]
+            owners = np.flatnonzero(has_kids)
+            mismatch = np.flatnonzero(arr.j[last] != arr.j[owners])
+            if len(mismatch):
+                m = int(mismatch[0])
                 raise LabelingError(
-                    f"children of {v} end at label {cursor - 1}, expected {blk.j}"
+                    f"children of {int(owners[m])} end at label "
+                    f"{int(arr.j[last[m]])}, expected {int(arr.j[owners[m]])}"
                 )
 
     # ------------------------------------------------------------------
@@ -162,6 +294,11 @@ class LabeledTree:
     def tree(self) -> Tree:
         """The underlying rooted ordered tree."""
         return self._tree
+
+    @property
+    def arrays(self) -> LabelArrays:
+        """The flat label columns (canonical input of the array planners)."""
+        return self._arrays
 
     @property
     def n(self) -> int:
@@ -181,17 +318,29 @@ class LabeledTree:
         """Vertex owning the message with the given DFS label."""
         return self._vertex[label]
 
+    def _materialized_blocks(self) -> Tuple[VertexLabel, ...]:
+        if self._blocks is None:
+            arr = self._arrays
+            i, j, k, pi = (
+                arr.i.tolist(), arr.j.tolist(), arr.k.tolist(), arr.parent_i.tolist(),
+            )
+            self._blocks = tuple(
+                VertexLabel(vertex=v, i=i[v], j=j[v], k=k[v], parent_i=pi[v])
+                for v in range(self._tree.n)
+            )
+        return self._blocks
+
     def block(self, v: Vertex) -> VertexLabel:
         """The ``(i, j, k)`` block of vertex ``v``."""
-        return self._blocks[v]
+        return self._materialized_blocks()[v]
 
     def block_of_label(self, label: Message) -> VertexLabel:
         """The ``(i, j, k)`` block of the vertex whose s-message is ``label``."""
-        return self._blocks_by_label[label]
+        return self._materialized_blocks()[self._vertex[label]]
 
     def blocks(self) -> Tuple[VertexLabel, ...]:
         """All per-vertex blocks, indexed by vertex id."""
-        return self._blocks
+        return self._materialized_blocks()
 
     def labels(self) -> Tuple[int, ...]:
         """The full vertex -> label map."""
@@ -199,7 +348,9 @@ class LabeledTree:
 
     def label_table(self) -> Dict[Vertex, Tuple[int, int, int]]:
         """Mapping ``vertex -> (i, j, k)`` — the online protocol's inputs."""
-        return {v: (b.i, b.j, b.k) for v, b in enumerate(self._blocks)}
+        arr = self._arrays
+        i, j, k = arr.i.tolist(), arr.j.tolist(), arr.k.tolist()
+        return {v: (i[v], j[v], k[v]) for v in range(self._tree.n)}
 
     def children_by_label(self, v: Vertex) -> Tuple[int, ...]:
         """Children of ``v`` in DFS order, as their ``i`` labels."""
@@ -212,10 +363,10 @@ class LabeledTree:
         the label (i.e. the message does not originate strictly below
         ``v``).
         """
+        arr = self._arrays
         for c in self._tree.children(v):
-            cb = self._blocks[c]
-            if cb.i <= message <= cb.j:
-                return c
+            if arr.i[c] <= message <= arr.j[c]:
+                return int(c)
         raise LabelingError(
             f"message {message} does not originate below vertex {v}"
         )

@@ -29,11 +29,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..exceptions import MessageClassError
 from ..types import Message
-from .labeling import VertexLabel
+from .labeling import LabelArrays, VertexLabel
 
-__all__ = ["MessageClasses", "classify", "class_name_of"]
+__all__ = [
+    "MessageClasses",
+    "MessageClassArrays",
+    "classify",
+    "classify_arrays",
+    "class_name_of",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +112,61 @@ def classify(block: VertexLabel, n: int) -> MessageClasses:
         o_high=range(j + 1, n),
         lip_message=lip,
         rip_messages=rip,
+    )
+
+
+@dataclass(frozen=True)
+class MessageClassArrays:
+    """All vertices' message classes at once, as flat label columns.
+
+    The vectorised counterpart of :func:`classify`: every field is an
+    ``(n,)`` int64 array indexed by vertex.  Absent singletons
+    (l-message of a leaf, lip-message of a non-first child or the root)
+    are ``-1``; ranges are half-open ``[lo, hi)`` column pairs, empty
+    when ``lo >= hi``.  This is what the array-native Propagate-Up/Down
+    constructions consume directly.
+    """
+
+    n: int
+    s_message: np.ndarray
+    l_message: np.ndarray
+    r_lo: np.ndarray
+    r_hi: np.ndarray
+    o_low_hi: np.ndarray
+    o_high_lo: np.ndarray
+    lip_message: np.ndarray
+    rip_lo: np.ndarray
+    rip_hi: np.ndarray
+
+    def count_o(self) -> np.ndarray:
+        """Per-vertex o-message counts (``n - subtree_size``)."""
+        return self.o_low_hi + (self.n - self.o_high_lo)
+
+
+def classify_arrays(labels: LabelArrays, n: int) -> MessageClassArrays:
+    """Classify every vertex's message labels in one vectorised pass.
+
+    Column-for-column equivalent to calling :func:`classify` on each
+    vertex block: ``r_messages == range(r_lo, r_hi)``, ``o_low ==
+    range(0, o_low_hi)``, ``o_high == range(o_high_lo, n)`` and
+    ``rip_messages == range(rip_lo, rip_hi)``.
+    """
+    i, j, pi = labels.i, labels.j, labels.parent_i
+    nonroot = pi >= 0
+    l_message = np.where(i + 1 <= j, i + 1, -1)
+    lip = np.where(nonroot & (labels.w == 1), i, -1)
+    rip_lo = np.where(nonroot, np.maximum(i, pi + 2), i)
+    return MessageClassArrays(
+        n=int(n),
+        s_message=i,
+        l_message=l_message,
+        r_lo=i + 2,
+        r_hi=j + 1,
+        o_low_hi=i,
+        o_high_lo=j + 1,
+        lip_message=lip,
+        rip_lo=rip_lo,
+        rip_hi=j + 1,
     )
 
 

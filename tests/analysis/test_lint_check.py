@@ -83,6 +83,31 @@ class TestConventionsScript:
         assert proc.returncode == 1
         assert "keyword-only" in proc.stdout
 
+    def test_detects_hot_path_loop(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        bad = core / "concurrent_updown.py"
+        bad.write_text("def f(events):\n    for e in events:\n        pass\n")
+        proc = run("scripts/check_conventions.py", str(bad))
+        assert proc.returncode == 1
+        assert "hot path" in proc.stdout
+
+    def test_hot_path_loop_exemptions(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        ok = core / "propagate_down.py"
+        ok.write_text(
+            "def emit_builder(events):\n"
+            "    for e in events:\n"
+            "        pass\n"
+            "def levels(tree):\n"
+            "    'hot-loop-ok: iterates tree levels, not transmissions'\n"
+            "    for lvl in tree:\n"
+            "        pass\n"
+        )
+        proc = run("scripts/check_conventions.py", str(ok))
+        assert proc.returncode == 0, proc.stdout
+
 
 @pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
 class TestRuff:

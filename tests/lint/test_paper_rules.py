@@ -143,12 +143,10 @@ class TestLabelContiguity:
         for v, lbl in enumerate(labels):
             vertex[lbl] = v
         forged._tree = good.tree
+        forged._arrays = good.arrays
         forged._label = tuple(labels)
         forged._vertex = tuple(vertex)
         forged._blocks = good.blocks()
-        forged._blocks_by_label = tuple(
-            good.blocks()[vertex[lbl]] for lbl in range(len(labels))
-        )
         broken_plan = dataclasses.replace(plan, labeled=forged)
         report = paper_lint(broken_plan, plan.schedule)
         assert report.by_rule("paper/label-contiguity")

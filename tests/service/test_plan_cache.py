@@ -41,13 +41,20 @@ class TestLRU:
         assert cache.get(_key(c)) is c
 
     def test_weight_bound(self):
-        small = _plan(4)
-        cache = PlanCache(max_entries=100, max_weight=3 * plan_weight(small))
         plans = [_plan(n) for n in (3, 4, 5, 6, 7)]
+        # Room for the largest plan plus a little — forces evictions
+        # without tripping the oversized-entry escape hatch.
+        cache = PlanCache(
+            max_entries=100, max_weight=2 * plan_weight(plans[-1])
+        )
         for p in plans:
             cache.put(_key(p), p)
         assert cache.weight <= cache.max_weight
         assert len(cache) < len(plans)
+
+    def test_weight_is_schedule_array_bytes(self):
+        plan = _plan(6)
+        assert plan_weight(plan) == plan.arrays().nbytes
 
     def test_refresh_same_key_does_not_double_count_weight(self):
         """Regression guard: ``put`` on an existing key must subtract the
@@ -68,7 +75,7 @@ class TestLRU:
 
     def test_oversized_entry_still_admitted(self):
         cache = PlanCache(max_entries=10, max_weight=5)
-        big = _plan(30)  # weight 59 > bound
+        big = _plan(30)  # array bytes far above the bound
         cache.put(_key(big), big)
         assert cache.get(_key(big)) is big
         # ...but it crowds everything else out
