@@ -1,0 +1,259 @@
+"""RUNTIME — the online protocol on real UDP sockets vs the simulator.
+
+The robustness claim behind :mod:`repro.runtime`: the paper's *online*
+ConcurrentUpDown, executed by real asyncio peers speaking datagrams on
+localhost, is (a) **offline-exact** when the network behaves — the
+multiset of transmissions equals the offline schedule byte for byte on
+every topology family — and (b) **degradation-bounded** when it does
+not: under a chaos profile of datagram drops, delay jitter, and one
+killed peer, failure detection plus the survival replan still deliver
+full degraded coverage ("gossip among survivors"), and the whole run is
+byte-for-byte reproducible per seed.
+
+Measured here:
+
+* wall-clock makespan of a fault-free real-network run vs the simulated
+  round count, across all topology families at n≈16;
+* completion (survivor coverage) over seeded chaos trials on the
+  acceptance profile, plus detection/replan round counts;
+* the per-seed reproducibility gate: one chaos trial executed twice must
+  produce identical deterministic summaries.
+
+Runs two ways:
+
+* under pytest(-benchmark) with the rest of the suite — records rows in
+  the reproduction summary;
+* standalone: ``python benchmarks/bench_runtime.py --check`` exits
+  non-zero unless all three gates hold (``--quick`` shrinks the sweep
+  for tier-1 wiring).
+"""
+
+import argparse
+import sys
+
+from repro.analysis.sweep import FAMILIES
+from repro.core.gossip import gossip
+from repro.runtime import (
+    NetChaos,
+    RuntimeConfig,
+    ScaledClock,
+    run_gossip_network,
+)
+
+#: The acceptance-criteria sweep shape.
+FAMILY_SIZE = 16
+CHAOS_FAMILY = "grid:16"
+CHAOS_TRIALS = 6
+SEED = 7
+MIN_COMPLETION = 0.95
+
+#: Chaos profile: drops + delay jitter + one killed peer per trial.
+DROP_RATE = 0.08
+DELAY_RATE = 0.15
+DELAY_MAX = 0.02
+
+#: Tier-1 subset for --quick (one per structural class, cheap to boot).
+QUICK_FAMILIES = ("path", "star", "grid", "binary-tree", "random")
+
+
+def _offline_multiset(plan):
+    """The offline schedule as a sorted transmission multiset."""
+    return sorted(
+        (t, tx.sender, tx.message, tuple(sorted(tx.destinations)))
+        for t, rnd in enumerate(plan.schedule.rounds)
+        for tx in rnd
+    )
+
+
+def _online_multiset(result):
+    """A runtime transcript as a sorted transmission multiset."""
+    return sorted(
+        (e.round, e.sender, e.message, e.destinations)
+        for e in result.transcript
+    )
+
+
+def run_fault_free(*, families=None, seed=SEED):
+    """One fault-free real-network run per family; wall clock vs rounds.
+
+    Returns ``(family, n, rounds, wall_seconds, complete, exact)`` rows
+    where ``exact`` is the offline-transcript gate.
+    """
+    rows = []
+    config = RuntimeConfig(run_timeout=30.0, seed=seed)
+    for name in sorted(families if families is not None else FAMILIES):
+        plan = gossip(f"{name}:{FAMILY_SIZE}")
+        result = run_gossip_network(plan, config=config)
+        rows.append(
+            (
+                plan.graph.name or name,
+                result.n,
+                result.horizon,
+                result.wall_seconds,
+                result.complete,
+                _offline_multiset(plan) == _online_multiset(result),
+            )
+        )
+    return rows
+
+
+def _chaos_trial_inputs(plan, trial, seed):
+    """Deterministic chaos profile + config for one trial."""
+    n = plan.graph.n
+    victim = (trial * 5 + 1) % n
+    kill_round = 1 + trial % 4
+    chaos = NetChaos(
+        seed=seed * 1_000_003 + trial,
+        drop_rate=DROP_RATE,
+        delay_rate=DELAY_RATE,
+        delay_max=DELAY_MAX,
+        kill=((victim, kill_round),),
+    )
+    config = RuntimeConfig(
+        heartbeat_interval=0.25,
+        fail_after=1.0,
+        round_timeout=6.0,
+        run_timeout=120.0,
+        seed=seed + trial,
+    )
+    return chaos, config
+
+
+def run_chaos(*, trials=CHAOS_TRIALS, seed=SEED):
+    """Seeded chaos trials (drops + jitter + one killed peer each)."""
+    plan = gossip(CHAOS_FAMILY)
+    results = []
+    for trial in range(trials):
+        chaos, config = _chaos_trial_inputs(plan, trial, seed)
+        results.append(
+            run_gossip_network(
+                plan, chaos=chaos, config=config, clock=ScaledClock(0.2)
+            )
+        )
+    return results
+
+
+def check_offline_exact(rows) -> None:
+    """Gate: every fault-free run is complete and offline-identical."""
+    bad = [(fam, complete, exact) for fam, _, _, _, complete, exact in rows
+           if not (complete and exact)]
+    assert not bad, (
+        f"{len(bad)} families diverged from the offline schedule on real "
+        f"sockets: {bad}"
+    )
+
+
+def check_chaos_completion(results) -> None:
+    """Gate: >= MIN_COMPLETION mean coverage; every death detected."""
+    coverage = sum(r.coverage for r in results) / len(results)
+    assert coverage >= MIN_COMPLETION, (
+        f"chaos completion {coverage:.1%} < {MIN_COMPLETION:.0%} over "
+        f"{len(results)} trials"
+    )
+    undetected = [i for i, r in enumerate(results) if len(r.dead) != 1]
+    assert not undetected, (
+        f"trials {undetected} did not detect exactly the one killed peer"
+    )
+
+
+def check_reproducible(*, seed=SEED) -> None:
+    """Gate: one chaos trial run twice is byte-for-byte identical."""
+    plan = gossip(CHAOS_FAMILY)
+    chaos, config = _chaos_trial_inputs(plan, 0, seed)
+
+    def once():
+        return run_gossip_network(
+            plan, chaos=chaos, config=config, clock=ScaledClock(0.2)
+        ).deterministic_summary()
+
+    first, second = once(), once()
+    assert first == second, (
+        "identical seeds produced different deterministic summaries: "
+        + str({k: (first[k], second[k]) for k in first if first[k] != second[k]})
+    )
+
+
+def test_runtime_wallclock_vs_rounds(benchmark, report):
+    """Real-network makespan vs simulated rounds; all gates must hold."""
+    rows = benchmark.pedantic(
+        lambda: run_fault_free(families=QUICK_FAMILIES),
+        iterations=1,
+        rounds=1,
+    )
+    for family, n, rounds, wall, complete, exact in rows:
+        report.row(
+            network=family,
+            n=n,
+            rounds=rounds,
+            wall_ms=f"{wall * 1000:.1f}",
+            rounds_per_sec=f"{rounds / wall:.0f}" if wall else "inf",
+            complete=complete,
+            offline_exact=exact,
+        )
+    check_offline_exact(rows)
+
+    chaos_results = run_chaos(trials=3)
+    for i, r in enumerate(chaos_results):
+        report.row(
+            network=CHAOS_FAMILY,
+            trial=i,
+            coverage=f"{r.coverage:.0%}",
+            dead=list(r.dead),
+            survival_rounds=r.survival_rounds,
+            retransmissions=r.retransmissions,
+        )
+    check_chaos_completion(chaos_results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the offline-exact, chaos-completion and "
+             "per-seed-reproducibility gates hold",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the small tier-1 subset instead of all families",
+    )
+    parser.add_argument("--trials", type=int, default=CHAOS_TRIALS)
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    families = QUICK_FAMILIES if args.quick else sorted(FAMILIES)
+    rows = run_fault_free(families=families, seed=args.seed)
+    header = (f"{'network':<16} {'n':>4} {'rounds':>6} {'wall ms':>8} "
+              f"{'rounds/s':>9} {'complete':>9} {'exact':>6}")
+    print(f"real-network runtime  seed={args.seed}  families={len(rows)}")
+    print(header)
+    print("-" * len(header))
+    for family, n, rounds, wall, complete, exact in rows:
+        rate = f"{rounds / wall:.0f}" if wall else "inf"
+        print(f"{family:<16} {n:>4} {rounds:>6} {wall * 1000:>8.1f} "
+              f"{rate:>9} {str(complete):>9} {str(exact):>6}")
+
+    trials = max(1, args.trials // 2) if args.quick else args.trials
+    results = run_chaos(trials=trials, seed=args.seed)
+    print(f"\nchaos profile: drop={DROP_RATE} delay={DELAY_RATE} "
+          f"delay_max={DELAY_MAX}s + one killed peer, {trials} trials "
+          f"on {CHAOS_FAMILY}")
+    for i, r in enumerate(results):
+        print(f"  trial {i}: coverage={r.coverage:.0%} dead={list(r.dead)} "
+              f"survival_rounds={r.survival_rounds} "
+              f"retransmissions={r.retransmissions}")
+
+    if args.check:
+        try:
+            check_offline_exact(rows)
+            check_chaos_completion(results)
+            check_reproducible(seed=args.seed)
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print("check: offline-exact transcripts, >= 95% chaos completion, "
+              "per-seed reproducibility  OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

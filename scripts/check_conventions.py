@@ -27,6 +27,15 @@ Enforced conventions:
    (the per-vertex reference implementations kept for differential
    tests) or whose docstring carries a ``hot-loop-ok`` marker next to a
    justification (e.g. a loop over tree *levels*, not transmissions).
+5. **Clock discipline in the runtime** — inside ``src/repro/runtime``
+   every time-dependent call goes through the injectable
+   :class:`repro.runtime.clock.Clock`; bare ``asyncio.sleep``,
+   ``asyncio.wait_for``, ``time.time`` and ``time.monotonic`` calls are
+   forbidden outside ``clock.py`` itself.  A direct call would bypass
+   the :class:`ScaledClock` test double and silently turn a
+   milliseconds-long failure-detection test back into wall-clock
+   seconds (or, worse, split the runtime across two disagreeing
+   clocks).
 
 Exit status: 0 when clean, 1 with one ``file:line: message`` per
 violation on stdout.  Run from the repository root::
@@ -62,6 +71,15 @@ HOT_PATH_MODULES = {
 #: Docstring marker exempting one function from the hot-path loop rule.
 HOT_LOOP_MARKER = "hot-loop-ok"
 
+#: ``module.attr`` calls forbidden in ``src/repro/runtime`` outside
+#: ``clock.py`` (the injectable-clock discipline, rule 5).
+BARE_CLOCK_CALLS = {
+    ("asyncio", "sleep"),
+    ("asyncio", "wait_for"),
+    ("time", "time"),
+    ("time", "monotonic"),
+}
+
 Violation = Tuple[pathlib.Path, int, str]
 
 
@@ -91,6 +109,10 @@ def _raised_name(node: ast.Raise) -> str:
 
 def _is_hot_path(path: pathlib.Path) -> bool:
     return path.name in HOT_PATH_MODULES and path.parent.name == "core"
+
+
+def _needs_clock_discipline(path: pathlib.Path) -> bool:
+    return path.parent.name == "runtime" and path.name != "clock.py"
 
 
 def _hot_loop_violations(
@@ -139,6 +161,24 @@ def check_file(path: pathlib.Path) -> Iterator[Violation]:
                 )
         elif isinstance(node, ast.Call):
             yield from _check_call(path, node)
+            if _needs_clock_discipline(path):
+                yield from _check_clock_call(path, node)
+
+
+def _check_clock_call(path: pathlib.Path, node: ast.Call) -> Iterator[Violation]:
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and (func.value.id, func.attr) in BARE_CLOCK_CALLS
+    ):
+        yield (
+            path,
+            node.lineno,
+            f"bare {func.value.id}.{func.attr}() in the runtime; route it "
+            "through the injectable Clock (repro.runtime.clock) so the "
+            "ScaledClock test double still governs every wait",
+        )
 
 
 def _check_call(path: pathlib.Path, node: ast.Call) -> Iterator[Violation]:

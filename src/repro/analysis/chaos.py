@@ -19,12 +19,13 @@ their own right, not just lucky under the faults that shaped them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.gossip import gossip, resolve_network
 from ..core.recovery import execute_plan_with_faults, recover
-from ..exceptions import RecoveryExhaustedError, ReproError
+from ..exceptions import RecoveryExhaustedError, ReproError, SweepTimeoutError
 from ..simulator.engine import execute_schedule
 from ..simulator.lossy import FaultModel
 from ..simulator.state import labeled_holdings
@@ -134,6 +135,7 @@ def run_chaos_sweep(
     crash_length: int = 1,
     policy: str = "nearest-holder",
     verify_fault_free: bool = True,
+    deadline: Optional[float] = None,
 ) -> ChaosReport:
     """Run a seeded drop-rate × topology fault sweep.
 
@@ -144,9 +146,18 @@ def run_chaos_sweep(
     fault-free schedule length.  Trial ``k`` of cell ``(i, j)`` uses the
     fault seed ``seed * 1_000_003 + i * 10_007 + j * 101 + k`` —
     deterministic, distinct per trial, reproducible across runs.
+
+    ``deadline`` (seconds of wall clock) bounds the whole sweep: checked
+    between trials, and on expiry the sweep fails fast with the typed
+    :class:`~repro.exceptions.SweepTimeoutError` instead of grinding on —
+    the wall clock gates only *whether* the sweep finishes, never any
+    reported number, so determinism of the output is unaffected.
     """
     if trials < 1:
         raise ReproError("trials must be >= 1")
+    if deadline is not None and deadline <= 0:
+        raise ReproError("deadline must be positive (seconds)")
+    started = time.monotonic()
     cells: List[ChaosCell] = []
     report_budget = 0
     for i, spec in enumerate(families):
@@ -162,6 +173,16 @@ def run_chaos_sweep(
             completed = verified = lost_total = attempts_max = 0
             overheads: List[int] = []
             for k in range(trials):
+                if deadline is not None:
+                    elapsed = time.monotonic() - started
+                    if elapsed > deadline:
+                        raise SweepTimeoutError(
+                            f"chaos sweep exceeded its {deadline:.1f}s deadline "
+                            f"after {elapsed:.1f}s ({len(cells)} of "
+                            f"{len(families) * len(drop_rates)} cells done)",
+                            elapsed=elapsed,
+                            completed_cells=len(cells),
+                        )
                 model = FaultModel(
                     seed=seed * 1_000_003 + i * 10_007 + j * 101 + k,
                     drop_rate=drop,

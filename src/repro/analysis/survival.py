@@ -29,13 +29,19 @@ seed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.gossip import gossip, resolve_network
 from ..core.recovery import execute_plan_with_faults
 from ..core.survival import survive
-from ..exceptions import PartitionedNetworkError, ReproError, SurvivorSetError
+from ..exceptions import (
+    PartitionedNetworkError,
+    ReproError,
+    SurvivorSetError,
+    SweepTimeoutError,
+)
 from ..simulator.lossy import FaultModel
 
 __all__ = ["SurvivalCell", "SurvivalReport", "run_survival_sweep"]
@@ -165,6 +171,7 @@ def run_survival_sweep(
     algorithm: str = "concurrent-updown",
     link_fail_rate: float = 0.0,
     drop_rate: float = 0.0,
+    deadline: Optional[float] = None,
 ) -> SurvivalReport:
     """Run a seeded fail-stop-rate × topology survival sweep.
 
@@ -176,9 +183,17 @@ def run_survival_sweep(
     chaos sweep's formula so the two campaigns can be correlated.
     ``drop_rate`` layers transient losses on top of the permanent
     failures (the survival schedule itself always runs fault-free).
+
+    ``deadline`` (seconds of wall clock) bounds the whole sweep: checked
+    between trials, and on expiry the sweep fails fast with the typed
+    :class:`~repro.exceptions.SweepTimeoutError` — the wall clock never
+    influences any reported number, only whether the sweep finishes.
     """
     if trials < 1:
         raise ReproError("trials must be >= 1")
+    if deadline is not None and deadline <= 0:
+        raise ReproError("deadline must be positive (seconds)")
+    started = time.monotonic()
     cells: List[SurvivalCell] = []
     for i, spec in enumerate(families):
         graph, tree = resolve_network(spec)
@@ -188,6 +203,17 @@ def run_survival_sweep(
             typed_partitions = within_bound = dead_max = components_max = 0
             rounds: List[int] = []
             for k in range(trials):
+                if deadline is not None:
+                    elapsed = time.monotonic() - started
+                    if elapsed > deadline:
+                        raise SweepTimeoutError(
+                            f"survival sweep exceeded its {deadline:.1f}s "
+                            f"deadline after {elapsed:.1f}s ({len(cells)} of "
+                            f"{len(families) * len(fail_stop_rates)} cells "
+                            "done)",
+                            elapsed=elapsed,
+                            completed_cells=len(cells),
+                        )
                 model = FaultModel(
                     seed=seed * 1_000_003 + i * 10_007 + j * 101 + k,
                     drop_rate=drop_rate,

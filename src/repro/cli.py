@@ -13,6 +13,10 @@ Subcommands:
 * ``survive``     — seeded permanent-failure sweep (fail-stop rate x topology)
   measuring survivor coverage through ``repro.core.survival``;
 * ``plan-bench``  — pruned vs exhaustive sweep timings with the speedup gate;
+* ``run-net``     — execute the online protocol over real UDP sockets on
+  localhost (``repro.runtime``), optionally under seeded socket-level chaos
+  (drops, delay jitter, killed peers) with failure detection and survival
+  replanning;
 * ``lint``        — static schedule analysis (``repro.lint``): verify plans
   against the model, efficiency and paper-invariant rules without executing
   them (``--json`` for CI, ``--check`` to gate on error diagnostics).
@@ -30,8 +34,9 @@ Examples
     python -m repro.cli paper
     python -m repro.cli bench --topology grid --n 256 --check
     python -m repro.cli serve-stats --requests 500
-    python -m repro.cli chaos --family random:48 --drop 0.2 --seed 7
+    python -m repro.cli chaos --family random:48 --drop 0.2 --seed 7 --timeout 120
     python -m repro.cli survive --family random:32 --fail-stop 0.05 --check
+    python -m repro.cli run-net --family grid:16 --drop 0.1 --kill 4:3 --seed 7
     python -m repro.cli plan-bench --spec grid:400 --spec torus:1024 --check
 """
 
@@ -197,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
              "and all repairs pass fault-free re-validation "
              "(with --permanent: the survivor-coverage gates)",
     )
+    p_chaos.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole sweep; on expiry fail fast "
+             "with the typed SweepTimeoutError instead of grinding on",
+    )
 
     p_survive = sub.add_parser(
         "survive",
@@ -230,6 +240,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless every survivable trial reaches 100%% "
              "survivor coverage, every partitioned trial raises the typed "
              "error, and all schedules respect the degraded bound",
+    )
+    p_survive.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole sweep; on expiry fail fast "
+             "with the typed SweepTimeoutError instead of grinding on",
+    )
+
+    p_runnet = sub.add_parser(
+        "run-net",
+        help="execute the online protocol over real UDP sockets on localhost, "
+             "optionally under seeded socket-level chaos",
+    )
+    p_runnet.add_argument(
+        "--family", default="grid:16", metavar="SPEC",
+        help="network spec 'family:n' (default: grid:16)",
+    )
+    p_runnet.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="concurrent-updown"
+    )
+    p_runnet.add_argument("--seed", type=int, default=7, help="chaos seed")
+    p_runnet.add_argument(
+        "--drop", type=float, default=0.0,
+        help="per-send-attempt datagram drop probability",
+    )
+    p_runnet.add_argument(
+        "--delay", type=float, default=0.0,
+        help="per-send-attempt datagram delay probability (reorders)",
+    )
+    p_runnet.add_argument(
+        "--delay-max", type=float, default=0.02,
+        help="upper bound of the drawn extra latency in seconds",
+    )
+    p_runnet.add_argument(
+        "--kill", action="append", default=None, metavar="V:R",
+        help="fail-stop vertex V at protocol round R (repeatable)",
+    )
+    p_runnet.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="whole-run deadline in seconds (typed RuntimeDeadlineError)",
+    )
+    p_runnet.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="shrink every runtime wait by this factor in (0, 1] "
+             "(1.0 = real time)",
+    )
+    p_runnet.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the run reaches full (degraded) coverage "
+             "and a fault-free run matches the offline schedule exactly",
     )
 
     p_pbench = sub.add_parser(
@@ -513,6 +572,7 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .analysis.chaos import run_chaos_sweep
+    from .exceptions import SweepTimeoutError
 
     if args.permanent is not None:
         # Permanent-failure mode: transient repair cannot help once
@@ -520,14 +580,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         from .analysis.survival import run_survival_sweep
 
         drops = args.drop if args.drop is not None else [0.0]
-        report = run_survival_sweep(
-            families=args.family or ["random:48"],
-            fail_stop_rates=args.permanent,
-            trials=args.trials,
-            seed=args.seed,
-            algorithm=args.algorithm,
-            drop_rate=drops[0],
-        )
+        try:
+            report = run_survival_sweep(
+                families=args.family or ["random:48"],
+                fail_stop_rates=args.permanent,
+                trials=args.trials,
+                seed=args.seed,
+                algorithm=args.algorithm,
+                drop_rate=drops[0],
+                deadline=args.timeout,
+            )
+        except SweepTimeoutError as err:
+            print(f"TIMEOUT: {err}")
+            return 1
         print(report.format())
         if args.check:
             try:
@@ -539,16 +604,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                   "degraded bound hold  OK")
         return 0
 
-    report = run_chaos_sweep(
-        families=args.family or ["random:48"],
-        drop_rates=args.drop if args.drop is not None else [0.2],
-        trials=args.trials,
-        seed=args.seed,
-        algorithm=args.algorithm,
-        max_repair_rounds=args.max_repair_rounds,
-        link_outage_rate=args.link_outage,
-        crash_rate=args.crash,
-    )
+    try:
+        report = run_chaos_sweep(
+            families=args.family or ["random:48"],
+            drop_rates=args.drop if args.drop is not None else [0.2],
+            trials=args.trials,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            max_repair_rounds=args.max_repair_rounds,
+            link_outage_rate=args.link_outage,
+            crash_rate=args.crash,
+            deadline=args.timeout,
+        )
+    except SweepTimeoutError as err:
+        print(f"TIMEOUT: {err}")
+        return 1
     print(report.format())
     if args.check:
         try:
@@ -562,18 +632,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_survive(args: argparse.Namespace) -> int:
     from .analysis.survival import run_survival_sweep
+    from .exceptions import SweepTimeoutError
 
-    report = run_survival_sweep(
-        families=args.family or ["random:48"],
-        fail_stop_rates=(
-            args.fail_stop if args.fail_stop is not None else [0.02]
-        ),
-        trials=args.trials,
-        seed=args.seed,
-        algorithm=args.algorithm,
-        link_fail_rate=args.link_fail,
-        drop_rate=args.drop,
-    )
+    try:
+        report = run_survival_sweep(
+            families=args.family or ["random:48"],
+            fail_stop_rates=(
+                args.fail_stop if args.fail_stop is not None else [0.02]
+            ),
+            trials=args.trials,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            link_fail_rate=args.link_fail,
+            drop_rate=args.drop,
+            deadline=args.timeout,
+        )
+    except SweepTimeoutError as err:
+        print(f"TIMEOUT: {err}")
+        return 1
     print(report.format())
     if args.check:
         try:
@@ -583,6 +659,77 @@ def _cmd_survive(args: argparse.Namespace) -> int:
             return 1
         print("check: full survivor coverage, typed partitions, "
               "degraded bound hold  OK")
+    return 0
+
+
+def _cmd_run_net(args: argparse.Namespace) -> int:
+    """Run gossip over real UDP sockets, report the runtime result."""
+    from .exceptions import RuntimeDeadlineError
+    from .runtime import (
+        NetChaos,
+        RealClock,
+        RuntimeConfig,
+        ScaledClock,
+        run_gossip_network,
+    )
+
+    kills = []
+    for spec in args.kill or []:
+        vertex, _, rnd = spec.partition(":")
+        try:
+            kills.append((int(vertex), int(rnd)))
+        except ValueError:
+            print(f"bad --kill spec {spec!r}; want V:R with integers")
+            return 2
+    chaos = NetChaos(
+        seed=args.seed,
+        drop_rate=args.drop,
+        delay_rate=args.delay,
+        delay_max=args.delay_max if args.delay > 0 else 0.0,
+        kill=tuple(kills),
+    )
+    config = RuntimeConfig(run_timeout=args.timeout, seed=args.seed)
+    clock = RealClock() if args.time_scale >= 1.0 else ScaledClock(args.time_scale)
+
+    plan = gossip(args.family, algorithm=args.algorithm)
+    try:
+        result = run_gossip_network(plan, chaos=chaos, config=config, clock=clock)
+    except RuntimeDeadlineError as err:
+        print(f"DEADLINE ({err.phase}): {err}")
+        return 1
+    print(f"network   : {plan.graph.name}  n={result.n}  "
+          f"horizon={result.horizon} rounds")
+    print(f"chaos     : drop={args.drop:.2f} delay={args.delay:.2f} "
+          f"kill={kills or 'none'} seed={args.seed}")
+    print(f"complete  : {result.complete}   coverage={result.coverage:.1%}   "
+          f"makespan={'n/a' if result.makespan is None else f'{result.makespan:.3f}s'}")
+    print(f"rounds    : {result.rounds_completed} online"
+          + (f" + {result.survival_rounds} survival" if result.survival_rounds else ""))
+    print(f"transport : {result.stats.sent} sent, {result.stats.dropped} dropped, "
+          f"{result.stats.delayed} delayed, {result.retransmissions} retransmitted, "
+          f"{result.duplicates_suppressed} duplicates absorbed")
+    if result.dead:
+        print(f"failures  : dead={list(result.dead)}  "
+              f"components={[list(c) for c in result.components]}")
+    offline_ok = True
+    if chaos.is_null:
+        offline = sorted(
+            (t, tx.sender, tx.message, tuple(sorted(tx.destinations)))
+            for t, rnd in enumerate(plan.schedule.rounds)
+            for tx in rnd
+        )
+        online = sorted(
+            (e.round, e.sender, e.message, e.destinations)
+            for e in result.transcript
+        )
+        offline_ok = offline == online
+        print(f"transcript: {'identical to offline schedule' if offline_ok else 'DIVERGED'}")
+    if args.check:
+        ok = offline_ok and result.coverage == 1.0
+        if not ok:
+            print("CHECK FAILED: coverage or transcript gate violated")
+            return 1
+        print("check: full (degraded) coverage and offline-exact transcript  OK")
     return 0
 
 
@@ -683,6 +830,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-stats": _cmd_serve_stats,
         "chaos": _cmd_chaos,
         "survive": _cmd_survive,
+        "run-net": _cmd_run_net,
         "plan-bench": _cmd_plan_bench,
         "lint": _cmd_lint,
     }

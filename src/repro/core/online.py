@@ -24,7 +24,7 @@ test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import SimulationError
 from ..tree.labeling import LabeledTree
@@ -71,10 +71,57 @@ class OnlineProcessor:
         self._delayed: List[int] = []
         # o-messages to relay this round (arrival time == now)
         self._fresh_from_parent: Optional[int] = None
+        # links this processor actually has (deliveries elsewhere are bogus)
+        self._links = frozenset(
+            c.vertex for c in self.children
+        ) | (frozenset() if parent is None else frozenset({parent}))
+        # exact (time, sender, message) triples already delivered
+        self._delivered: Set[Tuple[int, int, int]] = set()
 
     # ------------------------------------------------------------------
     def receive(self, time: int, sender: int, message: int) -> None:
-        """Deliver ``message`` (sent by ``sender`` in round ``time - 1``)."""
+        """Deliver ``message`` (sent by ``sender`` in round ``time - 1``).
+
+        Validates the delivery against the communication model before
+        touching any state — a datagram-fed driver must not be able to
+        corrupt the protocol with malformed input:
+
+        * ``sender`` must be a tree neighbour (messages only travel on
+          this processor's own links);
+        * ``message`` must be a DFS label in ``[0, n)``;
+        * ``time`` must be a possible arrival round — at least 1 (round-0
+          sends land at 1) and within the ``2n`` horizon that bounds
+          every tree schedule (Theorem 1's ``n + height < 2n``);
+        * the exact ``(time, sender, message)`` triple must be new — the
+          same physical delivery handed over twice means the driver's
+          dedup is broken.  (A *different* delivery of an already-held
+          message stays legal and is ignored, as the model prescribes.)
+
+        Violations raise :class:`~repro.exceptions.SimulationError`
+        naming the processor and the offending delivery.
+        """
+        locus = (
+            f"processor {self.vertex}: delivery of message {message} "
+            f"from {sender} at time {time}"
+        )
+        if sender not in self._links:
+            raise SimulationError(
+                f"{locus} arrived on an unknown link (neighbours: "
+                f"{sorted(self._links)})"
+            )
+        if not 0 <= message < self.n:
+            raise SimulationError(
+                f"{locus} carries an out-of-range message id (n={self.n})"
+            )
+        if not 1 <= time <= 2 * self.n:
+            raise SimulationError(
+                f"{locus} has an impossible arrival round "
+                f"(valid range: 1..{2 * self.n})"
+            )
+        triple = (time, sender, message)
+        if triple in self._delivered:
+            raise SimulationError(f"{locus} was already delivered (duplicate)")
+        self._delivered.add(triple)
         if message in self._held:
             return
         self._held[message] = time

@@ -28,6 +28,11 @@ __all__ = [
     "SurvivorSetError",
     "PlanTimeoutError",
     "CircuitOpenError",
+    "SweepTimeoutError",
+    "GossipRuntimeError",
+    "WireFormatError",
+    "PeerDeadError",
+    "RuntimeDeadlineError",
 ]
 
 
@@ -240,3 +245,73 @@ class CircuitOpenError(ReproError):
         super().__init__(message)
         self.algorithm = algorithm
         self.retry_after = retry_after
+
+
+class SweepTimeoutError(ReproError):
+    """A fault-injection sweep exceeded its wall-clock budget.
+
+    Raised by :func:`repro.analysis.chaos.run_chaos_sweep` and
+    :func:`repro.analysis.survival.run_survival_sweep` when a
+    ``deadline`` (seconds) was given and the sweep could not finish every
+    trial inside it — the typed fail-fast signal a pathological
+    configuration produces instead of stalling CI.
+
+    Attributes
+    ----------
+    elapsed:
+        Seconds spent before giving up.
+    completed_cells:
+        Fully finished (family, rate) cells at the time of the timeout.
+    """
+
+    def __init__(self, message: str, *, elapsed: float = 0.0,
+                 completed_cells: int = 0) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.completed_cells = completed_cells
+
+
+class GossipRuntimeError(ReproError):
+    """Base class for errors raised by the real-network asyncio runtime."""
+
+
+class WireFormatError(GossipRuntimeError):
+    """A datagram could not be decoded as a runtime protocol message."""
+
+
+class PeerDeadError(GossipRuntimeError):
+    """An operation targeted a peer the failure detector declared dead.
+
+    Attributes
+    ----------
+    peer:
+        The dead peer's vertex id.
+    """
+
+    def __init__(self, message: str, *, peer: int = -1) -> None:
+        super().__init__(message)
+        self.peer = peer
+
+
+class RuntimeDeadlineError(GossipRuntimeError):
+    """A real-network gossip run missed a round or whole-run deadline.
+
+    Mirrors the simulator's partial-completion convention
+    (:attr:`repro.simulator.engine.ExecutionResult.makespan` being
+    ``None``): the run degrades to a typed error carrying the partial
+    :class:`repro.runtime.runner.RuntimeResult` instead of hanging.
+
+    Attributes
+    ----------
+    partial:
+        The partial-completion result collected at the deadline (or
+        ``None`` when not even peer state could be gathered).
+    phase:
+        ``"round"`` or ``"run"`` — which deadline fired.
+    """
+
+    def __init__(self, message: str, *, partial: Optional[object] = None,
+                 phase: str = "run") -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.phase = phase

@@ -1,0 +1,67 @@
+"""Real-network asyncio gossip runtime.
+
+Executes the paper's *online* ConcurrentUpDown protocol
+(:mod:`repro.core.online`) over actual UDP sockets on localhost: one
+asyncio task per vertex, each owning an
+:class:`~repro.core.online.OnlineProcessor` and learning about the rest
+of the network only through datagrams.  The robustness layer — acks with
+seeded-exponential-backoff retransmission, heartbeat failure detection,
+round/run deadlines, and a survival replan driven by
+:func:`repro.core.survival.survive` — turns the lossless synchronous
+model into something that completes on a lossy asynchronous medium and
+degrades to *gossip among survivors* when peers die.
+
+Front door: :func:`run_gossip_network`.  Fault injection:
+:class:`NetChaos` (deterministic per seed, byte-for-byte reproducible —
+see :mod:`repro.runtime.transport`).
+"""
+
+from .clock import Clock, RealClock, ScaledClock
+from .peer import (
+    GossipPeer,
+    PeerProtocol,
+    PeerScript,
+    RuntimeConfig,
+    TranscriptEntry,
+)
+from .runner import ObservedDeaths, RuntimeResult, run_gossip_network
+from .transport import LossyDatagramTransport, NetChaos, TransportStats
+from .wire import (
+    ACK,
+    DATA,
+    FENCE,
+    HEARTBEAT,
+    PHASE_ONLINE,
+    PHASE_SURVIVAL,
+    WIRE_SIZE,
+    Datagram,
+    decode,
+    encode,
+)
+
+__all__ = [
+    "Clock",
+    "RealClock",
+    "ScaledClock",
+    "GossipPeer",
+    "PeerProtocol",
+    "PeerScript",
+    "RuntimeConfig",
+    "TranscriptEntry",
+    "ObservedDeaths",
+    "RuntimeResult",
+    "run_gossip_network",
+    "LossyDatagramTransport",
+    "NetChaos",
+    "TransportStats",
+    "DATA",
+    "FENCE",
+    "ACK",
+    "HEARTBEAT",
+    "PHASE_ONLINE",
+    "PHASE_SURVIVAL",
+    "WIRE_SIZE",
+    "Datagram",
+    "encode",
+    "decode",
+]

@@ -1,0 +1,105 @@
+"""Wire format of the runtime's UDP protocol.
+
+One datagram = one fixed-size binary record (:data:`WIRE_SIZE` bytes,
+network byte order)::
+
+    magic  kind  phase  round   sender  payload
+    u8     u8    u8     u32     u16     u16
+
+Kinds:
+
+* ``DATA``      — a protocol transmission: ``payload`` is the message id
+  multicast by ``sender`` in round ``round`` of ``phase``.  Doubles as
+  the sender's round fence: the model allows at most one send per
+  processor per round, so one DATA from a neighbour for round ``t`` is
+  also the statement "nothing else is coming from me for ``t``".
+* ``FENCE``     — an empty round marker: ``sender`` transmitted nothing
+  to this receiver in round ``round`` (pure synchronisation).
+* ``ACK``       — receiver-side acknowledgement of a DATA/FENCE;
+  ``payload`` echoes the acknowledged kind, ``round`` the acknowledged
+  round.  ACKs are never themselves acknowledged.
+* ``HEARTBEAT`` — liveness beacon; ``round`` carries the sender's
+  heartbeat sequence number (used for deterministic loss draws), not a
+  protocol round.
+
+``phase`` separates the two execution regimes (``PHASE_ONLINE`` — the
+paper's online ConcurrentUpDown, ``PHASE_SURVIVAL`` — the post-failure
+replan) so retransmission dedup keys never collide across a replan.
+
+Decoding is strict: wrong size, wrong magic, or an unknown kind raises
+the typed :class:`~repro.exceptions.WireFormatError`; the peer protocol
+counts and drops such datagrams rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..exceptions import WireFormatError
+
+__all__ = [
+    "DATA",
+    "FENCE",
+    "ACK",
+    "HEARTBEAT",
+    "PHASE_ONLINE",
+    "PHASE_SURVIVAL",
+    "WIRE_SIZE",
+    "Datagram",
+    "encode",
+    "decode",
+]
+
+_MAGIC = 0x47  # "G"
+_STRUCT = struct.Struct("!BBBIHH")
+
+DATA = 1
+FENCE = 2
+ACK = 3
+HEARTBEAT = 4
+_KINDS = frozenset({DATA, FENCE, ACK, HEARTBEAT})
+
+PHASE_ONLINE = 0
+PHASE_SURVIVAL = 1
+
+WIRE_SIZE = _STRUCT.size
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One decoded protocol datagram (see the module docstring)."""
+
+    kind: int
+    phase: int
+    round: int
+    sender: int
+    payload: int
+
+    @property
+    def needs_ack(self) -> bool:
+        """Whether the protocol retransmits this datagram until acked."""
+        return self.kind in (DATA, FENCE)
+
+
+def encode(dgram: Datagram) -> bytes:
+    """Serialise ``dgram`` to its fixed-size wire representation."""
+    if dgram.kind not in _KINDS:
+        raise WireFormatError(f"unknown datagram kind {dgram.kind}")
+    return _STRUCT.pack(
+        _MAGIC, dgram.kind, dgram.phase, dgram.round, dgram.sender, dgram.payload
+    )
+
+
+def decode(data: bytes) -> Datagram:
+    """Parse one datagram; raise :class:`WireFormatError` on malformed input."""
+    if len(data) != WIRE_SIZE:
+        raise WireFormatError(
+            f"datagram is {len(data)} bytes; the protocol record is {WIRE_SIZE}"
+        )
+    magic, kind, phase, rnd, sender, payload = _STRUCT.unpack(data)
+    if magic != _MAGIC:
+        raise WireFormatError(f"bad magic byte 0x{magic:02x}")
+    if kind not in _KINDS:
+        raise WireFormatError(f"unknown datagram kind {kind}")
+    return Datagram(kind=kind, phase=phase, round=rnd, sender=sender, payload=payload)

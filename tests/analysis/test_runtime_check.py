@@ -1,0 +1,72 @@
+"""Tier-1 smoke: the real-network runtime benchmark's gates hold.
+
+Runs ``benchmarks/bench_runtime.py --check --quick`` the same way CI
+does (a standalone process) and exercises the gate helpers in-process —
+the full 21-family sweep plus six chaos trials stays in the benchmark
+tier.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_runtime.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_runtime", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run(cmd):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_benchmark_check_mode_passes():
+    proc = _run([sys.executable, str(BENCH), "--check", "--quick"])
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert ("check: offline-exact transcripts, >= 95% chaos completion, "
+            "per-seed reproducibility  OK") in proc.stdout
+
+
+class TestGateHelpers:
+    def test_fault_free_rows_pass_the_gate(self):
+        bench = _load_bench()
+        rows = bench.run_fault_free(families=("path", "star"))
+        assert [r[0] for r in rows] == ["path-16", "star-16"]
+        bench.check_offline_exact(rows)
+
+    def test_gate_rejects_divergence(self):
+        bench = _load_bench()
+        rows = [("path-16", 16, 30, 0.1, True, False)]
+        with pytest.raises(AssertionError, match="diverged"):
+            bench.check_offline_exact(rows)
+
+    def test_chaos_gate_rejects_low_coverage(self):
+        bench = _load_bench()
+
+        class Fake:
+            coverage = 0.5
+            dead = (1,)
+
+        with pytest.raises(AssertionError, match="completion"):
+            bench.check_chaos_completion([Fake()])

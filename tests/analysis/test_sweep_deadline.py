@@ -1,0 +1,62 @@
+"""Wall-clock deadlines on the chaos and survival sweeps fail fast."""
+
+import pytest
+
+from repro.analysis.chaos import run_chaos_sweep
+from repro.analysis.survival import run_survival_sweep
+from repro.exceptions import ReproError, SweepTimeoutError
+
+
+class TestChaosDeadline:
+    def test_expired_deadline_raises_typed_error(self):
+        with pytest.raises(SweepTimeoutError) as exc_info:
+            run_chaos_sweep(
+                families=("path:8",),
+                drop_rates=(0.1,),
+                trials=50,
+                deadline=1e-9,
+            )
+        err = exc_info.value
+        assert err.elapsed > 0.0
+        assert err.completed_cells == 0
+        assert "deadline" in str(err)
+
+    def test_generous_deadline_is_invisible(self):
+        report = run_chaos_sweep(
+            families=("path:6",),
+            drop_rates=(0.0,),
+            trials=2,
+            deadline=300.0,
+        )
+        assert len(report.cells) == 1
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ReproError, match="deadline"):
+            run_chaos_sweep(families=("path:6",), trials=1, deadline=0.0)
+
+
+class TestSurvivalDeadline:
+    def test_expired_deadline_raises_typed_error(self):
+        with pytest.raises(SweepTimeoutError) as exc_info:
+            run_survival_sweep(
+                families=("path:8",),
+                fail_stop_rates=(0.05,),
+                trials=50,
+                deadline=1e-9,
+            )
+        assert exc_info.value.completed_cells == 0
+
+    def test_generous_deadline_is_invisible(self):
+        report = run_survival_sweep(
+            families=("path:6",),
+            fail_stop_rates=(0.0,),
+            trials=2,
+            deadline=300.0,
+        )
+        assert len(report.cells) == 1
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ReproError, match="deadline"):
+            run_survival_sweep(
+                families=("path:6",), trials=1, deadline=-5.0
+            )

@@ -1,0 +1,106 @@
+"""OnlineProcessor.receive hardening: malformed deliveries are rejected.
+
+The real-network runtime feeds ``receive`` straight from decoded
+datagrams, so a malformed (or malicious) datagram must raise a typed
+:class:`~repro.exceptions.SimulationError` naming the processor and the
+offending delivery instead of silently corrupting protocol state.
+"""
+
+import pytest
+
+from repro.core.online import build_processors
+from repro.exceptions import SimulationError
+from repro.networks import topologies
+from repro.networks.spanning_tree import minimum_depth_spanning_tree
+from repro.tree.labeling import LabeledTree
+
+
+def star_processors():
+    """A labelled star:5 — processor 0 is the hub, leaves hang off it."""
+    tree = minimum_depth_spanning_tree(topologies.star_graph(5))
+    return build_processors(LabeledTree(tree))
+
+
+def a_leaf(procs):
+    return next(p for p in procs if p.parent is not None)
+
+
+class TestUnknownLink:
+    def test_non_neighbour_sender_rejected(self):
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        stranger = next(
+            p.vertex for p in procs
+            if p.vertex not in (leaf.vertex, leaf.parent)
+        )
+        with pytest.raises(SimulationError, match="unknown link"):
+            leaf.receive(1, stranger, 0)
+
+    def test_self_delivery_rejected(self):
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        with pytest.raises(SimulationError, match="unknown link"):
+            leaf.receive(1, leaf.vertex, 0)
+
+    def test_error_names_the_locus(self):
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        stranger = next(
+            p.vertex for p in procs if p.vertex not in (leaf.vertex, leaf.parent)
+        )
+        with pytest.raises(SimulationError, match=f"processor {leaf.vertex}"):
+            leaf.receive(3, stranger, 2)
+
+
+class TestOutOfRange:
+    def test_message_id_too_large(self):
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        with pytest.raises(SimulationError, match="out-of-range message"):
+            leaf.receive(1, leaf.parent, leaf.n)
+
+    def test_negative_message_id(self):
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        with pytest.raises(SimulationError, match="out-of-range message"):
+            leaf.receive(1, leaf.parent, -1)
+
+    def test_arrival_round_zero(self):
+        """Round-0 sends land at time 1; time 0 deliveries are bogus."""
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        with pytest.raises(SimulationError, match="impossible arrival round"):
+            leaf.receive(0, leaf.parent, 0)
+
+    def test_arrival_round_beyond_horizon(self):
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        with pytest.raises(SimulationError, match="impossible arrival round"):
+            leaf.receive(2 * leaf.n + 1, leaf.parent, 0)
+
+
+class TestDuplicates:
+    def test_exact_duplicate_triple_rejected(self):
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        leaf.receive(1, leaf.parent, 0)
+        with pytest.raises(SimulationError, match="duplicate"):
+            leaf.receive(1, leaf.parent, 0)
+
+    def test_benign_redelivery_at_other_round_still_legal(self):
+        """The model allows receiving an already-held message again —
+        only the exact same (time, sender, message) triple is a protocol
+        violation."""
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        leaf.receive(1, leaf.parent, 0)
+        leaf.receive(2, leaf.parent, 0)  # held already: silently ignored
+        assert 0 in leaf.held_messages
+
+    def test_rejected_delivery_leaves_state_untouched(self):
+        procs = star_processors()
+        leaf = a_leaf(procs)
+        before = list(leaf.held_messages)
+        with pytest.raises(SimulationError):
+            leaf.receive(1, leaf.parent, leaf.n + 3)
+        assert leaf.held_messages == before

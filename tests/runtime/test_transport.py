@@ -1,0 +1,116 @@
+"""Chaos profile and clock: validation plus the determinism contract."""
+
+import pytest
+
+from repro.exceptions import GossipRuntimeError
+from repro.runtime import (
+    DATA,
+    FENCE,
+    PHASE_ONLINE,
+    NetChaos,
+    ScaledClock,
+    TransportStats,
+)
+
+
+class TestNetChaosValidation:
+    def test_bad_drop_rate(self):
+        with pytest.raises(GossipRuntimeError, match="probability"):
+            NetChaos(drop_rate=1.5)
+
+    def test_negative_delay_rate(self):
+        with pytest.raises(GossipRuntimeError, match="probability"):
+            NetChaos(delay_rate=-0.1)
+
+    def test_negative_delay_max(self):
+        with pytest.raises(GossipRuntimeError, match="delay_max"):
+            NetChaos(delay_max=-1.0)
+
+    def test_delay_rate_needs_delay_max(self):
+        with pytest.raises(GossipRuntimeError, match="delay_max"):
+            NetChaos(delay_rate=0.5, delay_max=0.0)
+
+    def test_null_profile(self):
+        assert NetChaos().is_null
+        assert not NetChaos(drop_rate=0.1).is_null
+        assert not NetChaos(kill=((3, 2),)).is_null
+
+    def test_kill_round_of(self):
+        chaos = NetChaos(kill=((3, 2), (5, 7)))
+        assert chaos.kill_round_of(3) == 2
+        assert chaos.kill_round_of(5) == 7
+        assert chaos.kill_round_of(0) is None
+
+
+class TestNetChaosDeterminism:
+    def test_draws_are_pure_functions_of_the_key(self):
+        a = NetChaos(seed=11, drop_rate=0.5, delay_rate=0.5, delay_max=0.01)
+        b = NetChaos(seed=11, drop_rate=0.5, delay_rate=0.5, delay_max=0.01)
+        key = dict(src=1, dst=2, kind=DATA, phase=PHASE_ONLINE, rnd=4, attempt=0)
+        assert a.drops(**key) == b.drops(**key)
+        assert a.delay_of(**key) == b.delay_of(**key)
+
+    def test_different_seeds_diverge_somewhere(self):
+        a = NetChaos(seed=1, drop_rate=0.5)
+        b = NetChaos(seed=2, drop_rate=0.5)
+        draws_a = [a.drops(src=s, dst=0, kind=DATA, phase=0, rnd=r, attempt=0)
+                   for s in range(8) for r in range(8)]
+        draws_b = [b.drops(src=s, dst=0, kind=DATA, phase=0, rnd=r, attempt=0)
+                   for s in range(8) for r in range(8)]
+        assert draws_a != draws_b
+
+    def test_attempt_index_gives_fresh_draws(self):
+        """Retransmissions must not be doomed to repeat the first loss."""
+        chaos = NetChaos(seed=3, drop_rate=0.5)
+        draws = [chaos.drops(src=1, dst=2, kind=FENCE, phase=0, rnd=0,
+                             attempt=k) for k in range(64)]
+        assert True in draws and False in draws
+
+    def test_drop_rate_roughly_respected(self):
+        chaos = NetChaos(seed=5, drop_rate=0.25)
+        draws = [chaos.drops(src=s, dst=d, kind=DATA, phase=0, rnd=r, attempt=0)
+                 for s in range(16) for d in range(16) for r in range(8)]
+        rate = sum(draws) / len(draws)
+        assert 0.15 < rate < 0.35
+
+    def test_delay_bounded_and_single_hash(self):
+        chaos = NetChaos(seed=9, delay_rate=0.4, delay_max=0.02)
+        delays = [chaos.delay_of(src=s, dst=0, kind=DATA, phase=0, rnd=r,
+                                 attempt=0)
+                  for s in range(16) for r in range(16)]
+        assert all(0.0 <= d < 0.02 for d in delays)
+        assert any(d > 0.0 for d in delays)
+
+    def test_zero_rates_never_perturb(self):
+        chaos = NetChaos(seed=7)
+        assert not chaos.drops(src=0, dst=1, kind=DATA, phase=0, rnd=0, attempt=0)
+        assert chaos.delay_of(src=0, dst=1, kind=DATA, phase=0, rnd=0,
+                              attempt=0) == 0.0
+
+
+class TestTransportStats:
+    def test_merged_sums_elementwise(self):
+        a = TransportStats(sent=1, dropped=2, delayed=3, suppressed_after_kill=4)
+        b = TransportStats(sent=10, dropped=20, delayed=30,
+                           suppressed_after_kill=40)
+        m = a.merged(b)
+        assert (m.sent, m.dropped, m.delayed, m.suppressed_after_kill) == (
+            11, 22, 33, 44
+        )
+
+
+class TestScaledClock:
+    def test_rejects_out_of_range_scale(self):
+        for scale in (0.0, -1.0, 1.5):
+            with pytest.raises(GossipRuntimeError, match="scale"):
+                ScaledClock(scale)
+
+    def test_reports_virtual_seconds(self):
+        import time
+
+        clock = ScaledClock(0.5)
+        start = clock.time()
+        time.sleep(0.05)
+        elapsed = clock.time() - start
+        # 50 ms real = ~100 ms virtual at scale 0.5.
+        assert elapsed > 0.05

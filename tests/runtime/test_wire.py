@@ -1,0 +1,73 @@
+"""Wire codec: roundtrip exactness and strict malformed-input rejection."""
+
+import struct
+
+import pytest
+
+from repro.exceptions import WireFormatError
+from repro.runtime import (
+    ACK,
+    DATA,
+    FENCE,
+    HEARTBEAT,
+    PHASE_ONLINE,
+    PHASE_SURVIVAL,
+    WIRE_SIZE,
+    Datagram,
+    decode,
+    encode,
+)
+
+
+class TestRoundtrip:
+    def test_every_kind_roundtrips(self):
+        for kind in (DATA, FENCE, ACK, HEARTBEAT):
+            for phase in (PHASE_ONLINE, PHASE_SURVIVAL):
+                d = Datagram(kind=kind, phase=phase, round=12345,
+                             sender=42, payload=7)
+                assert decode(encode(d)) == d
+
+    def test_fixed_size(self):
+        d = Datagram(kind=DATA, phase=PHASE_ONLINE, round=0, sender=0, payload=0)
+        assert len(encode(d)) == WIRE_SIZE
+
+    def test_field_extremes(self):
+        d = Datagram(kind=FENCE, phase=PHASE_SURVIVAL, round=2**32 - 1,
+                     sender=2**16 - 1, payload=2**16 - 1)
+        assert decode(encode(d)) == d
+
+    def test_needs_ack_is_data_and_fence_only(self):
+        def dg(kind):
+            return Datagram(kind=kind, phase=0, round=0, sender=0, payload=0)
+
+        assert dg(DATA).needs_ack
+        assert dg(FENCE).needs_ack
+        assert not dg(ACK).needs_ack
+        assert not dg(HEARTBEAT).needs_ack
+
+
+class TestRejection:
+    def test_wrong_size(self):
+        with pytest.raises(WireFormatError, match="bytes"):
+            decode(b"\x47short")
+
+    def test_empty(self):
+        with pytest.raises(WireFormatError):
+            decode(b"")
+
+    def test_bad_magic(self):
+        good = bytearray(encode(
+            Datagram(kind=DATA, phase=0, round=1, sender=2, payload=3)
+        ))
+        good[0] = 0x00
+        with pytest.raises(WireFormatError, match="magic"):
+            decode(bytes(good))
+
+    def test_unknown_kind_on_decode(self):
+        raw = struct.pack("!BBBIHH", 0x47, 99, 0, 1, 2, 3)
+        with pytest.raises(WireFormatError, match="kind"):
+            decode(raw)
+
+    def test_unknown_kind_on_encode(self):
+        with pytest.raises(WireFormatError, match="kind"):
+            encode(Datagram(kind=0, phase=0, round=0, sender=0, payload=0))

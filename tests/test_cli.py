@@ -94,3 +94,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "all bounds hold exactly" in out
         assert "path-12" in out
+
+
+class TestSweepTimeouts:
+    def test_chaos_timeout_fails_fast(self, capsys):
+        assert main(["chaos", "--family", "path:8", "--trials", "50",
+                     "--timeout", "0.000001"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("TIMEOUT:")
+        assert "deadline" in out
+
+    def test_survive_timeout_fails_fast(self, capsys):
+        assert main(["survive", "--family", "path:8", "--trials", "50",
+                     "--timeout", "0.000001"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("TIMEOUT:")
+
+    def test_chaos_without_timeout_still_runs(self, capsys):
+        assert main(["chaos", "--family", "path:6", "--trials", "2",
+                     "--drop", "0.0"]) == 0
+        assert "chaos sweep" in capsys.readouterr().out
+
+
+class TestRunNet:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run-net"])
+        assert args.family == "grid:16"
+        assert args.timeout == 60.0
+        assert args.time_scale == 1.0
+
+    def test_fault_free_check_passes(self, capsys):
+        assert main(["run-net", "--family", "path:5", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "transcript: identical to offline schedule" in out
+        assert "check: full (degraded) coverage and offline-exact transcript  OK" in out
+
+    def test_kill_run_reaches_degraded_coverage(self, capsys):
+        assert main(["run-net", "--family", "grid:9", "--kill", "4:2",
+                     "--seed", "11", "--time-scale", "0.2", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage=100.0%" in out
+        assert "dead=[4]" in out
+        assert "survival" in out
+
+    def test_bad_kill_spec_rejected(self, capsys):
+        assert main(["run-net", "--kill", "nope"]) == 2
+        assert "bad --kill spec" in capsys.readouterr().out
