@@ -36,6 +36,13 @@ Enforced conventions:
    milliseconds-long failure-detection test back into wall-clock
    seconds (or, worse, split the runtime across two disagreeing
    clocks).
+6. **Seeded randomness in the randomized baselines** — inside
+   ``src/repro/core/epidemic.py`` and ``src/repro/core/coded.py`` every
+   coin flip must flow through the splitmix64 streams of
+   ``repro.core.rng``; importing or calling the stdlib ``random``
+   module (or ``numpy.random``) is forbidden.  A single unseeded draw
+   would silently break the byte-for-byte reproducibility the
+   adversarial comparison gates assert.
 
 Exit status: 0 when clean, 1 with one ``file:line: message`` per
 violation on stdout.  Run from the repository root::
@@ -80,6 +87,15 @@ BARE_CLOCK_CALLS = {
     ("time", "monotonic"),
 }
 
+#: ``core/`` modules whose randomness must come from ``repro.core.rng``
+#: (rule 6): any mention of the stdlib ``random`` / ``numpy.random``
+#: modules is forbidden.
+SEEDED_RNG_MODULES = {
+    "epidemic.py",
+    "coded.py",
+    "rng.py",
+}
+
 Violation = Tuple[pathlib.Path, int, str]
 
 
@@ -113,6 +129,37 @@ def _is_hot_path(path: pathlib.Path) -> bool:
 
 def _needs_clock_discipline(path: pathlib.Path) -> bool:
     return path.parent.name == "runtime" and path.name != "clock.py"
+
+
+def _needs_seeded_rng(path: pathlib.Path) -> bool:
+    return path.name in SEEDED_RNG_MODULES and path.parent.name == "core"
+
+
+def _seeded_rng_violations(
+    path: pathlib.Path, node: ast.AST
+) -> Iterator[Violation]:
+    """Rule 6: no stdlib/numpy randomness in the randomized baselines."""
+    message = (
+        "unseeded randomness source in a randomized-baseline module; "
+        "use the splitmix64 streams in repro.core.rng"
+    )
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("numpy.random"):
+                yield (path, node.lineno, message)
+    elif isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module == "random" or module.startswith("numpy.random"):
+            yield (path, node.lineno, message)
+        elif module == "numpy" and any(a.name == "random" for a in node.names):
+            yield (path, node.lineno, message)
+    elif (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in {"np", "numpy"}
+    ):
+        yield (path, node.lineno, message)
 
 
 def _hot_loop_violations(
@@ -150,6 +197,8 @@ def check_file(path: pathlib.Path) -> Iterator[Violation]:
     if _is_hot_path(path):
         yield from _hot_loop_violations(path, tree, exempt=False)
     for node in ast.walk(tree):
+        if _needs_seeded_rng(path):
+            yield from _seeded_rng_violations(path, node)
         if isinstance(node, ast.Raise):
             name = _raised_name(node)
             if name in BUILTIN_EXCEPTIONS and name not in ALLOWED_BUILTIN_RAISES:

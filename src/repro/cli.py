@@ -91,6 +91,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument(
         "--families", nargs="+", choices=sorted(FAMILIES), default=None
     )
+    p_cmp.add_argument(
+        "--epidemic", action="store_true",
+        help="adversarial suite: deterministic vs epidemic/coded baselines "
+        "across fault regimes (seeded, byte-reproducible)",
+    )
+    p_cmp.add_argument("--n", type=int, default=16, help="[--epidemic] family size")
+    p_cmp.add_argument(
+        "--trials", type=int, default=100, help="[--epidemic] seeded trials per cell"
+    )
+    p_cmp.add_argument("--seed", type=int, default=0, help="[--epidemic] sweep seed")
+    p_cmp.add_argument(
+        "--drop", type=float, nargs="+", default=[0.0, 0.15],
+        help="[--epidemic] delivery drop rates to sweep",
+    )
+    p_cmp.add_argument(
+        "--fail-stop", type=float, nargs="+", default=[0.0],
+        help="[--epidemic] permanent fail-stop rates to sweep",
+    )
+    p_cmp.add_argument(
+        "--check", action="store_true",
+        help="[--epidemic] assert the makespan + resilience gates",
+    )
 
     sub.add_parser("paper", help="verify all paper-figure claims")
 
@@ -381,6 +403,22 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.epidemic:
+        from .analysis.comparison import run_epidemic_comparison
+
+        report = run_epidemic_comparison(
+            args.families,  # None = all families
+            n=args.n,
+            trials=args.trials,
+            seed=args.seed,
+            drop_rates=tuple(args.drop),
+            fail_stop_rates=tuple(args.fail_stop),
+        )
+        print(report.format())
+        if args.check:
+            report.check()
+            print("check: makespan + resilience gates hold  OK")
+        return 0
     graphs = [
         family_instance(fam, n)
         for fam in (args.families or sorted(FAMILIES))

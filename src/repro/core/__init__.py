@@ -14,12 +14,28 @@
 * :mod:`~repro.core.recovery` — repair scheduling for lossy executions
   (the fault-tolerance layer over :mod:`repro.simulator.lossy`);
 * :mod:`~repro.core.survival` — degraded gossip among the survivors of
-  permanent fail-stop crashes and severed links.
+  permanent fail-stop crashes and severed links;
+* :mod:`~repro.core.epidemic` / :mod:`~repro.core.coded` — the
+  randomized half of the field: seeded push/pull/push-pull epidemic
+  gossip and GF(2) algebraic (network-coded) gossip baselines.
 """
 
 from .ablations import concurrent_updown_no_lip, no_lip_penalty, propagate_up_no_lip
 from .broadcast import broadcast, broadcast_time, telephone_broadcast
+from .coded import (
+    CodedPacket,
+    CodedResult,
+    RankTracker,
+    run_coded_gossip,
+    systematic_coded_schedule,
+)
 from .concurrent_updown import concurrent_updown, concurrent_updown_on_tree
+from .epidemic import (
+    EPIDEMIC_VARIANTS,
+    EpidemicResult,
+    epidemic_schedule,
+    run_epidemic,
+)
 from .gossip import (
     ALGORITHMS,
     GossipPlan,
@@ -135,4 +151,13 @@ __all__ = [
     "greedy_gossip_on_graph",
     "telephone_gossip",
     "telephone_gossip_on_graph",
+    "run_epidemic",
+    "epidemic_schedule",
+    "EpidemicResult",
+    "EPIDEMIC_VARIANTS",
+    "run_coded_gossip",
+    "systematic_coded_schedule",
+    "RankTracker",
+    "CodedPacket",
+    "CodedResult",
 ]

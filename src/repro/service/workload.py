@@ -110,18 +110,18 @@ def bench_plan_cache(
 
     cold_samples = []
     for _ in range(max(1, cold_rounds)):
-        service = GossipService(algorithm=algorithm)
-        t0 = perf_counter()
-        service.plan(graph)
-        cold_samples.append(perf_counter() - t0)
+        with GossipService(algorithm=algorithm) as service:
+            t0 = perf_counter()
+            service.plan(graph)
+            cold_samples.append(perf_counter() - t0)
 
-    service = GossipService(algorithm=algorithm, max_workers=max_workers)
-    service.plan(graph)  # prime
-    warm_samples = []
-    for _ in range(max(1, warm_rounds)):
-        t0 = perf_counter()
-        service.plan(graph)
-        warm_samples.append(perf_counter() - t0)
+    with GossipService(algorithm=algorithm, max_workers=max_workers) as service:
+        service.plan(graph)  # prime
+        warm_samples = []
+        for _ in range(max(1, warm_rounds)):
+            t0 = perf_counter()
+            service.plan(graph)
+            warm_samples.append(perf_counter() - t0)
 
     cold_ms = median(cold_samples) * 1e3
     warm_ms = median(warm_samples) * 1e3
@@ -135,7 +135,6 @@ def bench_plan_cache(
         t0 = perf_counter()
         batch_service.plan_many(requests)
         batch_warm_s = perf_counter() - t0
-    service.close()
 
     return CacheBenchResult(
         topology=graph.name or "graph",
@@ -183,9 +182,18 @@ def run_synthetic_workload(
     The stream cycles over ``families x sizes`` specs, so after the
     first ``len(families) * len(sizes)`` requests everything is warm —
     the steady-state hit rate a long-running deployment would see.
+
+    A caller-supplied ``service`` is left open (its stats keep
+    accumulating); the internally-created default is closed before the
+    stats are returned — nobody else holds a handle to it.
     """
+    owned = service is None
     service = service if service is not None else GossipService()
-    specs = [f"{family}:{size}" for family in families for size in sizes]
-    for i in range(max(0, requests)):
-        service.plan(specs[i % len(specs)], algorithm=algorithm)
-    return service.stats()
+    try:
+        specs = [f"{family}:{size}" for family in families for size in sizes]
+        for i in range(max(0, requests)):
+            service.plan(specs[i % len(specs)], algorithm=algorithm)
+        return service.stats()
+    finally:
+        if owned:
+            service.close()

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.analysis.comparison import (
+    ComparisonRow,
     compare_algorithms,
     comparison_table,
     format_comparison,
+    run_epidemic_comparison,
 )
 from repro.networks import topologies
 
@@ -74,3 +76,76 @@ class TestComparisonTable:
 
     def test_format_empty(self):
         assert format_comparison([]) == "(no rows)"
+
+    def test_format_union_of_mismatched_rows(self):
+        """Regression: rows built with different algorithm sets used to
+        KeyError; now they render the union with an em-dash placeholder."""
+        rows = [
+            compare_algorithms(topologies.path_graph(5), algorithms=["simple"]),
+            compare_algorithms(
+                topologies.star_graph(5), algorithms=["concurrent-updown"]
+            ),
+        ]
+        text = format_comparison(rows)
+        assert "simple" in text and "concurrent-updown" in text
+        assert "—" in text
+        # column order is first-seen: simple (row 0) before concurrent-updown
+        header = text.splitlines()[0]
+        assert header.index("simple") < header.index("concurrent-updown")
+
+
+class TestWinnerTieBreak:
+    def _row(self, times):
+        return ComparisonRow(
+            name="t", n=4, radius=1, times=times,
+            lower_bound=3, concurrent_bound=5, simple_bound=6, updown_bound=6,
+        )
+
+    def test_tie_breaks_by_insertion_order(self):
+        """Regression: the O(k^2) index() tie-break is gone, but ties must
+        still resolve to the first-inserted algorithm."""
+        assert self._row({"a": 5, "b": 5, "c": 7}).winner() == "a"
+        assert self._row({"b": 5, "a": 5, "c": 4}).winner() == "c"
+        assert self._row({"z": 9, "y": 2, "x": 2}).winner() == "y"
+
+
+class TestEpidemicComparison:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_epidemic_comparison(
+            ["complete", "star"], n=10, trials=8, seed=3
+        )
+
+    def test_cell_grid_shape(self, report):
+        assert len(report.cells) == 4  # 2 families x 2 drop rates
+        null = [c for c in report.cells if c.is_null]
+        assert len(null) == 2
+        for c in null:
+            assert {s.algorithm for s in c.stats} == {
+                "concurrent-updown",
+                "epidemic-push",
+                "epidemic-pull",
+                "epidemic-push-pull",
+                "coded",
+            }
+
+    def test_gates_hold(self, report):
+        report.check()
+
+    def test_deterministic_and_reproducible(self, report):
+        again = run_epidemic_comparison(
+            ["complete", "star"], n=10, trials=8, seed=3
+        )
+        assert again.format() == report.format()
+
+    def test_check_requires_both_regimes(self):
+        null_only = run_epidemic_comparison(
+            ["complete"], n=8, trials=4, seed=1, drop_rates=(0.0,)
+        )
+        with pytest.raises(AssertionError, match="resilience gate"):
+            null_only.check()
+        drop_only = run_epidemic_comparison(
+            ["complete"], n=8, trials=4, seed=1, drop_rates=(0.2,)
+        )
+        with pytest.raises(AssertionError, match="makespan gate"):
+            drop_only.check()

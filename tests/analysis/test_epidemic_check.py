@@ -1,0 +1,61 @@
+"""Tier-1 smoke: the adversarial epidemic comparison's gates hold.
+
+Runs ``python -m repro.cli compare --epidemic --check`` and
+``benchmarks/bench_epidemic.py --check`` the same way CI does
+(standalone processes) on a reduced-but-diverse slice, asserting both
+statistical gates plus byte-for-byte reproducibility.  The full
+21-family sweep at 100 trials runs standalone
+(``python benchmarks/bench_epidemic.py --check``); the gates are
+per-cell assertions, so the slice exercises identical code paths.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_epidemic.py"
+
+CLI_ARGS = [
+    "-m", "repro.cli", "compare", "--epidemic",
+    "--families", "star", "complete", "grid",
+    "--trials", "10", "--seed", "0", "--check",
+]
+
+
+def _run(cmd):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_cli_compare_epidemic_check_passes_and_is_reproducible():
+    first = _run([sys.executable, *CLI_ARGS])
+    assert first.returncode == 0, (
+        f"stdout:\n{first.stdout}\nstderr:\n{first.stderr}"
+    )
+    assert "check: makespan + resilience gates hold  OK" in first.stdout
+    second = _run([sys.executable, *CLI_ARGS])
+    assert second.stdout == first.stdout  # byte-for-byte reproducible
+
+
+def test_benchmark_check_mode_passes():
+    proc = _run(
+        [
+            sys.executable, str(BENCH), "--check", "--trials", "10",
+            "--families", "path", "star", "complete", "grid", "hypercube",
+        ]
+    )
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "check: makespan and resilience gates hold  OK" in proc.stdout

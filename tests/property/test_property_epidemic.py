@@ -1,0 +1,101 @@
+"""Properties of the randomized baselines.
+
+* **Seeded determinism** — an epidemic or coded run is a pure function
+  of ``(graph, variant, seed)``: re-running yields an identical
+  transcript, identical counters, identical completion times.
+* **Push-pull completes on every connected family** — the ISSUE-8
+  liveness property: on any connected network the online push-pull
+  protocol reaches complete gossip within the default horizon (pull
+  requests always target a lacking message, so progress can stall only
+  on an empty frontier — impossible while connected and incomplete).
+* **Coded completes iff rank reaches n** — completion is exactly the
+  all-vertices-rank-``n`` predicate, under any round budget.
+* **Replay parity** — an online faulty run's transcript replayed
+  through :func:`execute_with_faults` under the same model reproduces
+  the online outcome (fault draws are pure coordinate functions).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coded import run_coded_gossip
+from repro.core.epidemic import run_epidemic
+from repro.core.gossip import resolve_network
+from repro.simulator.lossy import FaultModel, execute_with_faults
+from repro.simulator.state import identity_holdings
+
+# Connected members of the sweep suite, cheap at property-test sizes.
+CONNECTED_FAMILIES = (
+    "path",
+    "cycle",
+    "star",
+    "complete",
+    "grid",
+    "binary-tree",
+    "caterpillar",
+    "spider",
+    "wheel",
+    "random-tree",
+    "random",
+)
+
+
+@st.composite
+def networks(draw):
+    family = draw(st.sampled_from(CONNECTED_FAMILIES))
+    n = draw(st.integers(min_value=2, max_value=14))
+    graph, _ = resolve_network(f"{family}:{n}")
+    return graph
+
+
+@given(
+    graph=networks(),
+    variant=st.sampled_from(["push", "pull", "push-pull"]),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_epidemic_seeded_determinism(graph, variant, seed):
+    a = run_epidemic(graph, variant=variant, seed=seed)
+    b = run_epidemic(graph, variant=variant, seed=seed)
+    assert a == b
+
+
+@given(graph=networks(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_push_pull_completes_on_every_connected_family(graph, seed):
+    result = run_epidemic(graph, variant="push-pull", seed=seed)
+    assert result.complete
+    assert all(t is not None for t in result.completion_times)
+
+
+@given(
+    graph=networks(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    budget=st.one_of(st.none(), st.integers(min_value=0, max_value=12)),
+)
+@settings(max_examples=50, deadline=None)
+def test_coded_completes_iff_rank_reaches_n(graph, seed, budget):
+    result = run_coded_gossip(graph, seed=seed, max_rounds=budget)
+    assert result.complete == all(r == graph.n for r in result.ranks)
+    if result.complete:
+        assert result.completion_round is not None
+    else:
+        assert result.completion_round is None
+
+
+@given(
+    graph=networks(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    fault_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    drop=st.sampled_from([0.05, 0.2]),
+)
+@settings(max_examples=30, deadline=None)
+def test_online_transcript_replay_parity(graph, seed, fault_seed, drop):
+    model = FaultModel(seed=fault_seed, drop_rate=drop)
+    online = run_epidemic(graph, variant="push-pull", seed=seed, model=model)
+    replay = execute_with_faults(
+        graph, online.schedule, model, initial_holds=identity_holdings(graph.n)
+    )
+    assert tuple(replay.final_holds) == online.final_holds
+    assert replay.complete == online.complete
+    assert len(replay.lost) == online.lost

@@ -1,0 +1,98 @@
+"""Regression tests: workload helpers close every service they create.
+
+``bench_plan_cache`` used to construct one ``GossipService`` per cold
+sample (never closed) and close the warm service only on the happy
+path; ``run_synthetic_workload`` created a default service it never
+closed.  An unclosed service can hold a live ``ThreadPoolExecutor``
+whose worker threads outlive the call — these tests pin the fix by
+recording every service constructed and by watching the thread count.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import workload
+from repro.service.service import GossipService
+from repro.service.workload import bench_plan_cache, run_synthetic_workload
+
+
+class RecordingService(GossipService):
+    """A GossipService that records construction and close events."""
+
+    instances = []
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.closed = False
+        RecordingService.instances.append(self)
+
+    def close(self):
+        self.closed = True
+        super().close()
+
+
+@pytest.fixture
+def recording(monkeypatch):
+    RecordingService.instances = []
+    monkeypatch.setattr(workload, "GossipService", RecordingService)
+    return RecordingService
+
+
+def test_bench_plan_cache_closes_every_service(recording):
+    bench_plan_cache(
+        "grid:16", cold_rounds=2, warm_rounds=2, batch_size=4, batch_unique=2,
+        max_workers=2,
+    )
+    # cold_rounds fresh services + warm + batch
+    assert len(recording.instances) == 4
+    assert all(s.closed for s in recording.instances)
+
+
+def test_bench_plan_cache_closes_on_failure(recording, monkeypatch):
+    """The warm/batch services are closed even when planning raises."""
+    calls = {"n": 0}
+    original = RecordingService.plan
+
+    def flaky(self, *args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] > 3:  # fail inside the warm loop
+            raise RuntimeError("boom")
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(RecordingService, "plan", flaky)
+    with pytest.raises(RuntimeError):
+        bench_plan_cache(
+            "grid:16", cold_rounds=2, warm_rounds=5, batch_size=2, batch_unique=1
+        )
+    assert all(s.closed for s in recording.instances)
+
+
+def test_bench_plan_cache_no_daemon_thread_growth():
+    """No thread created during the bench survives it."""
+    before = set(threading.enumerate())
+    bench_plan_cache(
+        "grid:16", cold_rounds=1, warm_rounds=1, batch_size=4, batch_unique=2,
+        max_workers=2,
+    )
+    leaked = set(threading.enumerate()) - before
+    assert not leaked, f"threads leaked by bench_plan_cache: {leaked}"
+
+
+def test_run_synthetic_workload_closes_internal_service(recording):
+    stats = run_synthetic_workload(families=("grid",), sizes=(9,), requests=4)
+    assert stats.requests == 4
+    assert len(recording.instances) == 1
+    assert recording.instances[0].closed
+
+
+def test_run_synthetic_workload_leaves_caller_service_open(recording):
+    with RecordingService() as mine:
+        stats = run_synthetic_workload(
+            mine, families=("grid",), sizes=(9,), requests=3
+        )
+        assert stats.requests == 3
+        assert not mine.closed  # caller-supplied services stay open
+        follow_up = mine.plan("grid:9")
+        assert follow_up is not None
+    assert mine.closed
