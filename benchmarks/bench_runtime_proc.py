@@ -1,0 +1,383 @@
+"""RUNTIME-PROC — supervised multi-process gossip vs the simulator.
+
+The robustness claim behind :mod:`repro.runtime.supervisor`: the paper's
+online ConcurrentUpDown, executed by one **OS process per peer** under a
+supervisor, is (a) **offline-exact** when every process survives — the
+multiset of transmissions equals the offline schedule on every topology
+family; (b) **crash-resolving** when processes are really ``SIGKILL``\\ ed
+mid-protocol — the supervisor detects every death (process sentinel
+cross-checked by the survivors' heartbeat detectors), journals it, and
+either re-completes full gossip via restart-with-rejoin or completes
+gossip-among-survivors via the :func:`~repro.core.survival.survive`
+replan, in at least ``MIN_COMPLETION`` of the seeded trials; (c)
+**reproducible** — ``deterministic_summary()`` is byte-for-byte
+identical across two runs of the same seed; and (d) **serveable** —
+:meth:`GossipService.execute` drives the fleet with the same breaker /
+retry / degraded-fallback discipline it applies to planning, never
+deadlocking and counting every outcome in ``ServiceStats``.
+
+Runs two ways:
+
+* under pytest(-benchmark) with the rest of the suite — records rows in
+  the reproduction summary;
+* standalone: ``python benchmarks/bench_runtime_proc.py --check`` exits
+  non-zero unless all four gates hold (``--quick`` shrinks the sweep for
+  tier-1 wiring; the full run is the acceptance gate with >= 100 seeded
+  SIGKILL trials).
+"""
+
+import argparse
+import sys
+
+from repro.analysis.sweep import FAMILIES
+from repro.core.gossip import gossip
+from repro.exceptions import ReproError
+from repro.runtime import (
+    NetChaos,
+    RestartPolicy,
+    RuntimeConfig,
+    run_gossip_processes,
+)
+
+#: The acceptance-criteria sweep shape.
+FAMILY_SIZE = 12
+KILL_FAMILY = "cycle:6"  # any single death leaves a connected path
+KILL_TRIALS = 100
+SEED = 7
+MIN_COMPLETION = 0.95
+#: Every RESTART_EVERY-th trial resolves by restart-with-rejoin (and must
+#: then re-complete *full* gossip); the rest replan around the dead.
+RESTART_EVERY = 5
+
+#: Tier-1 subset for --quick (one per structural class, cheap to boot —
+#: every extra family costs FAMILY_SIZE interpreter boots).
+QUICK_FAMILIES = ("path", "star", "grid", "binary-tree", "random")
+QUICK_TRIALS = 4
+
+#: Child-fleet pacing: virtual-seconds knobs (scaled by TIME_SCALE into
+#: real waits).  fail_after is deliberately generous — interpreter boot
+#: storms on small machines must never read as peer death.
+TIME_SCALE = 0.5
+FAULT_FREE_CONFIG = dict(
+    heartbeat_interval=0.5,
+    fail_after=4.0,
+    round_timeout=60.0,
+    run_timeout=600.0,
+)
+KILL_TIME_SCALE = 0.25
+KILL_CONFIG = dict(
+    heartbeat_interval=0.25,
+    fail_after=1.5,
+    round_timeout=60.0,
+    run_timeout=600.0,
+)
+
+
+def _offline_multiset(plan):
+    """The offline schedule as a sorted transmission multiset."""
+    return sorted(
+        (t, tx.sender, tx.message, tuple(sorted(tx.destinations)))
+        for t, rnd in enumerate(plan.schedule.rounds)
+        for tx in rnd
+    )
+
+
+def _online_multiset(result):
+    """A runtime transcript as a sorted transmission multiset."""
+    return sorted(
+        (e.round, e.sender, e.message, e.destinations)
+        for e in result.transcript
+    )
+
+
+def run_fault_free(*, families=None, seed=SEED, size=FAMILY_SIZE):
+    """One fault-free supervised run per family; offline-exactness rows.
+
+    Returns ``(family, n, rounds, wall_seconds, complete, exact)`` rows
+    where ``exact`` is the offline-transcript multiset gate.
+    """
+    rows = []
+    config = RuntimeConfig(seed=seed, **FAULT_FREE_CONFIG)
+    for name in sorted(families if families is not None else FAMILIES):
+        plan = gossip(f"{name}:{size}")
+        result = run_gossip_processes(
+            plan, config=config, time_scale=TIME_SCALE
+        )
+        rows.append(
+            (
+                plan.graph.name or name,
+                result.n,
+                result.horizon,
+                result.wall_seconds,
+                result.complete and result.mode == "fault-free",
+                _offline_multiset(plan) == _online_multiset(result),
+            )
+        )
+    return rows
+
+
+def _kill_trial_inputs(plan, trial, seed):
+    """Deterministic SIGKILL profile + config + policy for one trial."""
+    n = plan.graph.n
+    victim = (trial * 5 + 1) % n
+    kill_round = 1 + trial % 3
+    chaos = NetChaos(
+        seed=seed * 1_000_003 + trial,
+        sigkill=((victim, kill_round),),
+    )
+    config = RuntimeConfig(seed=seed + trial, **KILL_CONFIG)
+    restart = trial % RESTART_EVERY == 0
+    policy = RestartPolicy(mode="restart" if restart else "replan")
+    return chaos, config, policy, victim
+
+
+def run_sigkill(*, trials=KILL_TRIALS, seed=SEED):
+    """Seeded real-crash trials: one ``SIGKILL``\\ ed peer process each.
+
+    Returns ``(victim, policy_mode, result_or_None)`` triples — ``None``
+    records a trial the supervisor could not resolve (a typed error),
+    which the completion gate counts against ``MIN_COMPLETION``.
+    """
+    plan = gossip(KILL_FAMILY)
+    outcomes = []
+    for trial in range(trials):
+        chaos, config, policy, victim = _kill_trial_inputs(plan, trial, seed)
+        try:
+            result = run_gossip_processes(
+                plan, chaos=chaos, config=config, policy=policy,
+                time_scale=KILL_TIME_SCALE,
+            )
+        except ReproError:
+            result = None
+        outcomes.append((victim, policy.mode, result))
+    return outcomes
+
+
+def check_offline_exact(rows) -> None:
+    """Gate: every fault-free run is complete and offline-identical."""
+    bad = [(fam, complete, exact) for fam, _, _, _, complete, exact in rows
+           if not (complete and exact)]
+    assert not bad, (
+        f"{len(bad)} families diverged from the offline schedule under "
+        f"process supervision: {bad}"
+    )
+
+
+def _detected(victim, result) -> bool:
+    """Whether the supervisor's journal shows the victim's death."""
+    return any(
+        incident.vertex == victim
+        and incident.kind in ("crash-detected", "suspicion")
+        for incident in result.incidents
+    )
+
+
+def check_sigkill_resolution(outcomes) -> None:
+    """Gate: every death detected; >= MIN_COMPLETION trials resolve.
+
+    A replan trial resolves when the survivors reach full degraded
+    coverage around exactly the killed vertex; a restart trial resolves
+    only by *re-completing full gossip* (mode ``rejoin``).  Detection is
+    unconditional: even an unresolved trial must have journaled the
+    victim's death.
+    """
+    undetected = [
+        i for i, (victim, _, result) in enumerate(outcomes)
+        if result is None or not _detected(victim, result)
+    ]
+    assert not undetected, (
+        f"trials {undetected} never detected the SIGKILLed peer "
+        f"(no crash-detected/suspicion incident)"
+    )
+
+    def resolved(victim, mode, result):
+        if result is None:
+            return False
+        if mode == "restart":
+            return result.mode == "rejoin" and result.complete
+        return (
+            result.mode == "replan"
+            and result.dead == (victim,)
+            and result.coverage == 1.0
+        )
+
+    completions = [resolved(*o) for o in outcomes]
+    rate = sum(completions) / len(completions)
+    assert rate >= MIN_COMPLETION, (
+        f"only {rate:.1%} of {len(outcomes)} SIGKILL trials resolved "
+        f"(< {MIN_COMPLETION:.0%}); failures at trials "
+        f"{[i for i, ok in enumerate(completions) if not ok]}"
+    )
+
+
+def check_reproducible(*, seed=SEED) -> None:
+    """Gate: one SIGKILL trial run twice is byte-for-byte identical."""
+    plan = gossip(KILL_FAMILY)
+    chaos, config, policy, _ = _kill_trial_inputs(plan, 1, seed)
+
+    def once():
+        return run_gossip_processes(
+            plan, chaos=chaos, config=config, policy=policy,
+            time_scale=KILL_TIME_SCALE,
+        ).deterministic_summary()
+
+    first, second = once(), once()
+    assert first == second, (
+        "identical seeds produced different deterministic summaries: "
+        + str({k: (first[k], second[k]) for k in first if first[k] != second[k]})
+    )
+
+
+def check_service_execute(*, seed=SEED) -> None:
+    """Gate: ``GossipService.execute`` degrades crashes, never deadlocks.
+
+    * a crash-injected fleet that the supervisor *resolves* is served as
+      a successful (non-degraded) execution;
+    * a fleet that cannot meet its whole-run deadline is served degraded
+      (the typed partial result), counts as an execution failure, and
+      two such failures open the per-key execution breaker;
+    * with the breaker open the fleet is never spawned again — the
+      offline simulator replay is served degraded instead;
+    * every outcome lands in the ``ServiceStats`` execution counters.
+    """
+    from repro.service import GossipService
+
+    chaos = NetChaos(seed=seed, sigkill=((1, 1),))
+    config = RuntimeConfig(seed=seed, **KILL_CONFIG)
+    dead_on_arrival = RuntimeConfig(seed=seed, run_timeout=0.05)
+    with GossipService(breaker_threshold=2, breaker_cooldown=600.0) as service:
+        crashed = service.execute(
+            KILL_FAMILY, runtime="processes", chaos=chaos, config=config,
+            time_scale=KILL_TIME_SCALE,
+        )
+        assert not crashed.degraded and crashed.result.mode == "replan", (
+            f"supervisor-resolved crash served wrong: {crashed.result.mode}"
+        )
+        assert crashed.result.coverage == 1.0
+
+        first = service.execute(
+            KILL_FAMILY, runtime="processes", config=dead_on_arrival,
+            time_scale=KILL_TIME_SCALE,
+        )
+        assert first.degraded and first.result.mode == "partial"
+        second = service.execute(
+            KILL_FAMILY, runtime="processes", config=dead_on_arrival,
+            time_scale=KILL_TIME_SCALE,
+        )
+        assert second.degraded
+
+        shorted = service.execute(
+            KILL_FAMILY, runtime="processes", config=dead_on_arrival,
+            time_scale=KILL_TIME_SCALE,
+        )
+        assert shorted.degraded and shorted.runtime == "simulator", (
+            "open breaker should have served the simulator replay, got "
+            f"{shorted.runtime!r}"
+        )
+
+        stats = service.stats()
+        assert stats.executions == 4, stats.executions
+        assert stats.exec_failures == 2, stats.exec_failures
+        assert stats.exec_degraded == 3, stats.exec_degraded
+        assert stats.breaker_opens == 1, stats.breaker_opens
+
+
+def test_runtime_proc_supervised(benchmark, report):
+    """Supervised fleet vs simulator; detection + resolution must hold."""
+    rows = benchmark.pedantic(
+        lambda: run_fault_free(families=QUICK_FAMILIES, size=8),
+        iterations=1,
+        rounds=1,
+    )
+    for family, n, rounds, wall, complete, exact in rows:
+        report.row(
+            network=family,
+            n=n,
+            rounds=rounds,
+            wall_ms=f"{wall * 1000:.1f}",
+            complete=complete,
+            offline_exact=exact,
+        )
+    check_offline_exact(rows)
+
+    outcomes = run_sigkill(trials=2)
+    for i, (victim, mode, r) in enumerate(outcomes):
+        report.row(
+            network=KILL_FAMILY,
+            trial=i,
+            policy=mode,
+            resolved=None if r is None else r.mode,
+            coverage=None if r is None else f"{r.coverage:.0%}",
+            restarts=None if r is None else r.restarts,
+        )
+    check_sigkill_resolution(outcomes)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the offline-exact, crash-resolution, "
+             "per-seed-reproducibility and service-execution gates hold",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the small tier-1 subset instead of all families and the "
+             "full 100-trial crash sweep",
+    )
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    families = QUICK_FAMILIES if args.quick else sorted(FAMILIES)
+    size = 8 if args.quick else FAMILY_SIZE
+    rows = run_fault_free(families=families, seed=args.seed, size=size)
+    header = (f"{'network':<16} {'n':>4} {'rounds':>6} {'wall ms':>8} "
+              f"{'complete':>9} {'exact':>6}")
+    print(f"supervised multi-process runtime  seed={args.seed}  "
+          f"families={len(rows)}  (one OS process per peer)")
+    print(header)
+    print("-" * len(header))
+    for family, n, rounds, wall, complete, exact in rows:
+        print(f"{family:<16} {n:>4} {rounds:>6} {wall * 1000:>8.1f} "
+              f"{str(complete):>9} {str(exact):>6}")
+
+    trials = args.trials if args.trials is not None else (
+        QUICK_TRIALS if args.quick else KILL_TRIALS
+    )
+    outcomes = run_sigkill(trials=trials, seed=args.seed)
+    resolved = sum(
+        1 for _, _, r in outcomes
+        if r is not None and (r.complete or r.coverage == 1.0)
+    )
+    print(f"\nSIGKILL sweep: {trials} seeded trials on {KILL_FAMILY} "
+          f"(1 real process death each; every {RESTART_EVERY}th trial "
+          f"restart-with-rejoin), {resolved}/{trials} resolved")
+    shown = outcomes if trials <= 12 else outcomes[:12]
+    for i, (victim, mode, r) in enumerate(shown):
+        if r is None:
+            print(f"  trial {i}: victim={victim} policy={mode}  UNRESOLVED")
+        else:
+            print(f"  trial {i}: victim={victim} policy={mode} -> "
+                  f"{r.mode} coverage={r.coverage:.0%} "
+                  f"restarts={r.restarts} incidents={len(r.incidents)}")
+    if len(shown) < trials:
+        print(f"  ... {trials - len(shown)} more trials elided")
+
+    if args.check:
+        try:
+            check_offline_exact(rows)
+            check_sigkill_resolution(outcomes)
+            check_reproducible(seed=args.seed)
+            check_service_execute(seed=args.seed)
+        except AssertionError as err:
+            print(f"CHECK FAILED: {err}")
+            return 1
+        print("check: offline-exact transcripts, crash detection + "
+              ">= 95% resolution, per-seed reproducibility, "
+              "service execution degradation  OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,13 @@ Enforced conventions:
    module (or ``numpy.random``) is forbidden.  A single unseeded draw
    would silently break the byte-for-byte reproducibility the
    adversarial comparison gates assert.
+7. **Process discipline in the runtime** — inside ``src/repro/runtime``
+   only ``supervisor.py`` and ``proc.py`` may touch process machinery:
+   importing ``multiprocessing`` or ``signal``, or calling ``os.fork``
+   / ``os.kill`` (and variants), is forbidden elsewhere.  Spawning or
+   signalling from a peer/transport module would bypass the
+   supervision tree — deaths the supervisor cannot see, journal, or
+   resolve.
 
 Exit status: 0 when clean, 1 with one ``file:line: message`` per
 violation on stdout.  Run from the repository root::
@@ -96,6 +103,16 @@ SEEDED_RNG_MODULES = {
     "rng.py",
 }
 
+#: Runtime modules allowed to touch process machinery (rule 7): the
+#: supervision tree's own two halves.
+PROCESS_MODULES = {"supervisor.py", "proc.py"}
+
+#: Module imports forbidden in the rest of ``src/repro/runtime``.
+PROCESS_IMPORTS = ("multiprocessing", "signal")
+
+#: ``os.<attr>`` calls forbidden there for the same reason.
+PROCESS_OS_CALLS = {"fork", "forkpty", "kill", "killpg"}
+
 Violation = Tuple[pathlib.Path, int, str]
 
 
@@ -133,6 +150,38 @@ def _needs_clock_discipline(path: pathlib.Path) -> bool:
 
 def _needs_seeded_rng(path: pathlib.Path) -> bool:
     return path.name in SEEDED_RNG_MODULES and path.parent.name == "core"
+
+
+def _needs_process_discipline(path: pathlib.Path) -> bool:
+    return path.parent.name == "runtime" and path.name not in PROCESS_MODULES
+
+
+def _process_violations(
+    path: pathlib.Path, node: ast.AST
+) -> Iterator[Violation]:
+    """Rule 7: process machinery only in supervisor.py / proc.py."""
+    message = (
+        "process machinery outside the supervision tree; spawning or "
+        "signalling belongs in repro.runtime.supervisor / proc so every "
+        "death is detected, journaled, and resolved"
+    )
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name.split(".")[0] in PROCESS_IMPORTS:
+                yield (path, node.lineno, message)
+    elif isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module.split(".")[0] in PROCESS_IMPORTS:
+            yield (path, node.lineno, message)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in PROCESS_OS_CALLS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+        ):
+            yield (path, node.lineno, message)
 
 
 def _seeded_rng_violations(
@@ -199,6 +248,8 @@ def check_file(path: pathlib.Path) -> Iterator[Violation]:
     for node in ast.walk(tree):
         if _needs_seeded_rng(path):
             yield from _seeded_rng_violations(path, node)
+        if _needs_process_discipline(path):
+            yield from _process_violations(path, node)
         if isinstance(node, ast.Raise):
             name = _raised_name(node)
             if name in BUILTIN_EXCEPTIONS and name not in ALLOWED_BUILTIN_RAISES:

@@ -16,7 +16,12 @@ Subcommands:
 * ``run-net``     — execute the online protocol over real UDP sockets on
   localhost (``repro.runtime``), optionally under seeded socket-level chaos
   (drops, delay jitter, killed peers) with failure detection and survival
-  replanning;
+  replanning (``--processes`` reroutes through the supervised
+  multi-process runtime);
+* ``run-proc``    — execute under supervision with one OS process per peer
+  (``repro.runtime.supervisor``): real ``SIGKILL`` crash injection, capped
+  restart-with-rejoin or survivor replanning, and a structured incident
+  journal (``--journal`` writes it as JSON Lines);
 * ``lint``        — static schedule analysis (``repro.lint``): verify plans
   against the model, efficiency and paper-invariant rules without executing
   them (``--json`` for CI, ``--check`` to gate on error diagnostics).
@@ -37,6 +42,7 @@ Examples
     python -m repro.cli chaos --family random:48 --drop 0.2 --seed 7 --timeout 120
     python -m repro.cli survive --family random:32 --fail-stop 0.05 --check
     python -m repro.cli run-net --family grid:16 --drop 0.1 --kill 4:3 --seed 7
+    python -m repro.cli run-proc --family path:8 --sigkill 3:2 --policy restart
     python -m repro.cli plan-bench --spec grid:400 --spec torus:1024 --check
 """
 
@@ -311,6 +317,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit non-zero unless the run reaches full (degraded) coverage "
              "and a fault-free run matches the offline schedule exactly",
+    )
+    p_runnet.add_argument(
+        "--processes", action="store_true",
+        help="run under supervision with one OS process per peer instead of "
+             "one asyncio task (--kill then injects real SIGKILLs)",
+    )
+
+    p_runproc = sub.add_parser(
+        "run-proc",
+        help="execute under supervision with one OS process per peer: real "
+             "SIGKILL crash injection, restart-with-rejoin or survivor "
+             "replanning, structured incident journal",
+    )
+    p_runproc.add_argument(
+        "--family", default="grid:16", metavar="SPEC",
+        help="network spec 'family:n' (default: grid:16)",
+    )
+    p_runproc.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="concurrent-updown"
+    )
+    p_runproc.add_argument("--seed", type=int, default=7, help="chaos seed")
+    p_runproc.add_argument(
+        "--drop", type=float, default=0.0,
+        help="per-send-attempt datagram drop probability",
+    )
+    p_runproc.add_argument(
+        "--delay", type=float, default=0.0,
+        help="per-send-attempt datagram delay probability (reorders)",
+    )
+    p_runproc.add_argument(
+        "--delay-max", type=float, default=0.02,
+        help="upper bound of the drawn extra latency in seconds",
+    )
+    p_runproc.add_argument(
+        "--sigkill", action="append", default=None, metavar="V:R",
+        help="SIGKILL the OS process of vertex V at protocol round R "
+             "(repeatable; a real, abrupt process death)",
+    )
+    p_runproc.add_argument(
+        "--policy", choices=("replan", "restart"), default="replan",
+        help="death resolution: replan around the dead (gossip among "
+             "survivors) or restart-with-rejoin (full gossip re-completes)",
+    )
+    p_runproc.add_argument(
+        "--max-restarts", type=int, default=3,
+        help="restart attempts per victim before declaring fail-stop",
+    )
+    p_runproc.add_argument(
+        "--rejoin-crashes", type=int, default=0,
+        help="seeded chaos: this many restart attempts die again on boot",
+    )
+    p_runproc.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="whole-run deadline in seconds (typed RuntimeDeadlineError)",
+    )
+    p_runproc.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="shrink every runtime wait by this factor in (0, 1] "
+             "(1.0 = real time)",
+    )
+    p_runproc.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write the structured incident journal here as JSON Lines",
+    )
+    p_runproc.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the run resolves: fault-free runs match "
+             "the offline schedule exactly; crash-injected runs detect every "
+             "victim and reach full (degraded) coverage",
     )
 
     p_pbench = sub.add_parser(
@@ -700,6 +775,20 @@ def _cmd_survive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kill_specs(specs: "Optional[List[str]]", flag: str
+                      ) -> "Optional[List[tuple]]":
+    """Parse repeatable ``V:R`` kill specs; None on a malformed one."""
+    kills = []
+    for spec in specs or []:
+        vertex, _, rnd = spec.partition(":")
+        try:
+            kills.append((int(vertex), int(rnd)))
+        except ValueError:
+            print(f"bad {flag} spec {spec!r}; want V:R with integers")
+            return None
+    return kills
+
+
 def _cmd_run_net(args: argparse.Namespace) -> int:
     """Run gossip over real UDP sockets, report the runtime result."""
     from .exceptions import RuntimeDeadlineError
@@ -711,14 +800,19 @@ def _cmd_run_net(args: argparse.Namespace) -> int:
         run_gossip_network,
     )
 
-    kills = []
-    for spec in args.kill or []:
-        vertex, _, rnd = spec.partition(":")
-        try:
-            kills.append((int(vertex), int(rnd)))
-        except ValueError:
-            print(f"bad --kill spec {spec!r}; want V:R with integers")
-            return 2
+    kills = _parse_kill_specs(args.kill, "--kill")
+    if kills is None:
+        return 2
+    if getattr(args, "processes", False):
+        # Reroute through the supervised multi-process runtime: the
+        # kill specs become real SIGKILLs and resolution follows the
+        # default replan policy.
+        args.sigkill = args.kill
+        args.policy = "replan"
+        args.max_restarts = 3
+        args.rejoin_crashes = 0
+        args.journal = None
+        return _cmd_run_proc(args)
     chaos = NetChaos(
         seed=args.seed,
         drop_rate=args.drop,
@@ -768,6 +862,100 @@ def _cmd_run_net(args: argparse.Namespace) -> int:
             print("CHECK FAILED: coverage or transcript gate violated")
             return 1
         print("check: full (degraded) coverage and offline-exact transcript  OK")
+    return 0
+
+
+def _cmd_run_proc(args: argparse.Namespace) -> int:
+    """Run gossip under the multi-process supervisor, report the story."""
+    from .exceptions import RuntimeDeadlineError, SupervisorError
+    from .runtime import (
+        NetChaos,
+        RestartPolicy,
+        RuntimeConfig,
+        run_gossip_processes,
+    )
+
+    sigkills = _parse_kill_specs(args.sigkill, "--sigkill")
+    if sigkills is None:
+        return 2
+    chaos = NetChaos(
+        seed=args.seed,
+        drop_rate=args.drop,
+        delay_rate=args.delay,
+        delay_max=args.delay_max if args.delay > 0 else 0.0,
+        sigkill=tuple(sigkills),
+        rejoin_crashes=args.rejoin_crashes,
+    )
+    config = RuntimeConfig(run_timeout=args.timeout, seed=args.seed)
+    policy = RestartPolicy(mode=args.policy, max_restarts=args.max_restarts)
+
+    plan = gossip(args.family, algorithm=args.algorithm)
+    try:
+        result = run_gossip_processes(
+            plan, chaos=chaos, config=config, policy=policy,
+            time_scale=args.time_scale,
+        )
+    except RuntimeDeadlineError as err:
+        print(f"DEADLINE ({err.phase}): {err}")
+        return 1
+    except SupervisorError as err:
+        print(f"SUPERVISOR ERROR: {err}")
+        for incident in err.incidents:
+            print(f"  {incident.to_json()}")
+        return 1
+    print(f"network   : {plan.graph.name}  n={result.n}  "
+          f"horizon={result.horizon} rounds  (1 OS process per peer)")
+    print(f"chaos     : drop={args.drop:.2f} delay={args.delay:.2f} "
+          f"sigkill={sigkills or 'none'} seed={args.seed}")
+    print(f"resolved  : mode={result.mode}  complete={result.complete}  "
+          f"coverage={result.coverage:.1%}  restarts={result.restarts}")
+    print(f"rounds    : {result.rounds_completed} online"
+          + (f" + {result.survival_rounds} "
+             + ("rejoin-completion" if result.mode == "rejoin" else "survival")
+             if result.survival_rounds else ""))
+    print(f"transport : {result.stats.sent} sent, {result.stats.dropped} dropped, "
+          f"{result.stats.delayed} delayed, {result.retransmissions} retransmitted, "
+          f"{result.duplicates_suppressed} duplicates absorbed")
+    if result.dead:
+        print(f"failures  : dead={list(result.dead)}  "
+              f"components={[list(c) for c in result.components]}")
+    if result.incidents:
+        print(f"incidents : {len(result.incidents)}")
+        for incident in result.incidents:
+            print(f"  [{incident.wall_seconds:7.3f}s] {incident.kind:<20} "
+                  f"vertex={incident.vertex:>3}  via {incident.detected_by}  "
+                  f"{incident.details}")
+    if args.journal:
+        with open(args.journal, "w", encoding="utf-8") as fh:
+            for incident in result.incidents:
+                fh.write(incident.to_json() + "\n")
+        print(f"wrote {args.journal}")
+    offline_ok = True
+    if chaos.is_null:
+        offline = sorted(
+            (t, tx.sender, tx.message, tuple(sorted(tx.destinations)))
+            for t, rnd in enumerate(plan.schedule.rounds)
+            for tx in rnd
+        )
+        online = sorted(
+            (e.round, e.sender, e.message, e.destinations)
+            for e in result.transcript
+        )
+        offline_ok = offline == online
+        print("transcript: "
+              f"{'identical to offline schedule' if offline_ok else 'DIVERGED'}")
+    if args.check:
+        detected = all(
+            any(i.vertex == victim for i in result.incidents
+                if i.kind in ("crash-detected", "suspicion"))
+            for victim, _ in sigkills
+        )
+        ok = offline_ok and result.coverage == 1.0 and detected
+        if not ok:
+            print("CHECK FAILED: coverage, transcript or detection gate violated")
+            return 1
+        print("check: death detection, full (degraded) coverage and "
+              "offline-exact transcript  OK")
     return 0
 
 
@@ -869,6 +1057,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "survive": _cmd_survive,
         "run-net": _cmd_run_net,
+        "run-proc": _cmd_run_proc,
         "plan-bench": _cmd_plan_bench,
         "lint": _cmd_lint,
     }

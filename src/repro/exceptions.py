@@ -33,6 +33,7 @@ __all__ = [
     "WireFormatError",
     "PeerDeadError",
     "RuntimeDeadlineError",
+    "SupervisorError",
 ]
 
 
@@ -315,3 +316,25 @@ class RuntimeDeadlineError(GossipRuntimeError):
         super().__init__(message)
         self.partial = partial
         self.phase = phase
+
+
+class SupervisorError(GossipRuntimeError):
+    """The multi-process supervisor could not run or resolve the fleet.
+
+    Raised by :class:`repro.runtime.supervisor.Supervisor` for
+    control-plane failures that are *not* ordinary peer deaths: a child
+    that errors (rather than crashes) mid-protocol, a rendezvous that a
+    child abandons before reporting its socket, or a resolution step
+    whose preconditions the fleet state violates.  Carries the incident
+    journal gathered so far so operators see the whole story.
+
+    Attributes
+    ----------
+    incidents:
+        The :class:`repro.runtime.incidents.Incident` records gathered
+        up to the failure, in detection order.
+    """
+
+    def __init__(self, message: str, *, incidents: Iterable[object] = ()) -> None:
+        super().__init__(message)
+        self.incidents = tuple(incidents)

@@ -11,12 +11,16 @@ round/run deadlines, and a survival replan driven by
 model into something that completes on a lossy asynchronous medium and
 degrades to *gossip among survivors* when peers die.
 
-Front door: :func:`run_gossip_network`.  Fault injection:
-:class:`NetChaos` (deterministic per seed, byte-for-byte reproducible —
-see :mod:`repro.runtime.transport`).
+Front doors: :func:`run_gossip_network` (one asyncio task per vertex in
+this interpreter) and :func:`run_gossip_processes` (one supervised OS
+process per vertex — see :mod:`repro.runtime.supervisor`).  Fault
+injection: :class:`NetChaos` (deterministic per seed, byte-for-byte
+reproducible — see :mod:`repro.runtime.transport`), including *real*
+process crashes (``sigkill``) under the supervisor.
 """
 
 from .clock import Clock, RealClock, ScaledClock
+from .incidents import Incident, IncidentJournal
 from .peer import (
     GossipPeer,
     PeerProtocol,
@@ -25,6 +29,12 @@ from .peer import (
     TranscriptEntry,
 )
 from .runner import ObservedDeaths, RuntimeResult, run_gossip_network
+from .supervisor import (
+    ProcResult,
+    RestartPolicy,
+    Supervisor,
+    run_gossip_processes,
+)
 from .transport import LossyDatagramTransport, NetChaos, TransportStats
 from .wire import (
     ACK,
@@ -32,7 +42,10 @@ from .wire import (
     FENCE,
     HEARTBEAT,
     PHASE_ONLINE,
+    PHASE_REJOIN,
     PHASE_SURVIVAL,
+    RESYNC,
+    RESYNC_REQ,
     WIRE_SIZE,
     Datagram,
     decode,
@@ -51,6 +64,12 @@ __all__ = [
     "ObservedDeaths",
     "RuntimeResult",
     "run_gossip_network",
+    "Supervisor",
+    "RestartPolicy",
+    "ProcResult",
+    "run_gossip_processes",
+    "Incident",
+    "IncidentJournal",
     "LossyDatagramTransport",
     "NetChaos",
     "TransportStats",
@@ -58,8 +77,11 @@ __all__ = [
     "FENCE",
     "ACK",
     "HEARTBEAT",
+    "RESYNC_REQ",
+    "RESYNC",
     "PHASE_ONLINE",
     "PHASE_SURVIVAL",
+    "PHASE_REJOIN",
     "WIRE_SIZE",
     "Datagram",
     "encode",

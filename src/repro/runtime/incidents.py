@@ -1,0 +1,158 @@
+"""Structured incident journal of the multi-process supervisor.
+
+Every noteworthy event in a supervised run — a crash detected on a
+process sentinel, a heartbeat suspicion, a restart attempt, a completed
+state resync, a declared fail-stop, a missed deadline — is recorded as
+one typed :class:`Incident` in an :class:`IncidentJournal`.  The journal
+is the supervisor's black box: it survives the run inside
+:class:`~repro.runtime.supervisor.ProcResult` (and rides on
+:class:`~repro.exceptions.SupervisorError` when the run fails outright),
+and it serialises to JSON Lines for offline forensics.
+
+Incident kinds
+--------------
+========================  ====================================================
+kind                      meaning
+========================  ====================================================
+``crash-detected``        a child process exited without saying goodbye;
+                          ``detected_by="sentinel"``, ``details`` carries the
+                          exit code (``-9`` for a SIGKILL).
+``suspicion``             a live peer's heartbeat detector (or retransmit
+                          cap) reported the victim;
+                          ``detected_by="peer:<reporter>"``.
+``abort``                 the supervisor froze phase 1 on the survivors.
+``restart``               one restart attempt of a victim (``attempt`` is
+                          1-based; ``details`` the backoff waited).
+``rejoin-failed``         the restarted process died again before completing
+                          rendezvous.
+``fail-stop-declared``    the restart budget is exhausted; the victim is
+                          permanently dead.
+``resync``                a rejoined peer completed its state transfer from
+                          a live neighbour (``details`` names the source).
+``recovered``             a rejoin completion schedule finished — full
+                          gossip holds again.
+``failover-replan``       the survivors were re-scheduled around the dead
+                          (``details`` the replanned round count).
+``deadline``              a whole-run or child deadline expired.
+``child-error``           a child reported a typed error instead of crashing.
+========================  ====================================================
+
+Journal entries are *observations*, not determinism-bearing protocol
+state: wall-clock offsets vary run to run, so
+:meth:`ProcResult.deterministic_summary` deliberately excludes them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["Incident", "IncidentJournal"]
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One supervision event (see the module docstring for kinds).
+
+    Attributes
+    ----------
+    seq:
+        Position in the journal (0-based, assigned at record time).
+    kind:
+        Event type — one of the kinds tabulated in the module docstring.
+    vertex:
+        The peer the event is about (-1 for fleet-wide events).
+    detected_by:
+        Detection channel: ``"sentinel"``, ``"peer:<reporter>"``,
+        ``"supervisor"``.
+    attempt:
+        Restart attempt number (0 when not a restart-family event).
+    wall_seconds:
+        Seconds since the supervised run started (machine-dependent).
+    details:
+        Free-form human-readable context.
+    """
+
+    seq: int
+    kind: str
+    vertex: int
+    detected_by: str
+    attempt: int
+    wall_seconds: float
+    details: str
+
+    def to_json(self) -> str:
+        """This incident as one JSON object (one JSONL line)."""
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "kind": self.kind,
+                "vertex": self.vertex,
+                "detected_by": self.detected_by,
+                "attempt": self.attempt,
+                "wall_seconds": round(self.wall_seconds, 6),
+                "details": self.details,
+            },
+            sort_keys=True,
+        )
+
+
+class IncidentJournal:
+    """An append-only, in-order record of supervision events."""
+
+    def __init__(self) -> None:
+        self._incidents: List[Incident] = []
+
+    def record(
+        self,
+        kind: str,
+        *,
+        vertex: int = -1,
+        detected_by: str = "supervisor",
+        attempt: int = 0,
+        wall_seconds: float = 0.0,
+        details: str = "",
+    ) -> Incident:
+        """Append one incident and return it."""
+        incident = Incident(
+            seq=len(self._incidents),
+            kind=kind,
+            vertex=vertex,
+            detected_by=detected_by,
+            attempt=attempt,
+            wall_seconds=wall_seconds,
+            details=details,
+        )
+        self._incidents.append(incident)
+        return incident
+
+    def __len__(self) -> int:
+        return len(self._incidents)
+
+    def __iter__(self) -> Iterator[Incident]:
+        return iter(self._incidents)
+
+    @property
+    def incidents(self) -> Tuple[Incident, ...]:
+        """All incidents, in detection order."""
+        return tuple(self._incidents)
+
+    def of_kind(self, kind: str) -> Tuple[Incident, ...]:
+        """Incidents filtered to one kind, in detection order."""
+        return tuple(i for i in self._incidents if i.kind == kind)
+
+    def about(self, vertex: int) -> Tuple[Incident, ...]:
+        """Incidents concerning one peer, in detection order."""
+        return tuple(i for i in self._incidents if i.vertex == vertex)
+
+    def first(self, kind: str) -> Optional[Incident]:
+        """The earliest incident of ``kind`` (None when absent)."""
+        for incident in self._incidents:
+            if incident.kind == kind:
+                return incident
+        return None
+
+    def to_jsonl(self) -> str:
+        """The whole journal as JSON Lines (one incident per line)."""
+        return "\n".join(i.to_json() for i in self._incidents)

@@ -43,7 +43,19 @@ A heartbeat task beacons to every tree neighbour each
 counts as liveness).  A neighbour silent for longer than ``fail_after``
 is *suspected*: the peer marks it dead locally, abandons reliable sends
 to it, and reports the suspicion upward — the runner aborts the online
-phase and routes the residue through the survival replanner.
+phase and routes the residue through the survival replanner.  The
+retransmit loop itself is a second detector: a destination that has
+swallowed ``max_attempts`` copies without one ack is reported through
+the same suspicion path instead of being retried forever.
+
+Rejoin (phase REJOIN, the supervised-restart state transfer)
+------------------------------------------------------------
+A peer restarted by the :class:`~repro.runtime.supervisor.Supervisor`
+owns nothing but its own message; before it can take part in a repair
+schedule it pulls a live neighbour's hold bitset over the same socket:
+``RESYNC_REQ`` is retransmitted (fresh loss draws per copy) until every
+16-bit ``RESYNC`` chunk of the bitset has landed.  Chunks are
+idempotent, so the responder simply re-answers every request copy.
 
 Phase 2 (survival) replays a :func:`repro.core.survival.survive`
 schedule: the runner hands each surviving peer its own slice (what it
@@ -73,7 +85,10 @@ from .wire import (
     FENCE,
     HEARTBEAT,
     PHASE_ONLINE,
+    PHASE_REJOIN,
     PHASE_SURVIVAL,
+    RESYNC,
+    RESYNC_REQ,
     Datagram,
     decode,
     encode,
@@ -85,6 +100,13 @@ _TAG_BACKOFF = 0xBAC0
 
 #: Poll quantum for waits that must also observe aborts (virtual seconds).
 _WAIT_QUANTUM = 0.05
+
+#: How many rounds of attempt state the transport keeps behind the
+#: peer's current round.  Lockstep peers can lag each other by only a
+#: couple of fences, so 8 rounds of slack is already generous — far
+#: smaller than an unbounded table, still wide enough that a re-ack of
+#: a straggling duplicate never restarts its draw sequence.
+_ATTEMPT_EXPIRE_LAG = 8
 
 
 @dataclass(frozen=True)
@@ -111,6 +133,12 @@ class RuntimeConfig:
         survived* rather than surfacing as bare deadline errors.
     run_timeout:
         Whole-run deadline enforced by the runner.
+    max_attempts:
+        Retransmission budget of one reliable record.  A destination
+        that swallows this many copies without acking one is reported
+        to the suspicion path (and marked dead locally) instead of
+        being retried forever — the cap turns a live-but-unresponsive
+        peer from an infinite loop into an ordinary detected failure.
     seed:
         Seed for the deterministic backoff jitter draws.
     """
@@ -122,11 +150,14 @@ class RuntimeConfig:
     fail_after: float = 1.5
     round_timeout: float = 8.0
     run_timeout: float = 60.0
+    max_attempts: int = 64
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.ack_timeout <= 0 or self.backoff_factor < 1.0:
             raise GossipRuntimeError("backoff parameters must be positive/growing")
+        if self.max_attempts < 1:
+            raise GossipRuntimeError("max_attempts must be >= 1")
         if self.fail_after <= 2 * self.heartbeat_interval:
             raise GossipRuntimeError(
                 "fail_after must exceed two heartbeat intervals "
@@ -188,7 +219,9 @@ class PeerProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
         peer = self.peer
         transport = peer.transport
-        if transport is not None and transport.killed:
+        if transport is None:
+            return  # rendezvous still in progress; retransmits will land
+        if transport.killed:
             return  # a fail-stopped process hears nothing
         try:
             dgram = decode(data)
@@ -202,6 +235,13 @@ class PeerProtocol(asyncio.DatagramProtocol):
                 event.set()
             return
         if dgram.kind == HEARTBEAT:
+            return
+        if dgram.kind == RESYNC_REQ:
+            peer.serve_resync(dgram.sender)
+            return
+        if dgram.kind == RESYNC:
+            peer.resync_chunks[dgram.round] = dgram.payload
+            peer.token_arrived.set()
             return
         # DATA / FENCE: always (re-)ack, deliver into the token store once.
         peer.send_ack(dgram)
@@ -225,6 +265,7 @@ class GossipPeer:
         clock: Clock,
         suspect: Callable[[int, int], None],
         kill_round: Optional[int] = None,
+        kill_via: Optional[Callable[[], None]] = None,
     ) -> None:
         self.vertex = vertex
         self.proc = proc
@@ -232,6 +273,11 @@ class GossipPeer:
         self.clock = clock
         self._suspect_cb = suspect
         self.kill_round = kill_round
+        #: How the peer dies at ``kill_round``: ``None`` silences the
+        #: transport in-process (the runner's simulated fail-stop); the
+        #: supervisor's children install ``os.kill(self, SIGKILL)`` here
+        #: so the whole interpreter dies for real.
+        self.kill_via = kill_via
 
         neighbours: List[int] = [c.vertex for c in proc.children]
         if proc.parent is not None:
@@ -246,6 +292,8 @@ class GossipPeer:
         self.token_arrived = asyncio.Event()
         #: (dest, phase, round) -> ack event for one in-flight reliable send.
         self.ack_events: Dict[Tuple[int, int, int], asyncio.Event] = {}
+        #: chunk index -> 16-bit slice of a rejoin state transfer.
+        self.resync_chunks: Dict[int, int] = {}
 
         self.holds = 1 << proc.i
         self.dead: Set[int] = set()
@@ -310,7 +358,12 @@ class GossipPeer:
 
     # -- reliable delivery --------------------------------------------
     async def _send_reliable(self, dgram: Datagram, dest: int) -> bool:
-        """Retransmit until acked; give up on abort or a dead destination."""
+        """Retransmit until acked; give up on abort or a dead destination.
+
+        A destination that swallows ``max_attempts`` copies without one
+        ack is handed to the suspicion path — the retransmit loop is a
+        failure detector too, never an infinite loop.
+        """
         key = (dest, dgram.phase, dgram.round)
         event = asyncio.Event()
         self.ack_events[key] = event
@@ -320,6 +373,11 @@ class GossipPeer:
                 if self._abort.is_set() and dgram.phase == PHASE_ONLINE:
                     return False
                 if dest in self.dead:
+                    return False
+                if attempt >= self.config.max_attempts:
+                    self.dead.add(dest)
+                    self.token_arrived.set()
+                    self._suspect_cb(self.vertex, dest)
                     return False
                 self._sendto(dgram, dest)
                 if attempt:
@@ -335,6 +393,8 @@ class GossipPeer:
             return True
         finally:
             self.ack_events.pop(key, None)
+            if self.transport is not None:
+                self.transport.forget(dest, dgram.kind, dgram.phase, dgram.round)
 
     async def _send_round(self, phase: int, rnd: int, message: Optional[int],
                           dests: Sequence[int], fence_to: Sequence[int]) -> None:
@@ -414,6 +474,8 @@ class GossipPeer:
                     self._deliver_online(t)
                 if self.kill_round is not None and t >= self.kill_round:
                     self.died_at = t
+                    if self.kill_via is not None:
+                        self.kill_via()  # SIGKILL path: does not return
                     if self.transport is not None:
                         self.transport.kill()
                     return
@@ -432,6 +494,10 @@ class GossipPeer:
                 fence_to = [u for u in self.tree_neighbours if u not in dests]
                 await self._send_round(PHASE_ONLINE, t, message, dests, fence_to)
                 self.rounds_completed = t + 1
+                if self.transport is not None:
+                    self.transport.expire_before(
+                        PHASE_ONLINE, t - _ATTEMPT_EXPIRE_LAG
+                    )
         except _Aborted:
             return
 
@@ -478,6 +544,69 @@ class GossipPeer:
                                     message=message, destinations=dests)
                 )
                 await self._send_round(PHASE_SURVIVAL, t, message, dests, ())
+            if self.transport is not None:
+                self.transport.expire_before(
+                    PHASE_SURVIVAL, t - _ATTEMPT_EXPIRE_LAG
+                )
+
+    # -- rejoin state transfer (phase REJOIN) --------------------------
+    def serve_resync(self, requester: int) -> None:
+        """Answer one ``RESYNC_REQ``: ship the hold bitset in u16 chunks.
+
+        Unreliable and idempotent by design — the requester keeps
+        retransmitting its request until every chunk landed, and every
+        request copy is answered in full.
+        """
+        holds = self.holds
+        for c in range((self.proc.n + 15) // 16):
+            self._sendto(
+                Datagram(kind=RESYNC, phase=PHASE_REJOIN, round=c,
+                         sender=self.vertex, payload=holds >> (16 * c) & 0xFFFF),
+                requester,
+            )
+
+    async def fetch_resync(self, source: int) -> int:
+        """Pull ``source``'s hold bitset (the rejoin state transfer).
+
+        Retransmits the request with the usual seeded backoff until all
+        chunks are here, folds them into ``self.holds``, and returns the
+        merged bitset.  Bounded by ``round_timeout``
+        (:class:`~repro.exceptions.RuntimeDeadlineError`,
+        ``phase="rejoin"``).
+        """
+        chunks = (self.proc.n + 15) // 16
+        req = Datagram(kind=RESYNC_REQ, phase=PHASE_REJOIN, round=0,
+                       sender=self.vertex, payload=0)
+        deadline = self.clock.time() + self.config.round_timeout
+        attempt = 0
+        while any(c not in self.resync_chunks for c in range(chunks)):
+            now = self.clock.time()
+            if now >= deadline:
+                raise RuntimeDeadlineError(
+                    f"peer {self.vertex}: resync from {source} incomplete "
+                    f"within {self.config.round_timeout:.2f}s",
+                    phase="rejoin",
+                )
+            self._sendto(req, source)
+            if attempt:
+                self.retransmissions += 1
+            timeout = self.config.backoff(
+                attempt, src=self.vertex, dst=source,
+                phase=PHASE_REJOIN, rnd=0,
+            )
+            self.token_arrived.clear()
+            try:
+                await self.clock.wait_for(
+                    self.token_arrived.wait(), min(timeout, deadline - now)
+                )
+            except asyncio.TimeoutError:
+                pass
+            attempt += 1
+        for c in range(chunks):
+            self.holds |= self.resync_chunks[c] << (16 * c)
+        if self.transport is not None:
+            self.transport.forget(source, RESYNC_REQ, PHASE_REJOIN, 0)
+        return self.holds
 
     # -- failure detector ---------------------------------------------
     async def heartbeat_loop(self) -> None:

@@ -1,0 +1,389 @@
+"""Child-process side of the supervised multi-process runtime.
+
+One OS process per peer: the :class:`~repro.runtime.supervisor.Supervisor`
+spawns :func:`_child_entry` (spawn start method — a fresh interpreter,
+nothing shared) with a picklable :class:`PeerSpec` and one end of a
+duplex :class:`multiprocessing.connection.Connection`.  The child runs
+the *existing* :class:`~repro.runtime.peer.GossipPeer` machinery over a
+real UDP socket it binds itself; the pipe is a pure **control plane** —
+rendezvous, start, abort, revive, scripts, shutdown — and never carries
+gossip payload.  Every message a peer learns still arrives as a
+datagram from another process.
+
+Control protocol (tag-first tuples, both directions)
+----------------------------------------------------
+Child → supervisor::
+
+    (HELLO, vertex, udp_port)            bound and listening
+    (SUSPECT, reporter, victim)          failure detector fired
+    (PHASE1, vertex, snapshot)           online phase over (done/aborted)
+    (RESYNCED, vertex, holds)            rejoin state transfer complete
+    (PHASE2, vertex, snapshot)           scripted phase over
+    (DEADLINE, vertex, phase, message)   a typed deadline expired
+    (ERROR, vertex, repr)                a typed error (not a crash)
+    (BYE, vertex)                        clean exit imminent
+
+Supervisor → child::
+
+    (ADDRS, {vertex: (host, port)})      address book (re-broadcast on rejoin)
+    (START,)                             begin phase 1 (or rejoin idle loop)
+    (ABORT,)                             freeze phase 1, snapshot holds
+    (REVIVE, vertex)                     clear a rejoined peer from dead sets
+    (RESYNC, source)                     rejoined child: pull state from source
+    (SCRIPT, peer_script, dead)          run one scripted phase slice
+    (SHUTDOWN,)                          stop loops, close socket, exit
+
+Crash injection is *real* here: a ``NetChaos.sigkill`` round makes the
+child send **itself** ``SIGKILL`` (via the peer's ``kill_via`` hook), so
+the interpreter vanishes mid-protocol with no cleanup — the supervisor
+must notice via the process sentinel and the survivors' heartbeat
+detectors, exactly like an OOM kill in production.  ``rejoin_crashes``
+additionally kills the first N restart attempts at boot, exercising the
+capped restart ladder.
+
+A watchdog (``2 * run_timeout`` on the child's own clock) bounds every
+child's lifetime, so an orphaned process exits by itself even if the
+supervisor died without saying shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from ..core.online import build_processors
+from ..exceptions import GossipRuntimeError, RuntimeDeadlineError
+from ..tree.labeling import LabeledTree
+from .clock import Clock, RealClock, ScaledClock
+from .peer import GossipPeer, PeerProtocol, PeerScript, RuntimeConfig
+from .transport import LossyDatagramTransport, NetChaos
+
+__all__ = ["PeerSpec", "_child_entry"]
+
+# Child → supervisor tags.
+HELLO = "hello"
+SUSPECT = "suspect"
+PHASE1 = "phase1"
+RESYNCED = "resynced"
+PHASE2 = "phase2"
+DEADLINE = "deadline"
+ERROR = "error"
+BYE = "bye"
+
+# Supervisor → child tags.
+ADDRS = "addrs"
+START = "start"
+ABORT = "abort"
+REVIVE = "revive"
+RESYNC = "resync"
+SCRIPT = "script"
+SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True)
+class PeerSpec:
+    """Everything one spawned peer needs (picklable by construction).
+
+    Carries the :class:`~repro.tree.labeling.LabeledTree` rather than a
+    :class:`~repro.core.gossip.GossipPlan` — the child rebuilds its own
+    :class:`~repro.core.online.OnlineProcessor` from the tree, which is
+    also the honest architecture: a real processor owns its ``(i, j, k)``
+    block, not the global schedule.
+    """
+
+    vertex: int
+    horizon: int
+    labeled: LabeledTree
+    config: RuntimeConfig
+    chaos: NetChaos
+    time_scale: float = 1.0
+    rejoin: bool = False
+    rejoin_attempt: int = 0
+
+
+class _ControlState:
+    """Mutable, loop-local state the control pump feeds."""
+
+    def __init__(self) -> None:
+        self.addrs: Dict[int, Tuple[str, int]] = {}
+        self.addr_event = asyncio.Event()
+        self.start_event = asyncio.Event()
+        self.wake = asyncio.Event()
+        self.resync_event = asyncio.Event()
+        self.resync_source: Optional[int] = None
+        self.pending_script: Optional[PeerScript] = None
+        self.script_dead: Set[int] = set()
+        self.shutdown = False
+        self.transport: Optional[LossyDatagramTransport] = None
+
+
+def _safe_send(ctrl: Connection, message: object) -> None:
+    """Best-effort control send (the supervisor may already be gone)."""
+    try:
+        ctrl.send(message)
+    except (BrokenPipeError, OSError, ValueError):
+        pass
+
+
+def _pump_ctrl(
+    ctrl: Connection,
+    loop: asyncio.AbstractEventLoop,
+    inbox: "asyncio.Queue[Tuple[object, ...]]",
+    stop: threading.Event,
+) -> None:
+    """Reader thread: pipe → asyncio inbox (the loop thread owns state)."""
+    while not stop.is_set():
+        try:
+            if not ctrl.poll(0.05):
+                continue
+            message = ctrl.recv()
+        except (EOFError, OSError):
+            message = (SHUTDOWN,)
+        try:
+            loop.call_soon_threadsafe(inbox.put_nowait, message)
+        except RuntimeError:
+            return  # loop already closed; nothing left to deliver to
+        if isinstance(message, tuple) and message and message[0] == SHUTDOWN:
+            return
+
+
+async def _control_loop(
+    peer: GossipPeer,
+    state: _ControlState,
+    inbox: "asyncio.Queue[Tuple[object, ...]]",
+) -> None:
+    """Apply supervisor commands to the peer, in arrival order."""
+    while True:
+        message = await inbox.get()
+        tag = message[0]
+        if tag == ADDRS:
+            addrs = {
+                int(v): (str(host), int(port))
+                for v, (host, port) in dict(message[1]).items()  # type: ignore[call-overload]
+            }
+            state.addrs = addrs
+            peer.addr_of.update(addrs)
+            if state.transport is not None:
+                for v, addr in addrs.items():
+                    state.transport.update_route(addr, v)
+            state.addr_event.set()
+        elif tag == START:
+            state.start_event.set()
+        elif tag == ABORT:
+            peer.abort()
+        elif tag == REVIVE:
+            victim = int(message[1])  # type: ignore[call-overload]
+            peer.dead.discard(victim)
+            peer.note_alive(victim)
+        elif tag == RESYNC:
+            state.resync_source = int(message[1])  # type: ignore[call-overload]
+            state.resync_event.set()
+        elif tag == SCRIPT:
+            state.pending_script = message[1]  # type: ignore[assignment]
+            state.script_dead = set(message[2])  # type: ignore[arg-type]
+            state.wake.set()
+        elif tag == SHUTDOWN:
+            state.shutdown = True
+            state.wake.set()
+            state.addr_event.set()
+            state.start_event.set()
+            state.resync_event.set()
+            peer.stop()
+            return
+
+
+def _snapshot(peer: GossipPeer) -> Dict[str, object]:
+    """One peer's reportable state, as plain picklable types."""
+    full = (1 << peer.proc.n) - 1
+    stats = peer.transport.stats if peer.transport is not None else None
+    return {
+        "holds": peer.holds,
+        "rounds_completed": peer.rounds_completed,
+        "complete": peer.holds == full,
+        "died_at": peer.died_at,
+        "transcript": [
+            (e.round, e.sender, e.message, e.destinations)
+            for e in peer.transcript
+        ],
+        "survival_transcript": [
+            (e.round, e.sender, e.message, e.destinations)
+            for e in peer.survival_transcript
+        ],
+        "retransmissions": peer.retransmissions,
+        "duplicates_suppressed": peer.duplicates_suppressed,
+        "stats": (
+            (stats.sent, stats.dropped, stats.delayed,
+             stats.suppressed_after_kill)
+            if stats is not None
+            else (0, 0, 0, 0)
+        ),
+    }
+
+
+def _sigkill_self() -> None:
+    """Die like production dies: abruptly, with no cleanup whatsoever."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+async def _run_phases(
+    spec: PeerSpec,
+    peer: GossipPeer,
+    state: _ControlState,
+    ctrl: Connection,
+) -> None:
+    """Drive the peer through its phases until the supervisor says stop."""
+    if spec.rejoin:
+        await state.resync_event.wait()
+        if state.shutdown:
+            return
+        if state.resync_source is None:
+            raise GossipRuntimeError(
+                f"peer {spec.vertex}: resync command without a source"
+            )
+        try:
+            await peer.fetch_resync(state.resync_source)
+        except RuntimeDeadlineError as err:
+            _safe_send(ctrl, (DEADLINE, spec.vertex, err.phase, str(err)))
+            return
+        _safe_send(ctrl, (RESYNCED, spec.vertex, peer.holds))
+    else:
+        try:
+            await peer.run_online(spec.horizon)
+        except RuntimeDeadlineError as err:
+            _safe_send(ctrl, (DEADLINE, spec.vertex, err.phase, str(err)))
+        _safe_send(ctrl, (PHASE1, spec.vertex, _snapshot(peer)))
+
+    while True:
+        if state.shutdown:
+            return
+        script = state.pending_script
+        if script is not None:
+            state.pending_script = None
+            peer.resume()
+            peer.dead.update(state.script_dead)
+            try:
+                await peer.run_script(script)
+            except RuntimeDeadlineError as err:
+                _safe_send(ctrl, (DEADLINE, spec.vertex, err.phase, str(err)))
+            except GossipRuntimeError as err:
+                _safe_send(ctrl, (ERROR, spec.vertex, repr(err)))
+            _safe_send(ctrl, (PHASE2, spec.vertex, _snapshot(peer)))
+        state.wake.clear()
+        if state.pending_script is None and not state.shutdown:
+            await state.wake.wait()
+
+
+async def _child_main(spec: PeerSpec, ctrl: Connection) -> None:
+    loop = asyncio.get_running_loop()
+    clock: Clock = (
+        RealClock() if spec.time_scale >= 1.0 else ScaledClock(spec.time_scale)
+    )
+    procs = build_processors(spec.labeled)
+    me = procs[spec.vertex]
+
+    def report_suspect(reporter: int, victim: int) -> None:
+        _safe_send(ctrl, (SUSPECT, reporter, victim))
+
+    kill_round = spec.chaos.sigkill_round_of(spec.vertex)
+    kill_via: Optional[Callable[[], None]] = None
+    if kill_round is not None:
+        kill_via = _sigkill_self
+    else:
+        kill_round = spec.chaos.kill_round_of(spec.vertex)
+
+    peer = GossipPeer(
+        spec.vertex,
+        me,
+        config=spec.config,
+        clock=clock,
+        suspect=report_suspect,
+        kill_round=kill_round,
+        kill_via=kill_via,
+    )
+
+    inbox: "asyncio.Queue[Tuple[object, ...]]" = asyncio.Queue()
+    state = _ControlState()
+    stop_pump = threading.Event()
+    pump = threading.Thread(
+        target=_pump_ctrl, args=(ctrl, loop, inbox, stop_pump),
+        name=f"ctrl-pump-{spec.vertex}", daemon=True,
+    )
+    pump.start()
+    control = asyncio.ensure_future(_control_loop(peer, state, inbox))
+
+    raw_transport, _ = await loop.create_datagram_endpoint(
+        lambda: PeerProtocol(peer), local_addr=("127.0.0.1", 0)
+    )
+    wrapped: Optional[LossyDatagramTransport] = None
+    heartbeat: Optional["asyncio.Task[None]"] = None
+    try:
+        port = raw_transport.get_extra_info("sockname")[1]
+        _safe_send(ctrl, (HELLO, spec.vertex, int(port)))
+        budget = 2.0 * spec.config.run_timeout
+        try:
+            await clock.wait_for(state.addr_event.wait(), budget)
+        except asyncio.TimeoutError:
+            _safe_send(ctrl, (DEADLINE, spec.vertex, "rendezvous",
+                              "no address book within the child watchdog"))
+            return
+        if state.shutdown:
+            return
+        wrapped = LossyDatagramTransport(
+            raw_transport,
+            chaos=spec.chaos,
+            src=spec.vertex,
+            vertex_of_addr={addr: v for v, addr in state.addrs.items()},
+            clock=clock,
+        )
+        state.transport = wrapped
+        peer.attach(wrapped, state.addrs)
+        try:
+            await clock.wait_for(state.start_event.wait(), budget)
+        except asyncio.TimeoutError:
+            _safe_send(ctrl, (DEADLINE, spec.vertex, "rendezvous",
+                              "no start signal within the child watchdog"))
+            return
+        if state.shutdown:
+            return
+        heartbeat = asyncio.ensure_future(peer.heartbeat_loop())
+        try:
+            await clock.wait_for(
+                _run_phases(spec, peer, state, ctrl), budget
+            )
+        except asyncio.TimeoutError:
+            _safe_send(ctrl, (DEADLINE, spec.vertex, "child",
+                              "child watchdog expired; exiting as an orphan"))
+    finally:
+        stop_pump.set()
+        peer.stop()
+        control.cancel()
+        if heartbeat is not None:
+            heartbeat.cancel()
+        await asyncio.gather(control, *((heartbeat,) if heartbeat else ()),
+                             return_exceptions=True)
+        if wrapped is not None:
+            wrapped.close()
+        elif not raw_transport.is_closing():
+            raw_transport.close()
+
+
+def _child_entry(spec: PeerSpec, ctrl: Connection) -> None:
+    """Process entry point (target of the spawn context)."""
+    if spec.rejoin and spec.rejoin_attempt <= spec.chaos.rejoin_crashes:
+        # Seeded rejoin-chaos: this restart attempt dies on boot.
+        os.kill(os.getpid(), signal.SIGKILL)
+    try:
+        asyncio.run(_child_main(spec, ctrl))
+    except BaseException as exc:  # noqa: BLE001 — report, then die quietly
+        _safe_send(ctrl, (ERROR, spec.vertex, repr(exc)))
+    finally:
+        _safe_send(ctrl, (BYE, spec.vertex))
+        try:
+            ctrl.close()
+        except OSError:
+            pass

@@ -69,7 +69,12 @@ from .clock import Clock, RealClock
 from .peer import GossipPeer, PeerProtocol, PeerScript, RuntimeConfig, TranscriptEntry
 from .transport import LossyDatagramTransport, NetChaos, TransportStats
 
-__all__ = ["ObservedDeaths", "RuntimeResult", "run_gossip_network"]
+__all__ = [
+    "ObservedDeaths",
+    "RuntimeResult",
+    "run_gossip_network",
+    "slice_peer_scripts",
+]
 
 
 @dataclass(frozen=True)
@@ -418,14 +423,20 @@ class _Network:
         )
 
 
-def _peer_scripts(outcome: SurvivalResult, n: int) -> Dict[int, PeerScript]:
-    """Slice a merged survival schedule into per-peer send/expect scripts.
+def slice_peer_scripts(
+    rounds: Sequence[Sequence[object]], horizon: int
+) -> Dict[int, PeerScript]:
+    """Slice a merged round schedule into per-peer send/expect scripts.
 
-    Every surviving peer receives *only its own rows*: what it sends each
-    round and what will land on it each time step — the same locality
-    discipline phase 1 gets from :class:`~repro.core.online.OnlineProcessor`.
+    Every peer receives *only its own rows*: what it sends each round
+    and what will land on it each time step — the same locality
+    discipline phase 1 gets from
+    :class:`~repro.core.online.OnlineProcessor`.  Works for any list of
+    :class:`~repro.simulator.engine.Round`-shaped rounds: the runner
+    slices :func:`survive` replans, the supervisor additionally slices
+    :func:`repro.core.recovery.plan_repair_rounds` rejoin-completion
+    schedules.
     """
-    horizon = outcome.schedule.total_time
     scripts: Dict[int, PeerScript] = {}
 
     def script_of(v: int) -> PeerScript:
@@ -433,13 +444,18 @@ def _peer_scripts(outcome: SurvivalResult, n: int) -> Dict[int, PeerScript]:
             scripts[v] = PeerScript(horizon=horizon)
         return scripts[v]
 
-    for t, rnd in enumerate(outcome.schedule.rounds):
-        for tx in rnd:
+    for t, rnd in enumerate(rounds):
+        for tx in rnd:  # type: ignore[attr-defined]
             dests = tuple(sorted(tx.destinations))
             script_of(tx.sender).sends[t] = (tx.message, dests)
             for d in dests:
                 script_of(d).expects[t + 1] = (tx.sender, tx.message)
     return scripts
+
+
+def _peer_scripts(outcome: SurvivalResult, n: int) -> Dict[int, PeerScript]:
+    """The runner's view of :func:`slice_peer_scripts` (survival replans)."""
+    return slice_peer_scripts(outcome.schedule.rounds, outcome.schedule.total_time)
 
 
 async def _run_async(plan: GossipPlan, *, chaos: NetChaos,

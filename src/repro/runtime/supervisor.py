@@ -1,0 +1,937 @@
+"""Supervisor of the multi-process gossip runtime.
+
+:class:`Supervisor` is the parent of a one-OS-process-per-peer fleet
+(children described in :mod:`repro.runtime.proc`): it spawns the
+processes (spawn start method), runs the rendezvous (children bind
+their own UDP sockets and report ports; the supervisor broadcasts the
+address book), and then *watches* — a ``multiprocessing.connection.wait``
+loop over every child's control pipe **and** process sentinel.  Peer
+death is detected on two channels that cross-check each other:
+
+* the **process sentinel** fires the instant a child exits (a real
+  ``SIGKILL`` is visible in milliseconds, exit code ``-9``);
+* the **heartbeat detector** inside every surviving peer reports the
+  victim over the control plane (``fail_after`` staleness — the same
+  detector the single-process runner trusts).
+
+The supervisor logs both to a structured
+:class:`~repro.runtime.incidents.IncidentJournal`, but only acts once
+the *peers'* detector has fired (or a grace period lapsed): phase-1
+state at the freeze is produced by the deterministic stall wavefront of
+the fence barriers, not by how fast the host scheduler delivered a
+sentinel, which is what keeps
+:meth:`ProcResult.deterministic_summary` reproducible per seed.
+
+Resolution is policy-driven (:class:`RestartPolicy`):
+
+* ``mode="restart"`` — restart the victim with capped exponential
+  backoff, re-rendezvous it on a fresh port, resync its hold bitset
+  from a live neighbour (``RESYNC_REQ``/``RESYNC`` over UDP), then
+  drive a :func:`repro.core.recovery.plan_repair_rounds` completion
+  schedule across the whole fleet: **full gossip re-completes**.  A
+  victim that keeps dying is declared fail-stop after ``max_restarts``
+  attempts and the run degrades to the replan path.
+* ``mode="replan"`` — coordinate the existing
+  :func:`repro.core.survival.survive` replan across the surviving
+  processes: *gossip among survivors*, validated by
+  :func:`~repro.core.survival.validate_survival`.
+
+Whole-run deadlines degrade to a typed
+:class:`~repro.exceptions.RuntimeDeadlineError` carrying a partial
+:class:`ProcResult` — the supervisor never hangs on a lost fleet.
+
+Front door: :func:`run_gossip_processes`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.gossip import GossipPlan, NetworkSpec, gossip
+from ..core.recovery import _tree_adjacency, plan_repair_rounds
+from ..core.survival import survive, survivor_coverage, validate_survival
+from ..exceptions import (
+    GossipRuntimeError,
+    PeerDeadError,
+    RuntimeDeadlineError,
+    SupervisorError,
+)
+from ..simulator.lossy import FaultyExecutionResult
+from ..simulator.state import labeled_holdings
+from .clock import RealClock
+from .incidents import Incident, IncidentJournal
+from .peer import RuntimeConfig, TranscriptEntry
+from .proc import (
+    ABORT,
+    ADDRS,
+    BYE,
+    DEADLINE,
+    ERROR,
+    HELLO,
+    PHASE1,
+    PHASE2,
+    RESYNC,
+    RESYNCED,
+    REVIVE,
+    SCRIPT,
+    SHUTDOWN,
+    START,
+    SUSPECT,
+    PeerSpec,
+    _child_entry,
+)
+from .runner import ObservedDeaths, RuntimeResult, slice_peer_scripts
+from .transport import NetChaos, TransportStats
+
+__all__ = ["RestartPolicy", "ProcResult", "Supervisor", "run_gossip_processes"]
+
+#: Real-seconds quantum of one control-plane pump.
+_PUMP_QUANTUM = 0.05
+
+#: Real-seconds budget for the cooperative part of shutdown before the
+#: supervisor starts killing stragglers.
+_SHUTDOWN_GRACE = 5.0
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How the supervisor resolves a detected peer death.
+
+    Attributes
+    ----------
+    mode:
+        ``"replan"`` — re-schedule around the dead with :func:`survive`
+        (gossip among survivors); ``"restart"`` — restart the victim,
+        resync its state from a live neighbour, and re-complete full
+        gossip.
+    max_restarts:
+        Restart attempts per victim before declaring it fail-stop and
+        falling back to the replan path.
+    backoff_base / backoff_cap:
+        Capped exponential backoff between restart attempts, in the
+        run's virtual seconds: attempt ``k`` waits
+        ``min(cap, base * 2**(k-1))``.
+    """
+
+    mode: str = "replan"
+    max_restarts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("replan", "restart"):
+            raise GossipRuntimeError(
+                f"unknown restart policy mode {self.mode!r}; "
+                "choose 'replan' or 'restart'"
+            )
+        if self.max_restarts < 1:
+            raise GossipRuntimeError("max_restarts must be >= 1")
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise GossipRuntimeError(
+                "restart backoff must satisfy 0 < base <= cap"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Virtual seconds to wait before restart ``attempt`` (1-based)."""
+        return min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class ProcResult(RuntimeResult):
+    """A :class:`RuntimeResult` plus the supervision story.
+
+    Attributes
+    ----------
+    mode:
+        How the run resolved: ``"fault-free"``, ``"rejoin"`` (victims
+        restarted and full gossip re-completed), ``"replan"`` (gossip
+        among survivors), or ``"partial"`` (deadline expired; carried
+        by the :class:`~repro.exceptions.RuntimeDeadlineError`).
+    restarts:
+        Total restart attempts performed across all victims.
+    incidents:
+        The structured incident journal, in detection order.  Incidents
+        carry wall-clock offsets, so they are *excluded* from
+        :meth:`deterministic_summary`; ``mode`` and ``restarts`` are
+        pure functions of the seed and are included.
+    """
+
+    mode: str = "fault-free"
+    restarts: int = 0
+    incidents: Tuple[Incident, ...] = ()
+
+    def deterministic_summary(self) -> Dict[str, object]:
+        summary = super().deterministic_summary()
+        summary["mode"] = self.mode
+        summary["restarts"] = self.restarts
+        return summary
+
+
+class _ChildHandle:
+    """The supervisor's ledger entry for one spawned peer process."""
+
+    def __init__(
+        self,
+        vertex: int,
+        process: "multiprocessing.process.BaseProcess",
+        conn: "mp_connection.Connection",
+        *,
+        rejoin: bool = False,
+    ) -> None:
+        self.vertex = vertex
+        self.process = process
+        self.conn = conn
+        self.rejoin = rejoin
+        self.conn_open = True
+        self.alive = True
+        self.exitcode: Optional[int] = None
+        self.port: Optional[int] = None
+        self.phase1: Optional[Dict[str, object]] = None
+        self.phase2: Optional[Dict[str, object]] = None
+        self.resynced: Optional[int] = None
+        self.deadline: Optional[Tuple[str, str]] = None
+        self.error: Optional[str] = None
+        self.bye = False
+
+
+class Supervisor:
+    """Parent of a one-process-per-peer fleet (see module docstring)."""
+
+    def __init__(
+        self,
+        plan: GossipPlan,
+        *,
+        chaos: Optional[NetChaos] = None,
+        config: Optional[RuntimeConfig] = None,
+        policy: Optional[RestartPolicy] = None,
+        time_scale: float = 1.0,
+    ) -> None:
+        if not 0.0 < time_scale <= 1.0:
+            raise GossipRuntimeError(f"time_scale {time_scale} not in (0, 1]")
+        self.plan = plan
+        self.chaos = chaos if chaos is not None else NetChaos()
+        self.config = config if config is not None else RuntimeConfig()
+        self.policy = policy if policy is not None else RestartPolicy()
+        self.time_scale = time_scale
+        self.n = plan.labeled.n
+        self.horizon = plan.schedule.total_time
+        self.journal = IncidentJournal()
+
+        self._ctx = multiprocessing.get_context("spawn")
+        self._clock = RealClock()
+        self._handles: Dict[int, _ChildHandle] = {}
+        self._crashed: Set[int] = set()
+        self._suspected: Set[int] = set()
+        self._resolved: Set[int] = set()
+        self._restarts = 0
+        self._shutting_down = False
+        self._started = 0.0
+        self._deadline = 0.0
+
+    # -- journal helpers ------------------------------------------------
+    def _elapsed(self) -> float:
+        """Virtual seconds since the run started."""
+        return (self._clock.time() - self._started) / self.time_scale
+
+    def _record(self, kind: str, **kwargs: object) -> Incident:
+        return self.journal.record(
+            kind, wall_seconds=self._elapsed(), **kwargs  # type: ignore[arg-type]
+        )
+
+    # -- process plumbing ------------------------------------------------
+    def _spawn(self, vertex: int, *, rejoin: bool = False,
+               attempt: int = 0) -> _ChildHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        spec = PeerSpec(
+            vertex=vertex,
+            horizon=self.horizon,
+            labeled=self.plan.labeled,
+            config=self.config,
+            chaos=self.chaos,
+            time_scale=self.time_scale,
+            rejoin=rejoin,
+            rejoin_attempt=attempt,
+        )
+        process = self._ctx.Process(
+            target=_child_entry,
+            args=(spec, child_conn),
+            name=f"gossip-peer-{vertex}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _ChildHandle(vertex, process, parent_conn, rejoin=rejoin)
+        self._handles[vertex] = handle
+        return handle
+
+    def _send(self, handle: _ChildHandle, message: Tuple[object, ...]) -> None:
+        if not handle.conn_open:
+            return
+        try:
+            handle.conn.send(message)
+        except (BrokenPipeError, OSError, ValueError):
+            handle.conn_open = False
+
+    def _broadcast(self, message: Tuple[object, ...]) -> None:
+        for handle in self._handles.values():
+            if handle.alive:
+                self._send(handle, message)
+
+    # -- the event pump ---------------------------------------------------
+    def _pump(self, timeout: float) -> None:
+        """One control-plane turn: wait, then drain everything ready."""
+        by_conn: Dict[object, _ChildHandle] = {}
+        by_sentinel: Dict[object, _ChildHandle] = {}
+        for handle in self._handles.values():
+            if handle.conn_open:
+                by_conn[handle.conn] = handle
+            if handle.alive:
+                by_sentinel[handle.process.sentinel] = handle
+        waitables: List[object] = list(by_conn) + list(by_sentinel)
+        if not waitables:
+            return
+        for obj in mp_connection.wait(waitables, timeout=max(timeout, 0.0)):
+            handle = by_conn.get(obj)
+            if handle is not None:
+                self._drain(handle)
+            else:
+                self._on_exit(by_sentinel[obj])
+
+    def _drain(self, handle: _ChildHandle) -> None:
+        try:
+            while handle.conn.poll(0):
+                self._dispatch(handle, handle.conn.recv())
+        except (EOFError, OSError):
+            handle.conn_open = False
+
+    def _dispatch(self, handle: _ChildHandle, message: object) -> None:
+        if not isinstance(message, tuple) or not message:
+            return
+        tag = message[0]
+        if tag == HELLO:
+            handle.port = int(message[2])
+        elif tag == SUSPECT:
+            reporter, victim = int(message[1]), int(message[2])
+            if victim not in self._suspected and victim not in self._resolved:
+                self._suspected.add(victim)
+                self._record(
+                    "suspicion", vertex=victim,
+                    detected_by=f"peer:{reporter}",
+                    details=f"peer {reporter} reported {victim} silent/unresponsive",
+                )
+        elif tag == PHASE1:
+            handle.phase1 = dict(message[2])  # type: ignore[call-overload]
+        elif tag == PHASE2:
+            handle.phase2 = dict(message[2])  # type: ignore[call-overload]
+        elif tag == RESYNCED:
+            handle.resynced = int(message[2])
+        elif tag == DEADLINE:
+            handle.deadline = (str(message[2]), str(message[3]))
+            self._record(
+                "deadline", vertex=int(message[1]),
+                details=f"{message[2]}: {message[3]}",
+            )
+        elif tag == ERROR:
+            handle.error = str(message[2])
+            self._record("child-error", vertex=int(message[1]),
+                         details=str(message[2]))
+        elif tag == BYE:
+            handle.bye = True
+
+    def _on_exit(self, handle: _ChildHandle) -> None:
+        handle.process.join(timeout=1.0)
+        handle.alive = False
+        handle.exitcode = handle.process.exitcode
+        self._drain(handle)  # collect anything it said on the way out
+        unexpected = (
+            not handle.bye
+            and not self._shutting_down
+            and not handle.rejoin
+            and handle.vertex not in self._crashed
+            and handle.vertex not in self._resolved
+        )
+        if unexpected:
+            self._crashed.add(handle.vertex)
+            self._record(
+                "crash-detected", vertex=handle.vertex,
+                detected_by="sentinel",
+                details=f"exitcode {handle.exitcode}",
+            )
+
+    # -- bounded waits -----------------------------------------------------
+    def _remaining(self) -> float:
+        return self._deadline - self._clock.time()
+
+    def _await(self, predicate: Callable[[], bool], what: str) -> None:
+        while not predicate():
+            remaining = self._remaining()
+            if remaining <= 0.0:
+                raise self._run_deadline(what)
+            self._pump(min(_PUMP_QUANTUM, remaining))
+
+    def _run_deadline(self, what: str) -> RuntimeDeadlineError:
+        """Journal and build the whole-run deadline error (with partial)."""
+        self._record("deadline", details=f"run: {what}")
+        return RuntimeDeadlineError(
+            f"supervised run exceeded "
+            f"run_timeout={self.config.run_timeout:.2f}s during {what}",
+            partial=self._partial_result(),
+            phase="run",
+        )
+
+    def _pump_for(self, real_seconds: float, what: str) -> None:
+        """Keep pumping for a fixed wall interval (restart backoff)."""
+        until = self._clock.time() + real_seconds
+        while self._clock.time() < until:
+            remaining = self._remaining()
+            if remaining <= 0.0:
+                raise self._run_deadline(what)
+            self._pump(min(_PUMP_QUANTUM, until - self._clock.time(), remaining))
+
+    # -- the run -------------------------------------------------------------
+    def run(self) -> ProcResult:
+        """Spawn, rendezvous, execute, and resolve one supervised run."""
+        self._started = self._clock.time()
+        self._deadline = self._started + self.config.run_timeout * self.time_scale
+        try:
+            for vertex in range(self.n):
+                self._spawn(vertex)
+            self._rendezvous()
+            return self._run_phases()
+        finally:
+            self._shutdown_all()
+
+    def _rendezvous(self) -> None:
+        self._await(
+            lambda: all(h.port is not None for h in self._handles.values())
+            or bool(self._crashed),
+            "rendezvous",
+        )
+        if self._crashed:
+            raise SupervisorError(
+                f"peer(s) {sorted(self._crashed)} died during rendezvous, "
+                "before the protocol started",
+                incidents=self.journal.incidents,
+            )
+        book = {
+            v: ("127.0.0.1", h.port) for v, h in self._handles.items()
+        }
+        self._broadcast((ADDRS, book))
+        self._broadcast((START,))
+
+    def _run_phases(self) -> ProcResult:
+        handles = self._handles
+
+        def phase1_settled() -> bool:
+            return all(
+                h.phase1 is not None or not h.alive for h in handles.values()
+            )
+
+        self._await(
+            lambda: phase1_settled() or bool(self._crashed or self._suspected),
+            "phase 1",
+        )
+        if not self._crashed and not self._suspected:
+            return self._finish_fault_free()
+
+        # -- a death was detected: wait for the peers' detector to agree.
+        # Sentinels are instant but scheduling-dependent; the heartbeat
+        # detector fires on the deterministic fail_after staleness, and
+        # the freeze only happens after it (or a bounded grace), so
+        # holds-at-abort stay a pure function of the seed.
+        grace = self._clock.time() + 2 * self.config.fail_after * self.time_scale
+
+        def detection_settled() -> bool:
+            return (
+                not (self._crashed - self._suspected)
+                or self._clock.time() >= grace
+            )
+
+        self._await(detection_settled, "failure detection")
+        victims = set(self._crashed) | set(self._suspected)
+        self._resolved |= victims
+        self._record(
+            "abort",
+            details=f"freezing phase 1 around dead={sorted(victims)}",
+        )
+        self._broadcast((ABORT,))
+        self._await(
+            lambda: all(
+                h.phase1 is not None or v in victims or not h.alive
+                for v, h in handles.items()
+            ),
+            "phase-1 freeze",
+        )
+
+        holds_at_abort, dead_rounds = self._holds_at_abort(victims)
+        if self.policy.mode == "restart":
+            result = self._resolve_restart(victims, holds_at_abort)
+            if result is not None:
+                return result
+        return self._resolve_replan(victims, dead_rounds, holds_at_abort)
+
+    def _finish_fault_free(self) -> ProcResult:
+        for handle in self._handles.values():
+            if handle.deadline is not None:
+                raise RuntimeDeadlineError(
+                    f"peer {handle.vertex} missed a deadline: "
+                    f"{handle.deadline[1]}",
+                    partial=self._partial_result(),
+                    phase=handle.deadline[0],
+                )
+            if handle.error is not None:
+                raise SupervisorError(
+                    f"peer {handle.vertex} reported an error: {handle.error}",
+                    incidents=self.journal.incidents,
+                )
+        complete = all(
+            bool(h.phase1 and h.phase1["complete"])
+            for h in self._handles.values()
+        )
+        holds = [
+            int(h.phase1["holds"]) if h.phase1 else 0
+            for h in self._handles.values()
+        ]
+        return self._result(
+            mode="fault-free",
+            complete=complete,
+            coverage=1.0 if complete else self._fill(holds),
+            final_holds=holds,
+            dead=(),
+            components=(),
+            survival_rounds=0,
+        )
+
+    # -- failure accounting -------------------------------------------------
+    def _holds_at_abort(
+        self, victims: Set[int]
+    ) -> Tuple[List[int], Dict[int, int]]:
+        """Hold bitsets at the freeze, reconstructing lost victims.
+
+        A SIGKILLed process takes its memory with it; its holds are
+        reconstructed from the offline schedule truncated at the seeded
+        death round — sound because phase 1 is in lockstep with the
+        offline schedule (the fence barriers deliver exactly the
+        offline rounds, in order, until the death).
+        """
+        labels = self.plan.labeled.labels()
+        holds: List[int] = []
+        dead_rounds: Dict[int, int] = {}
+        for v in range(self.n):
+            handle = self._handles[v]
+            snap = handle.phase1
+            if snap is not None:
+                holds.append(int(snap["holds"]))
+                if snap["died_at"] is not None:
+                    dead_rounds[v] = int(snap["died_at"])  # type: ignore[arg-type]
+            else:
+                death_round = self.chaos.sigkill_round_of(v)
+                if death_round is None:
+                    death_round = 0
+                holds.append(self._victim_holds(v, death_round, labels))
+                dead_rounds[v] = death_round
+        for v in victims:
+            snap = self._handles[v].phase1
+            dead_rounds.setdefault(
+                v, int(snap["rounds_completed"]) if snap else 0
+            )
+        return holds, dead_rounds
+
+    def _victim_holds(self, vertex: int, death_round: int,
+                      labels: Sequence[int]) -> int:
+        holds = 1 << labels[vertex]
+        for t, rnd in enumerate(self.plan.schedule.rounds):
+            if t + 1 > death_round:
+                break
+            for tx in rnd:
+                if vertex in tx.destinations:
+                    holds |= 1 << tx.message
+        return holds
+
+    # -- resolution: restart-with-rejoin -------------------------------------
+    def _resolve_restart(
+        self, victims: Set[int], holds_at_abort: List[int]
+    ) -> Optional[ProcResult]:
+        """Restart victims, resync state, re-complete full gossip.
+
+        Returns ``None`` when any victim exhausted its restart budget
+        (declared fail-stop) — the caller then degrades to the replan
+        path around *all* victims.
+        """
+        rejoined: Dict[int, _ChildHandle] = {}
+        for victim in sorted(victims):
+            handle: Optional[_ChildHandle] = None
+            for attempt in range(1, self.policy.max_restarts + 1):
+                self._restarts += 1
+                backoff = self.policy.backoff(attempt)
+                self._record(
+                    "restart", vertex=victim, attempt=attempt,
+                    details=f"backoff {backoff:.3f}s",
+                )
+                self._pump_for(backoff * self.time_scale, "restart backoff")
+                candidate = self._spawn(victim, rejoin=True, attempt=attempt)
+                if self._await_hello(candidate):
+                    handle = candidate
+                    break
+                self._record(
+                    "rejoin-failed", vertex=victim, attempt=attempt,
+                    detected_by="sentinel",
+                    details=f"exitcode {candidate.exitcode}",
+                )
+            if handle is None:
+                self._record(
+                    "fail-stop-declared", vertex=victim,
+                    attempt=self.policy.max_restarts,
+                    details="restart budget exhausted",
+                )
+                return None
+            rejoined[victim] = handle
+
+        # Re-rendezvous: fresh ports for the rejoined, revive everywhere.
+        book = {
+            v: ("127.0.0.1", h.port)
+            for v, h in self._handles.items()
+            if h.port is not None
+        }
+        self._broadcast((ADDRS, book))
+        for victim in sorted(rejoined):
+            self._broadcast((REVIVE, victim))
+        self._broadcast((START,))
+
+        adjacency = _tree_adjacency(self.plan.tree)
+        live = [v for v in range(self.n) if v not in victims]
+        for victim, handle in sorted(rejoined.items()):
+            neighbours = [u for u in adjacency[victim] if u not in victims]
+            source = neighbours[0] if neighbours else min(live)
+            self._record("resync", vertex=victim,
+                         details=f"state transfer from peer {source}")
+            self._send(handle, (RESYNC, source))
+        self._await(
+            lambda: all(
+                h.resynced is not None or not h.alive
+                for h in rejoined.values()
+            ),
+            "rejoin state transfer",
+        )
+        if any(h.resynced is None for h in rejoined.values()):
+            self._record(
+                "fail-stop-declared",
+                vertex=next(
+                    v for v, h in rejoined.items() if h.resynced is None
+                ),
+                details="rejoined process died during state transfer",
+            )
+            return None
+
+        # Completion: plan fault-free repair rounds from the merged
+        # state and script them across the whole fleet.
+        holds = list(holds_at_abort)
+        for victim, handle in rejoined.items():
+            holds[victim] = int(handle.resynced or 0)
+        rounds = plan_repair_rounds(
+            adjacency, holds, self.n, max_rounds=4 * self.n + 16
+        )
+        scripts = slice_peer_scripts(rounds, len(rounds))
+        for v, script in scripts.items():
+            self._send(self._handles[v], (SCRIPT, script, ()))
+        self._await(
+            lambda: all(
+                self._handles[v].phase2 is not None
+                or not self._handles[v].alive
+                for v in scripts
+            ),
+            "rejoin completion schedule",
+        )
+
+        final_holds = list(holds)
+        for v in scripts:
+            snap = self._handles[v].phase2
+            if snap is None:
+                raise SupervisorError(
+                    f"peer {v} died during the rejoin completion schedule",
+                    incidents=self.journal.incidents,
+                )
+            final_holds[v] = int(snap["holds"])
+        full = (1 << self.n) - 1
+        complete = all(h == full for h in final_holds)
+        if complete:
+            self._record(
+                "recovered",
+                details=f"full gossip re-completed in {len(rounds)} rounds",
+            )
+        return self._result(
+            mode="rejoin",
+            complete=complete,
+            coverage=1.0 if complete else self._fill(final_holds),
+            final_holds=final_holds,
+            dead=(),
+            components=(),
+            survival_rounds=len(rounds),
+        )
+
+    def _await_hello(self, handle: _ChildHandle) -> bool:
+        self._await(
+            lambda: handle.port is not None or not handle.alive,
+            "rejoin rendezvous",
+        )
+        return handle.port is not None
+
+    # -- resolution: survive() replan ----------------------------------------
+    def _resolve_replan(
+        self,
+        victims: Set[int],
+        dead_rounds: Dict[int, int],
+        holds_at_abort: List[int],
+    ) -> ProcResult:
+        """Gossip among survivors: the runner's failover, across processes."""
+        diag_horizon = max([self.horizon, *dead_rounds.values()])
+        model = ObservedDeaths(dead_from=tuple(sorted(dead_rounds.items())))
+        faulty = FaultyExecutionResult(
+            complete=False,
+            total_time=diag_horizon,
+            completion_times=[None] * self.n,
+            duplicate_deliveries=0,
+            final_holds=list(holds_at_abort),
+            model=model,
+            initial_holds=tuple(labeled_holdings(self.plan.labeled.labels())),
+            n_messages=self.n,
+        )
+        outcome = survive(self.plan.graph, self.plan, faulty)
+        scripts = slice_peer_scripts(
+            outcome.schedule.rounds, outcome.schedule.total_time
+        )
+        dead = set(outcome.diagnosis.dead)
+        for victim in dead & set(scripts):
+            raise PeerDeadError(
+                f"survival schedule assigns work to dead peer {victim}",
+                peer=victim,
+            )
+        self._record(
+            "failover-replan",
+            details=(
+                f"{outcome.schedule.total_time} survival rounds around "
+                f"dead={sorted(dead)}"
+            ),
+        )
+        dead_list = tuple(sorted(dead))
+        for v, script in scripts.items():
+            self._send(self._handles[v], (SCRIPT, script, dead_list))
+        self._await(
+            lambda: all(
+                self._handles[v].phase2 is not None
+                or not self._handles[v].alive
+                for v in scripts
+            ),
+            "survival replay",
+        )
+
+        final_holds = list(holds_at_abort)
+        for v in scripts:
+            snap = self._handles[v].phase2
+            if snap is None:
+                raise SupervisorError(
+                    f"survivor {v} died during the survival replay",
+                    incidents=self.journal.incidents,
+                )
+            final_holds[v] = int(snap["holds"])
+        validate_survival(
+            outcome.diagnosis, outcome.labels, final_holds,
+            before=holds_at_abort,
+        )
+        for v in outcome.diagnosis.live:
+            if final_holds[v] != outcome.final_holds[v]:
+                raise GossipRuntimeError(
+                    f"determinism breach: peer {v} ended holding "
+                    f"{final_holds[v]:#x}, the replan predicted "
+                    f"{outcome.final_holds[v]:#x}"
+                )
+        coverage = survivor_coverage(
+            outcome.diagnosis, outcome.labels, final_holds
+        )
+        return self._result(
+            mode="replan",
+            complete=False,
+            coverage=coverage,
+            final_holds=final_holds,
+            dead=outcome.diagnosis.dead,
+            components=outcome.diagnosis.components,
+            survival_rounds=outcome.schedule.total_time,
+        )
+
+    # -- result assembly -------------------------------------------------------
+    def _fill(self, holds: Sequence[int]) -> float:
+        held = sum(h.bit_count() for h in holds)
+        return held / (self.n * self.n) if self.n else 1.0
+
+    def _result(
+        self,
+        *,
+        mode: str,
+        complete: bool,
+        coverage: float,
+        final_holds: Sequence[int],
+        dead: Tuple[int, ...],
+        components: Tuple[Tuple[int, ...], ...],
+        survival_rounds: int,
+    ) -> ProcResult:
+        if not components and not dead:
+            components = (tuple(range(self.n)),)
+        transcript: List[TranscriptEntry] = []
+        survival: List[TranscriptEntry] = []
+        retransmissions = 0
+        duplicates = 0
+        stats = TransportStats()
+        rounds_completed = 0
+        dead_set = set(dead)
+        for v, handle in self._handles.items():
+            snap = handle.phase2 or handle.phase1
+            if snap is None:
+                continue
+            for entry in snap["transcript"]:  # type: ignore[union-attr]
+                rnd, sender, message, dests = entry
+                transcript.append(TranscriptEntry(
+                    round=rnd, sender=sender, message=message,
+                    destinations=tuple(dests),
+                ))
+            for entry in snap["survival_transcript"]:  # type: ignore[union-attr]
+                rnd, sender, message, dests = entry
+                survival.append(TranscriptEntry(
+                    round=rnd, sender=sender, message=message,
+                    destinations=tuple(dests),
+                ))
+            retransmissions += int(snap["retransmissions"])  # type: ignore[arg-type]
+            duplicates += int(snap["duplicates_suppressed"])  # type: ignore[arg-type]
+            sent, dropped, delayed, suppressed = snap["stats"]  # type: ignore[misc]
+            stats = stats.merged(TransportStats(
+                sent=sent, dropped=dropped, delayed=delayed,
+                suppressed_after_kill=suppressed,
+            ))
+            if v not in dead_set:
+                rounds_completed = max(
+                    rounds_completed, int(snap["rounds_completed"])  # type: ignore[arg-type]
+                )
+        return ProcResult(
+            n=self.n,
+            horizon=self.horizon,
+            complete=complete,
+            coverage=coverage,
+            wall_seconds=self._elapsed(),
+            rounds_completed=rounds_completed,
+            transcript=tuple(sorted(transcript, key=lambda e: (e.round, e.sender))),
+            survival_transcript=tuple(
+                sorted(survival, key=lambda e: (e.round, e.sender))
+            ),
+            final_holds=tuple(final_holds),
+            dead=dead,
+            components=components,
+            survival_rounds=survival_rounds,
+            retransmissions=retransmissions,
+            duplicates_suppressed=duplicates,
+            stats=stats,
+            mode=mode,
+            restarts=self._restarts,
+            incidents=self.journal.incidents,
+        )
+
+    def _partial_result(self) -> ProcResult:
+        labels = self.plan.labeled.labels()
+        holds: List[int] = []
+        for v in range(self.n):
+            handle = self._handles.get(v)
+            snap = (handle.phase2 or handle.phase1) if handle else None
+            holds.append(int(snap["holds"]) if snap else 1 << labels[v])
+        return self._result(
+            mode="partial",
+            complete=False,
+            coverage=self._fill(holds),
+            final_holds=holds,
+            dead=tuple(sorted(self._crashed | self._suspected)),
+            components=(),
+            survival_rounds=0,
+        )
+
+    # -- teardown ------------------------------------------------------------
+    def _shutdown_all(self) -> None:
+        self._shutting_down = True
+        for handle in self._handles.values():
+            self._send(handle, (SHUTDOWN,))
+        grace = self._clock.time() + _SHUTDOWN_GRACE
+        while (
+            any(h.alive for h in self._handles.values())
+            and self._clock.time() < grace
+        ):
+            self._pump(_PUMP_QUANTUM)
+        for handle in self._handles.values():
+            if handle.alive and handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+                handle.alive = False
+            if handle.conn_open:
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+                handle.conn_open = False
+            try:
+                handle.process.close()
+            except ValueError:
+                pass  # still not reaped; the daemon flag covers us
+
+
+def run_gossip_processes(
+    network: "NetworkSpec | GossipPlan",
+    *,
+    algorithm: str = "concurrent-updown",
+    chaos: Optional[NetChaos] = None,
+    config: Optional[RuntimeConfig] = None,
+    policy: Optional[RestartPolicy] = None,
+    time_scale: float = 1.0,
+) -> ProcResult:
+    """Gossip with one OS process per peer, under supervision.
+
+    The multi-process front door, mirroring
+    :func:`~repro.runtime.runner.run_gossip_network`:
+
+    Parameters
+    ----------
+    network:
+        Anything :func:`repro.core.gossip.resolve_network` accepts, or a
+        ready-made :class:`~repro.core.gossip.GossipPlan`.
+    algorithm:
+        Tree-gossiping algorithm for the plan (ignored when a plan is
+        passed).
+    chaos:
+        Socket-level fault profile, including real-crash injection
+        (``sigkill``); default none.
+    config:
+        Runtime timing knobs, shipped to every child.
+    policy:
+        Death-resolution policy (:class:`RestartPolicy`); default
+        ``mode="replan"``.
+    time_scale:
+        Child clock scale in ``(0, 1]`` (1.0 = real time).  Children
+        cannot share a Python object, so the scale — not a clock — is
+        what travels.
+
+    Raises
+    ------
+    RuntimeDeadlineError
+        The whole-run deadline expired; carries the partial
+        :class:`ProcResult`.
+    SupervisorError
+        A control-plane failure that is not an ordinary peer death.
+    """
+    plan = network if isinstance(network, GossipPlan) else gossip(
+        network, algorithm=algorithm
+    )
+    supervisor = Supervisor(
+        plan,
+        chaos=chaos,
+        config=config,
+        policy=policy,
+        time_scale=time_scale,
+    )
+    return supervisor.run()

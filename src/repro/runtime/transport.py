@@ -12,7 +12,24 @@ applies a :class:`NetChaos` profile to every outgoing datagram:
 * **kill-peer** — once the owning peer reaches its configured kill
   round, the transport goes dark: every later send is swallowed and the
   peer protocol drops every later receive (a fail-stop process death,
-  observable only as silence).
+  observable only as silence);
+* **sigkill** — the multi-process analogue: the supervisor-spawned peer
+  process sends itself ``SIGKILL`` upon reaching the configured round,
+  so the whole interpreter dies abruptly (no cleanup, no goodbye) and
+  the :class:`~repro.runtime.supervisor.Supervisor` must detect and
+  resolve a *real* process death.
+
+Attempt tracking (the retransmission index) is keyed by
+``(dst, kind, phase, round)`` — the logical identity of a reliable
+record — never by raw datagram bytes: the sender prunes an entry via
+:meth:`LossyDatagramTransport.forget` the moment the record is acked,
+and sweeps stale rounds with
+:meth:`LossyDatagramTransport.expire_before`, so the table stays
+bounded by the handful of in-flight rounds regardless of run length.
+Heartbeats are deliberately *not* tracked: their sequence number already
+rides in the ``round`` field, so every beacon is a fresh draw without
+any table entry (the untracked, ever-growing heartbeat keys were
+exactly the old leak).
 
 Determinism mirrors the :class:`~repro.simulator.lossy.FaultModel`
 contract exactly and reuses its splitmix64 mixer: every draw is a pure
@@ -38,7 +55,7 @@ from typing import Dict, Mapping, Optional, Set, Tuple
 from ..exceptions import GossipRuntimeError
 from ..simulator.lossy import _uniform
 from .clock import Clock
-from .wire import WIRE_SIZE, decode
+from .wire import ACK, DATA, FENCE, RESYNC, RESYNC_REQ, WIRE_SIZE, decode
 
 __all__ = ["NetChaos", "TransportStats", "LossyDatagramTransport"]
 
@@ -66,6 +83,16 @@ class NetChaos:
     kill:
         ``(victim, round)`` pairs: ``victim`` fail-stops (stops sending
         *and* receiving) upon reaching protocol round ``round``.
+    sigkill:
+        ``(victim, round)`` pairs for the multi-process runtime:
+        ``victim``'s OS process sends itself ``SIGKILL`` upon reaching
+        round ``round`` — an abrupt, real process death the supervisor
+        must detect.  Ignored by the single-process runner.
+    rejoin_crashes:
+        How many restart attempts of a sigkilled victim die again on
+        boot (before saying hello).  Exercises the supervisor's capped
+        restart/backoff ladder and its fail-stop declaration; 0 means
+        the first restart survives.
     """
 
     seed: int = 0
@@ -73,6 +100,8 @@ class NetChaos:
     delay_rate: float = 0.0
     delay_max: float = 0.0
     kill: Tuple[Tuple[int, int], ...] = ()
+    sigkill: Tuple[Tuple[int, int], ...] = ()
+    rejoin_crashes: int = 0
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "delay_rate"):
@@ -83,15 +112,29 @@ class NetChaos:
             raise GossipRuntimeError("delay_max must be >= 0")
         if self.delay_rate > 0.0 and self.delay_max == 0.0:
             raise GossipRuntimeError("delay_rate > 0 needs delay_max > 0")
+        if self.rejoin_crashes < 0:
+            raise GossipRuntimeError("rejoin_crashes must be >= 0")
 
     @property
     def is_null(self) -> bool:
         """Whether this profile can never perturb a datagram."""
-        return self.drop_rate == 0.0 and self.delay_rate == 0.0 and not self.kill
+        return (
+            self.drop_rate == 0.0
+            and self.delay_rate == 0.0
+            and not self.kill
+            and not self.sigkill
+        )
 
     def kill_round_of(self, vertex: int) -> Optional[int]:
         """The round at which ``vertex`` fail-stops (None = never)."""
         for victim, rnd in self.kill:
+            if victim == vertex:
+                return rnd
+        return None
+
+    def sigkill_round_of(self, vertex: int) -> Optional[int]:
+        """The round at which ``vertex``'s *process* SIGKILLs itself."""
+        for victim, rnd in self.sigkill:
             if victim == vertex:
                 return rnd
         return None
@@ -139,6 +182,17 @@ class TransportStats:
         )
 
 
+#: Reliable-record kinds whose retransmission attempts are tracked
+#: (fresh loss draw per copy).  HEARTBEAT is deliberately absent: the
+#: beacon's sequence number already lives in the wire ``round`` field,
+#: so every beacon is a fresh draw with no table entry to leak.
+_TRACKED_KINDS = frozenset({DATA, FENCE, ACK, RESYNC_REQ, RESYNC})
+
+#: (dst vertex, kind, phase, round) — the logical identity of one
+#: reliable record, the attempt-table key.
+_AttemptKey = Tuple[int, int, int, int]
+
+
 class LossyDatagramTransport:
     """A chaos-injecting facade over one peer's datagram transport.
 
@@ -146,7 +200,8 @@ class LossyDatagramTransport:
     kill switch.  Draw keys are read straight off the wire header, so
     the wrapper needs no cooperation from the caller beyond well-formed
     protocol datagrams; the destination vertex id comes from the address
-    table built by the runner.
+    table built by the runner (and refreshed via :meth:`update_route`
+    when a supervised peer rejoins on a new port).
     """
 
     def __init__(
@@ -163,7 +218,7 @@ class LossyDatagramTransport:
         self._src = src
         self._vertex_of_addr = dict(vertex_of_addr)
         self._clock = clock
-        self._attempts: Dict[bytes, int] = {}
+        self._attempts: Dict[_AttemptKey, int] = {}
         self._pending: Set[asyncio.Task] = set()
         self.killed = False
         self.stats = TransportStats()
@@ -171,6 +226,35 @@ class LossyDatagramTransport:
     def kill(self) -> None:
         """Fail-stop this endpoint: swallow every subsequent send."""
         self.killed = True
+
+    def update_route(self, addr: Tuple[str, int], vertex: int) -> None:
+        """Bind ``addr`` to ``vertex`` (a rejoined peer's fresh port)."""
+        self._vertex_of_addr[addr] = vertex
+
+    # -- attempt-table hygiene (satellite: the table must not grow) ----
+    @property
+    def attempts_tracked(self) -> int:
+        """How many reliable records currently have attempt state."""
+        return len(self._attempts)
+
+    def forget(self, dst: int, kind: int, phase: int, rnd: int) -> None:
+        """Drop attempt state for one acked/settled reliable record."""
+        self._attempts.pop((dst, kind, phase, rnd), None)
+
+    def expire_before(self, phase: int, rnd: int) -> None:
+        """Sweep attempt state for ``phase`` rounds strictly below ``rnd``.
+
+        Re-acks of very old duplicates keep their entries until the
+        caller's sweep horizon passes them, so the sweep must trail the
+        live round window (peers can lag a few rounds, never many — a
+        neighbour stuck at round ``t`` starves everyone else of its
+        round-``t`` token within two fences).
+        """
+        stale = [
+            key for key in self._attempts if key[2] == phase and key[3] < rnd
+        ]
+        for key in stale:
+            del self._attempts[key]
 
     def sendto(self, data: bytes, addr: Tuple[str, int]) -> None:
         """Send one protocol datagram through the chaos profile."""
@@ -183,8 +267,11 @@ class LossyDatagramTransport:
             return
         dgram = decode(data)
         dst = self._vertex_of_addr.get(addr, -1)
-        attempt = self._attempts.get(data, 0)
-        self._attempts[data] = attempt + 1
+        attempt = 0
+        if dgram.kind in _TRACKED_KINDS:
+            key = (dst, dgram.kind, dgram.phase, dgram.round)
+            attempt = self._attempts.get(key, 0)
+            self._attempts[key] = attempt + 1
         if self._chaos.drops(self._src, dst, dgram.kind, dgram.phase,
                              dgram.round, attempt):
             self.stats.dropped += 1

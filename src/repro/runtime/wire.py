@@ -21,10 +21,19 @@ Kinds:
 * ``HEARTBEAT`` — liveness beacon; ``round`` carries the sender's
   heartbeat sequence number (used for deterministic loss draws), not a
   protocol round.
+* ``RESYNC_REQ`` — a restarted peer asking a live neighbour for a copy
+  of its hold bitset (the rejoin protocol's state-transfer request).
+  ``round`` is always 0; the request is retransmitted until the full
+  state arrived.
+* ``RESYNC``    — one 16-bit chunk of a hold bitset answering a
+  ``RESYNC_REQ``: ``round`` is the chunk index (bits
+  ``16*round .. 16*round + 15``), ``payload`` the chunk value.  Chunks
+  are idempotent, so the responder re-answers every request copy.
 
-``phase`` separates the two execution regimes (``PHASE_ONLINE`` — the
+``phase`` separates the execution regimes (``PHASE_ONLINE`` — the
 paper's online ConcurrentUpDown, ``PHASE_SURVIVAL`` — the post-failure
-replan) so retransmission dedup keys never collide across a replan.
+replan, ``PHASE_REJOIN`` — state resync after a supervised restart) so
+retransmission dedup keys never collide across a replan or a rejoin.
 
 Decoding is strict: wrong size, wrong magic, or an unknown kind raises
 the typed :class:`~repro.exceptions.WireFormatError`; the peer protocol
@@ -43,8 +52,11 @@ __all__ = [
     "FENCE",
     "ACK",
     "HEARTBEAT",
+    "RESYNC_REQ",
+    "RESYNC",
     "PHASE_ONLINE",
     "PHASE_SURVIVAL",
+    "PHASE_REJOIN",
     "WIRE_SIZE",
     "Datagram",
     "encode",
@@ -58,10 +70,13 @@ DATA = 1
 FENCE = 2
 ACK = 3
 HEARTBEAT = 4
-_KINDS = frozenset({DATA, FENCE, ACK, HEARTBEAT})
+RESYNC_REQ = 5
+RESYNC = 6
+_KINDS = frozenset({DATA, FENCE, ACK, HEARTBEAT, RESYNC_REQ, RESYNC})
 
 PHASE_ONLINE = 0
 PHASE_SURVIVAL = 1
+PHASE_REJOIN = 2
 
 WIRE_SIZE = _STRUCT.size
 

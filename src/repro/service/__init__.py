@@ -33,11 +33,12 @@ True
 from .breaker import CircuitBreaker
 from .cache import PlanCache, PlanKey, plan_weight, tree_fingerprint
 from .maintenance import MaintainedNetwork
-from .service import GossipService, Planner
+from .service import ExecutionOutcome, GossipService, Planner
 from .stats import ServiceStats, StatsRecorder
 from .workload import CacheBenchResult, bench_plan_cache, run_synthetic_workload
 
 __all__ = [
+    "ExecutionOutcome",
     "GossipService",
     "Planner",
     "CircuitBreaker",

@@ -43,6 +43,11 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:
+    from ..runtime.peer import RuntimeConfig
+    from ..runtime.runner import RuntimeResult
+    from ..runtime.supervisor import RestartPolicy
+    from ..runtime.transport import NetChaos
+    from ..simulator.engine import ExecutionResult
     from .maintenance import MaintainedNetwork
 
 from ..core.gossip import GossipPlan, NetworkSpec, gossip, resolve_network
@@ -50,7 +55,9 @@ from ..exceptions import (
     CircuitOpenError,
     PlanTimeoutError,
     ReproError,
+    RuntimeDeadlineError,
     ScheduleLintError,
+    SupervisorError,
 )
 from ..lint import MODEL, PAPER, lint_schedule
 from ..networks.graph import Graph
@@ -59,7 +66,10 @@ from .breaker import CircuitBreaker
 from .cache import PlanCache, PlanKey, tree_fingerprint
 from .stats import ServiceStats, StatsRecorder
 
-__all__ = ["GossipService", "Planner"]
+__all__ = ["ExecutionOutcome", "GossipService", "Planner"]
+
+#: Execution engines :meth:`GossipService.execute` can drive.
+_RUNTIMES = ("simulator", "network", "processes")
 
 #: Signature of an injectable planner (keyword-only after the graph,
 #: mirroring :func:`repro.core.gossip.gossip`).
@@ -88,6 +98,40 @@ def _fast_planner(
         require_connected(graph, "gossiping")
         tree = minimum_depth_spanning_tree(graph)
     return gossip(graph, algorithm=algorithm, tree=tree)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionOutcome:
+    """What one :meth:`GossipService.execute` request produced.
+
+    Attributes
+    ----------
+    plan:
+        The (possibly cached) plan that was executed.
+    requested:
+        The execution engine the caller asked for: ``"simulator"``,
+        ``"network"`` or ``"processes"``.
+    runtime:
+        The engine that actually produced :attr:`result` — differs from
+        :attr:`requested` when the service degraded a failing real
+        runtime to the offline simulator replay.
+    degraded:
+        Whether the service had to degrade: the result is either a
+        partial :class:`~repro.runtime.runner.RuntimeResult` carried by
+        a missed deadline, or the simulator standing in for a runtime
+        the execution breaker has given up on.
+    result:
+        The execution record: an
+        :class:`~repro.simulator.engine.ExecutionResult` (simulator), a
+        :class:`~repro.runtime.runner.RuntimeResult` (network), or a
+        :class:`~repro.runtime.supervisor.ProcResult` (processes).
+    """
+
+    plan: GossipPlan
+    requested: str
+    runtime: str
+    degraded: bool
+    result: "ExecutionResult | RuntimeResult"
 
 
 class GossipService:
@@ -282,6 +326,212 @@ class GossipService:
         self._stats.record_evictions(evicted)
         future.set_result(plan)
         return plan
+
+    # ------------------------------------------------------------------
+    # Execution: plan *and run* a request through a runtime
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        network: NetworkSpec,
+        *,
+        algorithm: Optional[str] = None,
+        tree: Optional[Tree] = None,
+        runtime: str = "simulator",
+        chaos: Optional["NetChaos"] = None,
+        config: Optional["RuntimeConfig"] = None,
+        policy: Optional["RestartPolicy"] = None,
+        time_scale: float = 1.0,
+        fallback: bool = True,
+    ) -> ExecutionOutcome:
+        """Serve a plan for ``network`` and *run* it.
+
+        Planning goes through :meth:`plan`, so the whole planning
+        resilience policy (cache, coalescing, timeout, retries,
+        breaker, degraded fallback) applies unchanged.  Execution then
+        gets the same treatment, against its own per-key breaker:
+
+        * ``runtime="simulator"`` replays the schedule on the offline
+          simulator (deterministic, no sockets);
+        * ``runtime="network"`` drives
+          :func:`repro.runtime.run_gossip_network` (one asyncio UDP
+          task per vertex in this interpreter);
+        * ``runtime="processes"`` drives
+          :func:`repro.runtime.run_gossip_processes` (one supervised OS
+          process per vertex, real crash injection and rejoin).
+
+        Execution failures are classified like planning failures:
+        *transient* errors (not :class:`~repro.exceptions.ReproError`)
+        are retried with the service's backoff; *availability* failures
+        — a missed :class:`~repro.exceptions.RuntimeDeadlineError`
+        deadline, a :class:`~repro.exceptions.SupervisorError`
+        control-plane breakdown, or a transient error that survived the
+        retry budget — count against the key's execution breaker and
+        degrade (``fallback=True``) to the partial result the deadline
+        carried, or to the offline simulator replay; with ``fallback=
+        False`` they re-raise.  An *open* breaker skips the real
+        runtime entirely: degraded simulator replay, or a typed
+        :class:`~repro.exceptions.CircuitOpenError` fast-fail.  Other
+        ``ReproError``\\ s indict the request, not the runtime — they
+        re-raise and never trip the breaker.  Every outcome is counted
+        in :class:`~repro.service.stats.ServiceStats`
+        (``executions`` / ``exec_failures`` / ``exec_retries`` /
+        ``exec_degraded`` / ``exec_fast_fails``).
+        """
+        if runtime not in _RUNTIMES:
+            raise ReproError(
+                f"runtime must be one of {_RUNTIMES}, not {runtime!r}"
+            )
+        if runtime == "simulator" and (
+            chaos is not None or config is not None or policy is not None
+        ):
+            raise ReproError(
+                "chaos/config/policy only apply to the 'network' and "
+                "'processes' runtimes"
+            )
+        if runtime == "network" and policy is not None:
+            raise ReproError("policy only applies to the 'processes' runtime")
+        graph, tree = resolve_network(network, tree=tree)
+        plan = self.plan(graph, algorithm=algorithm, tree=tree)
+        if runtime == "simulator":
+            result = plan.execute()
+            self._stats.record_execution()
+            return ExecutionOutcome(
+                plan=plan, requested=runtime, runtime=runtime,
+                degraded=False, result=result,
+            )
+
+        key = self._key(graph, tree, algorithm)
+        exec_key = (key[0], key[1], f"{key[2]}@exec:{runtime}")
+        breaker = self._breaker_for(exec_key)
+        probing = False
+        if breaker is not None:
+            with self._lock:
+                decision = breaker.acquire(self._clock())
+                retry_after = breaker.retry_after(self._clock())
+            if decision == "reject":
+                return self._degrade_execution(
+                    plan, runtime, failure=None, retry_after=retry_after,
+                    fallback=fallback,
+                )
+            if decision == "probe":
+                probing = True
+                self._stats.record_probe()
+
+        failure: BaseException
+        attempt = 0
+        while True:
+            try:
+                result = self._invoke_runtime(
+                    plan, runtime, chaos=chaos, config=config,
+                    policy=policy, time_scale=time_scale,
+                )
+            except (RuntimeDeadlineError, SupervisorError) as exc:
+                failure = exc  # availability: the deadline burnt the budget
+                break
+            except ReproError:
+                if probing:
+                    with self._lock:
+                        breaker.cancel_probe()
+                raise  # deterministic request error: fallback cannot help
+            except BaseException as exc:
+                if attempt >= self._retries:
+                    failure = exc
+                    break
+                self._stats.record_exec_retry()
+                time.sleep(self._retry_backoff * (2**attempt))
+                attempt += 1
+            else:
+                if breaker is not None:
+                    with self._lock:
+                        healed = breaker.record_success()
+                    if healed:
+                        self._stats.record_breaker_close()
+                self._stats.record_execution()
+                return ExecutionOutcome(
+                    plan=plan, requested=runtime, runtime=runtime,
+                    degraded=False, result=result,
+                )
+
+        self._stats.record_exec_failure()
+        if breaker is not None:
+            with self._lock:
+                opened = breaker.record_failure(self._clock())
+            if opened:
+                self._stats.record_breaker_open()
+        return self._degrade_execution(
+            plan, runtime, failure=failure, retry_after=None,
+            fallback=fallback,
+        )
+
+    def _degrade_execution(
+        self,
+        plan: GossipPlan,
+        requested: str,
+        *,
+        failure: Optional[BaseException],
+        retry_after: Optional[float],
+        fallback: bool,
+    ) -> ExecutionOutcome:
+        """Serve a degraded execution result, or raise the typed error.
+
+        ``failure`` is the runtime's availability error, or ``None``
+        when an open breaker short-circuited the runtime without
+        running it (``retry_after`` then carries the remaining
+        cooldown).  The degraded answer is the partial result a missed
+        deadline carried when there is one, else the offline simulator
+        replay of the very plan the runtime would have executed.
+        """
+        if not fallback:
+            if failure is not None:
+                raise failure
+            self._stats.record_exec_fast_fail()
+            raise CircuitOpenError(
+                f"execution breaker open for runtime {requested!r} "
+                f"(retry in {retry_after:.3f}s) and degraded serving is "
+                f"disabled",
+                algorithm=plan.algorithm,
+                retry_after=retry_after,
+            )
+        if isinstance(failure, RuntimeDeadlineError) and failure.partial is not None:
+            self._stats.record_exec_degraded()
+            self._stats.record_execution()
+            return ExecutionOutcome(
+                plan=plan, requested=requested, runtime=requested,
+                degraded=True, result=failure.partial,  # type: ignore[arg-type]
+            )
+        result = plan.execute()
+        self._stats.record_exec_degraded()
+        self._stats.record_execution()
+        return ExecutionOutcome(
+            plan=plan, requested=requested, runtime="simulator",
+            degraded=True, result=result,
+        )
+
+    def _invoke_runtime(
+        self,
+        plan: GossipPlan,
+        runtime: str,
+        *,
+        chaos: Optional["NetChaos"],
+        config: Optional["RuntimeConfig"],
+        policy: Optional["RestartPolicy"],
+        time_scale: float,
+    ) -> "RuntimeResult":
+        """One real-runtime run (imports deferred: no asyncio at import)."""
+        if runtime == "network":
+            from ..runtime.clock import RealClock, ScaledClock
+            from ..runtime.runner import run_gossip_network
+
+            clock = RealClock() if time_scale >= 1.0 else ScaledClock(time_scale)
+            return run_gossip_network(
+                plan, chaos=chaos, config=config, clock=clock
+            )
+        from ..runtime.supervisor import run_gossip_processes
+
+        return run_gossip_processes(
+            plan, chaos=chaos, config=config, policy=policy,
+            time_scale=time_scale,
+        )
 
     # ------------------------------------------------------------------
     # Hardened build path: timeout, bounded retry, degraded fallback

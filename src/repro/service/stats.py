@@ -88,6 +88,25 @@ class ServiceStats:
         ``lint="error"`` each finding also means a plan was refused
         cache admission with
         :class:`~repro.exceptions.ScheduleLintError`.
+    executions:
+        ``execute()`` requests answered with a result (including
+        degraded ones) — the execution-side mirror of ``requests``.
+    exec_failures:
+        Runtime *availability* failures observed while executing
+        (deadlines, supervisor control-plane errors, transient crashes
+        that survived the retry budget).  These are the failures that
+        count against the per-key execution breaker.
+    exec_retries:
+        Runtime re-runs after a transient execution failure (bounded by
+        the service's ``retries`` setting per request).
+    exec_degraded:
+        ``execute()`` requests served degraded — a partial result
+        carried by a missed deadline, or the offline simulator standing
+        in for a runtime the breaker has given up on.
+    exec_fast_fails:
+        ``execute()`` requests rejected with
+        :class:`~repro.exceptions.CircuitOpenError` because the
+        execution breaker was open and degraded serving was disabled.
     """
 
     requests: int
@@ -114,6 +133,11 @@ class ServiceStats:
     fast_fails: int = 0
     lints: int = 0
     lint_errors: int = 0
+    executions: int = 0
+    exec_failures: int = 0
+    exec_retries: int = 0
+    exec_degraded: int = 0
+    exec_fast_fails: int = 0
 
     @property
     def hit_rate(self) -> Optional[float]:
@@ -145,6 +169,10 @@ class ServiceStats:
                 f"{self.fast_fails} fast-fails",
                 f"lint          : {self.lints} runs, "
                 f"{self.lint_errors} error diagnostics",
+                f"execution     : {self.executions} runs, "
+                f"{self.exec_failures} failures, {self.exec_retries} retries, "
+                f"{self.exec_degraded} degraded, "
+                f"{self.exec_fast_fails} fast-fails",
                 f"build latency : p50 {ms(self.plan_p50_ms)}  "
                 f"p90 {ms(self.plan_p90_ms)}  p99 {ms(self.plan_p99_ms)}  "
                 f"max {ms(self.plan_max_ms)}",
@@ -180,6 +208,11 @@ class StatsRecorder:
         self.fast_fails = 0
         self.lints = 0
         self.lint_errors = 0
+        self.executions = 0
+        self.exec_failures = 0
+        self.exec_retries = 0
+        self.exec_degraded = 0
+        self.exec_fast_fails = 0
         self._build_latencies: Deque[float] = deque(maxlen=latency_window)
         self._hit_latencies: Deque[float] = deque(maxlen=latency_window)
 
@@ -253,6 +286,26 @@ class StatsRecorder:
             self.lints += 1
             self.lint_errors += errors
 
+    def record_execution(self) -> None:
+        with self._lock:
+            self.executions += 1
+
+    def record_exec_failure(self) -> None:
+        with self._lock:
+            self.exec_failures += 1
+
+    def record_exec_retry(self) -> None:
+        with self._lock:
+            self.exec_retries += 1
+
+    def record_exec_degraded(self) -> None:
+        with self._lock:
+            self.exec_degraded += 1
+
+    def record_exec_fast_fail(self) -> None:
+        with self._lock:
+            self.exec_fast_fails += 1
+
     # ------------------------------------------------------------------
     def snapshot(self, *, entries: int, weight: int) -> ServiceStats:
         """Freeze the counters into a :class:`ServiceStats`."""
@@ -288,4 +341,9 @@ class StatsRecorder:
                 fast_fails=self.fast_fails,
                 lints=self.lints,
                 lint_errors=self.lint_errors,
+                executions=self.executions,
+                exec_failures=self.exec_failures,
+                exec_retries=self.exec_retries,
+                exec_degraded=self.exec_degraded,
+                exec_fast_fails=self.exec_fast_fails,
             )

@@ -92,6 +92,29 @@ class TestConventionsScript:
         assert proc.returncode == 1
         assert "hot path" in proc.stdout
 
+    def test_detects_process_machinery_in_runtime(self, tmp_path):
+        runtime = tmp_path / "runtime"
+        runtime.mkdir()
+        bad = runtime / "peer.py"
+        bad.write_text(
+            "import multiprocessing\n"
+            "from signal import SIGKILL\n"
+            "import os\n"
+            "def f(pid):\n"
+            "    os.kill(pid, SIGKILL)\n"
+        )
+        proc = run("scripts/check_conventions.py", str(bad))
+        assert proc.returncode == 1
+        assert proc.stdout.count("supervision tree") == 3
+
+    def test_supervision_modules_are_exempt(self, tmp_path):
+        runtime = tmp_path / "runtime"
+        runtime.mkdir()
+        ok = runtime / "supervisor.py"
+        ok.write_text("import multiprocessing\nimport signal\n")
+        proc = run("scripts/check_conventions.py", str(ok))
+        assert proc.returncode == 0, proc.stdout
+
     def test_hot_path_loop_exemptions(self, tmp_path):
         core = tmp_path / "core"
         core.mkdir()

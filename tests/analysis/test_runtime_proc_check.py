@@ -1,0 +1,108 @@
+"""Tier-1 smoke: the supervised multi-process benchmark's gates hold.
+
+Runs ``benchmarks/bench_runtime_proc.py --check --quick`` the same way
+CI does (a standalone process — the children are real spawned
+interpreters) and exercises the gate helpers in-process.  The full
+21-family sweep plus the 100-trial SIGKILL campaign stays in the
+benchmark tier.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_runtime_proc.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_runtime_proc", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run(cmd):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_benchmark_check_mode_passes():
+    proc = _run([sys.executable, str(BENCH), "--check", "--quick"])
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert ("check: offline-exact transcripts, crash detection + "
+            ">= 95% resolution, per-seed reproducibility, "
+            "service execution degradation  OK") in proc.stdout
+
+
+class TestGateHelpers:
+    def test_gate_rejects_divergence(self):
+        bench = _load_bench()
+        rows = [("path-8", 8, 14, 0.1, True, False)]
+        with pytest.raises(AssertionError, match="diverged"):
+            bench.check_offline_exact(rows)
+
+    def test_gate_rejects_undetected_death(self):
+        bench = _load_bench()
+
+        class Fake:
+            incidents = ()
+            mode = "replan"
+            dead = (1,)
+            coverage = 1.0
+            complete = False
+            restarts = 0
+
+        with pytest.raises(AssertionError, match="never detected"):
+            bench.check_sigkill_resolution([(1, "replan", Fake())])
+
+    def test_gate_rejects_unresolved_trials(self):
+        bench = _load_bench()
+
+        class Incident:
+            kind = "crash-detected"
+            vertex = 1
+
+        class Fake:
+            incidents = (Incident(),)
+            mode = "replan"
+            dead = (1,)
+            coverage = 0.5
+            complete = False
+            restarts = 0
+
+        with pytest.raises(AssertionError, match="resolved"):
+            bench.check_sigkill_resolution([(1, "replan", Fake())])
+
+    def test_gate_requires_restart_trials_to_recomplete(self):
+        bench = _load_bench()
+
+        class Incident:
+            kind = "crash-detected"
+            vertex = 1
+
+        class Fake:  # resolved by replan, but the policy asked for rejoin
+            incidents = (Incident(),)
+            mode = "replan"
+            dead = (1,)
+            coverage = 1.0
+            complete = False
+            restarts = 0
+
+        with pytest.raises(AssertionError, match="resolved"):
+            bench.check_sigkill_resolution([(1, "restart", Fake())])

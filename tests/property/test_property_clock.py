@@ -1,0 +1,124 @@
+"""Property tests: the injectable clock's scaling contract.
+
+:class:`~repro.runtime.clock.ScaledClock` is the lever that lets a whole
+failure-detection scenario run in tens of milliseconds: *waits* shrink
+by ``scale`` while *reported time* stays in virtual seconds.  Three
+properties carry the runtime's correctness under any scale:
+
+* ``sleep(v)`` and ``wait_for(..., v)`` block for about ``v * scale``
+  real seconds;
+* ``time()`` advances in virtual seconds — real elapsed divided by
+  ``scale`` — so staleness arithmetic against configured intervals needs
+  no rescaling;
+* therefore deadline arithmetic of the form ``clock.time() + timeout``
+  (the :meth:`GossipPeer._await_tokens` barrier, heartbeat staleness,
+  the runner's run deadline) is *scale-invariant*: the virtual seconds a
+  wait consumes equal the wait's argument, whatever the scale.
+
+Timing assertions use one-sided lower bounds plus generous slack — CI
+boxes stall, they do not hurry.
+"""
+
+import asyncio
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gossip import gossip
+from repro.core.online import build_processors
+from repro.exceptions import RuntimeDeadlineError
+from repro.runtime import GossipPeer, RuntimeConfig, ScaledClock
+
+import pytest
+
+#: Real-seconds slack for "did not oversleep" upper bounds: loaded
+#: single-core CI can stall an event loop for a long beat.
+_SLACK = 0.25
+
+scales = st.sampled_from([0.05, 0.1, 0.2, 0.5, 1.0])
+virtual_waits = st.floats(min_value=0.01, max_value=0.08)
+
+
+@given(scale=scales, virtual=virtual_waits)
+@settings(max_examples=8, deadline=None)
+def test_sleep_scales_real_waits(scale, virtual):
+    clock = ScaledClock(scale)
+
+    async def run():
+        start = time.monotonic()
+        await clock.sleep(virtual)
+        return time.monotonic() - start
+
+    real = asyncio.run(run())
+    assert real >= virtual * scale * 0.9
+    assert real <= virtual * scale + _SLACK
+
+
+@given(scale=scales, virtual=virtual_waits)
+@settings(max_examples=8, deadline=None)
+def test_wait_for_timeout_scales_real_waits(scale, virtual):
+    clock = ScaledClock(scale)
+
+    async def run():
+        start = time.monotonic()
+        with pytest.raises(asyncio.TimeoutError):
+            await clock.wait_for(asyncio.Event().wait(), virtual)
+        return time.monotonic() - start
+
+    real = asyncio.run(run())
+    assert real >= virtual * scale * 0.9
+    assert real <= virtual * scale + _SLACK
+
+
+@given(scale=scales, virtual=virtual_waits)
+@settings(max_examples=8, deadline=None)
+def test_time_reports_virtual_seconds(scale, virtual):
+    """Virtual elapsed across a sleep equals the sleep argument, any scale.
+
+    This is the scale-invariance every ``clock.time() + timeout``
+    deadline (round barriers, heartbeat staleness, run deadlines) rests
+    on: the arithmetic never mentions ``scale``.
+    """
+    clock = ScaledClock(scale)
+
+    async def run():
+        before = clock.time()
+        await clock.sleep(virtual)
+        return clock.time() - before
+
+    elapsed = asyncio.run(run())
+    assert elapsed >= virtual * 0.9
+    # Slack is in real seconds; convert to the virtual ruler.
+    assert elapsed <= virtual + _SLACK / scale
+
+
+@given(scale=st.sampled_from([0.05, 0.1, 0.25]))
+@settings(max_examples=3, deadline=None)
+def test_await_tokens_deadline_is_scale_invariant(scale):
+    """The round barrier times out after ``round_timeout`` *virtual* seconds.
+
+    A peer whose neighbour never speaks must raise the typed round
+    deadline after about ``round_timeout * scale`` real seconds — the
+    deadline arithmetic itself never changes with the scale.
+    """
+    round_timeout = 0.8
+    config = RuntimeConfig(
+        ack_timeout=0.02, heartbeat_interval=0.05, fail_after=0.2,
+        round_timeout=round_timeout, run_timeout=60.0,
+    )
+    plan = gossip("path:3")
+    procs = build_processors(plan.labeled)
+    clock = ScaledClock(scale)
+    peer = GossipPeer(1, procs[1], config=config, clock=clock,
+                      suspect=lambda src, dst: None)
+
+    async def run():
+        start = time.monotonic()
+        with pytest.raises(RuntimeDeadlineError, match="no token"):
+            await peer._await_tokens(0, 0, (0,))
+        return time.monotonic() - start
+
+    real = asyncio.run(run())
+    assert real >= round_timeout * scale * 0.9
+    assert real <= round_timeout * scale + _SLACK

@@ -1,0 +1,193 @@
+"""Satellite regressions: the retransmission state must stay bounded.
+
+Two leaks guarded here:
+
+* the transport's attempt table (the per-record retransmission index
+  feeding the deterministic loss draws) must not grow with run length —
+  entries are keyed by the logical record identity, pruned on ack via
+  :meth:`LossyDatagramTransport.forget`, swept by
+  :meth:`~LossyDatagramTransport.expire_before`, and never created for
+  heartbeats at all;
+* the peer's reliable-send loop must be *capped*: a destination that
+  swallows ``RuntimeConfig.max_attempts`` copies without acking one is
+  reported to the suspicion path and marked dead locally, never retried
+  forever.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.core.online import build_processors
+from repro.runtime import (
+    ACK,
+    DATA,
+    FENCE,
+    HEARTBEAT,
+    PHASE_ONLINE,
+    Datagram,
+    GossipPeer,
+    LossyDatagramTransport,
+    NetChaos,
+    RealClock,
+    RuntimeConfig,
+    encode,
+)
+from repro.runtime.peer import _ATTEMPT_EXPIRE_LAG
+
+
+class _FakeInner:
+    """Stands in for the asyncio datagram transport under the wrapper."""
+
+    def __init__(self):
+        self.sent = []
+
+    def sendto(self, data, addr):
+        self.sent.append((data, addr))
+
+    def is_closing(self):
+        return False
+
+    def close(self):
+        pass
+
+
+def _transport(chaos):
+    return LossyDatagramTransport(
+        _FakeInner(),
+        chaos=chaos,
+        src=0,
+        vertex_of_addr={("127.0.0.1", 9000 + v): v for v in range(8)},
+        clock=RealClock(),
+    )
+
+
+def _send(transport, kind, rnd, *, dst=1, phase=PHASE_ONLINE, copies=1):
+    data = encode(Datagram(kind=kind, phase=phase, round=rnd, sender=0,
+                           payload=0))
+    for _ in range(copies):
+        transport.sendto(data, ("127.0.0.1", 9000 + dst))
+
+
+class TestAttemptTableBounded:
+    """The (dst, kind, phase, round) table never grows with run length."""
+
+    def test_acked_records_are_forgotten(self):
+        t = _transport(NetChaos(seed=3, drop_rate=0.5))
+        _send(t, DATA, 0, copies=5)
+        assert t.attempts_tracked == 1
+        t.forget(1, DATA, PHASE_ONLINE, 0)
+        assert t.attempts_tracked == 0
+
+    def test_forget_is_idempotent_for_unknown_records(self):
+        t = _transport(NetChaos(seed=3, drop_rate=0.5))
+        t.forget(7, FENCE, PHASE_ONLINE, 123)  # never sent: no error
+        assert t.attempts_tracked == 0
+
+    def test_long_run_with_sweep_stays_bounded(self):
+        """1000 rounds of unacked traffic, table bounded by the lag window."""
+        t = _transport(NetChaos(seed=5, drop_rate=0.5))
+        high_water = 0
+        for rnd in range(1000):
+            for dst in (1, 2, 3):
+                _send(t, DATA, rnd, dst=dst, copies=2)
+                _send(t, FENCE, rnd, dst=dst)
+            t.expire_before(PHASE_ONLINE, rnd - _ATTEMPT_EXPIRE_LAG)
+            high_water = max(high_water, t.attempts_tracked)
+        # 3 dsts x 2 kinds x (lag + 1 live rounds) is the ceiling.
+        assert high_water <= 3 * 2 * (_ATTEMPT_EXPIRE_LAG + 2)
+        assert t.attempts_tracked <= 3 * 2 * (_ATTEMPT_EXPIRE_LAG + 2)
+
+    def test_heartbeats_never_enter_the_table(self):
+        """The old leak: one table entry per heartbeat sequence number."""
+        t = _transport(NetChaos(seed=7, drop_rate=0.3))
+        for seq in range(500):
+            _send(t, HEARTBEAT, seq)
+        assert t.attempts_tracked == 0
+
+    def test_retransmission_attempt_index_still_advances(self):
+        """Hygiene must not break the fresh-draw-per-copy contract."""
+        chaos = NetChaos(seed=11, drop_rate=0.5)
+        t = _transport(chaos)
+        _send(t, DATA, 4, copies=6)
+        dropped_live = t.stats.dropped
+        # Six copies = attempts 0..5 = six independent draws.
+        expected = sum(
+            chaos.drops(src=0, dst=1, kind=DATA, phase=PHASE_ONLINE, rnd=4,
+                        attempt=k)
+            for k in range(6)
+        )
+        assert dropped_live == expected
+        assert 0 < expected < 6  # seed chosen so both outcomes occur
+
+    def test_expire_is_per_phase(self):
+        t = _transport(NetChaos(seed=13, drop_rate=0.5))
+        _send(t, DATA, 2, phase=0)
+        _send(t, DATA, 2, phase=1)
+        t.expire_before(0, 10)
+        assert t.attempts_tracked == 1  # phase-1 record survives
+
+
+class TestMaxAttemptsCap:
+    """_send_reliable under 100% loss to one destination: capped, suspected."""
+
+    @staticmethod
+    def _peer(config):
+        plan = gossip("path:3")
+        procs = build_processors(plan.labeled)
+        suspected = []
+        peer = GossipPeer(
+            1, procs[1], config=config, clock=RealClock(),
+            suspect=lambda src, dst: suspected.append((src, dst)),
+        )
+        # A transport whose chaos never fires, pointed at a black hole:
+        # datagrams "reach the wire" but dest 2 never acks.
+        transport = _transport(NetChaos())
+        peer.attach(transport, {v: ("127.0.0.1", 9000 + v) for v in range(3)})
+        return peer, suspected
+
+    def test_unacked_destination_is_capped_and_suspected(self):
+        config = RuntimeConfig(
+            ack_timeout=0.005, backoff_cap=0.01, max_attempts=5,
+            heartbeat_interval=0.25, fail_after=1.5, round_timeout=8.0,
+        )
+        peer, suspected = self._peer(config)
+        dgram = Datagram(kind=DATA, phase=PHASE_ONLINE, round=0, sender=1,
+                         payload=1)
+
+        delivered = asyncio.run(peer._send_reliable(dgram, 2))
+
+        assert delivered is False
+        assert 2 in peer.dead
+        assert suspected == [(1, 2)]
+        # Exactly max_attempts copies hit the wire, not one more.
+        copies = [
+            d for d, addr in peer.transport._inner.sent
+            if addr == ("127.0.0.1", 9002)
+        ]
+        assert len(copies) == config.max_attempts
+        # The abandoned record leaves no attempt state behind.
+        assert peer.transport.attempts_tracked == 0
+
+    def test_ack_before_cap_delivers(self):
+        config = RuntimeConfig(
+            ack_timeout=0.005, backoff_cap=0.01, max_attempts=5,
+            heartbeat_interval=0.25, fail_after=1.5, round_timeout=8.0,
+        )
+        peer, suspected = self._peer(config)
+        dgram = Datagram(kind=FENCE, phase=PHASE_ONLINE, round=0, sender=1,
+                         payload=0)
+
+        async def run():
+            task = asyncio.ensure_future(peer._send_reliable(dgram, 2))
+            await asyncio.sleep(0.012)  # let a couple of copies go out
+            peer.ack_events[(2, PHASE_ONLINE, 0)].set()
+            return await task
+
+        assert asyncio.run(run()) is True
+        assert 2 not in peer.dead and not suspected
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(Exception, match="max_attempts"):
+            RuntimeConfig(max_attempts=0)

@@ -1,0 +1,266 @@
+"""End-to-end tests of the supervised multi-process runtime.
+
+Every test here spawns a real fleet — one OS process per vertex over
+UDP — so topologies are small and deadlines generous-but-scaled: child
+interpreters boot serially on a single-core CI box, and a too-tight
+virtual deadline reads as a false death.  Expensive runs are shared via
+module-scoped fixtures; the wide sweeps (21 families, 100 SIGKILL
+trials) live in ``benchmarks/bench_runtime_proc.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.gossip import gossip
+from repro.exceptions import ReproError, RuntimeDeadlineError
+from repro.runtime import (
+    IncidentJournal,
+    NetChaos,
+    RestartPolicy,
+    RuntimeConfig,
+    run_gossip_processes,
+)
+
+#: Virtual-seconds knobs for a six-peer fleet at time_scale 0.25.
+CONFIG = dict(
+    heartbeat_interval=0.25,
+    fail_after=1.5,
+    round_timeout=60.0,
+    run_timeout=600.0,
+)
+SCALE = 0.25
+FAMILY = "cycle:6"  # any single death leaves a connected path
+
+
+def _offline_multiset(plan):
+    return sorted(
+        (t, tx.sender, tx.message, tuple(sorted(tx.destinations)))
+        for t, rnd in enumerate(plan.schedule.rounds)
+        for tx in rnd
+    )
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    plan = gossip(FAMILY)
+    result = run_gossip_processes(
+        plan, config=RuntimeConfig(seed=3, **CONFIG), time_scale=SCALE
+    )
+    return plan, result
+
+
+@pytest.fixture(scope="module")
+def replanned():
+    """One peer SIGKILLed at round 1, resolved by the replan policy."""
+    plan = gossip(FAMILY)
+    result = run_gossip_processes(
+        plan,
+        chaos=NetChaos(seed=5, sigkill=((2, 1),)),
+        config=RuntimeConfig(seed=5, **CONFIG),
+        policy=RestartPolicy(mode="replan"),
+        time_scale=SCALE,
+    )
+    return plan, result
+
+
+@pytest.fixture(scope="module")
+def rejoined():
+    """One peer SIGKILLed at round 1, resolved by restart-with-rejoin."""
+    plan = gossip(FAMILY)
+    result = run_gossip_processes(
+        plan,
+        chaos=NetChaos(seed=9, sigkill=((4, 1),)),
+        config=RuntimeConfig(seed=9, **CONFIG),
+        policy=RestartPolicy(mode="restart", max_restarts=3),
+        time_scale=SCALE,
+    )
+    return plan, result
+
+
+class TestFaultFree:
+    def test_transcript_is_offline_exact(self, fault_free):
+        plan, result = fault_free
+        online = sorted(
+            (e.round, e.sender, e.message, e.destinations)
+            for e in result.transcript
+        )
+        assert online == _offline_multiset(plan)
+
+    def test_mode_and_shape(self, fault_free):
+        _, result = fault_free
+        assert result.mode == "fault-free"
+        assert result.complete and result.coverage == 1.0
+        assert result.restarts == 0 and result.dead == ()
+        assert result.incidents == ()
+
+    def test_summary_has_supervision_fields(self, fault_free):
+        _, result = fault_free
+        summary = result.deterministic_summary()
+        assert summary["mode"] == "fault-free"
+        assert summary["restarts"] == 0
+        assert "wall_seconds" not in summary
+
+
+class TestSigkillReplan:
+    def test_death_detected_on_both_channels(self, replanned):
+        _, result = replanned
+        kinds_about_victim = [
+            i.kind for i in result.incidents if i.vertex == 2
+        ]
+        assert "crash-detected" in kinds_about_victim
+        assert "suspicion" in kinds_about_victim
+        sentinel = next(
+            i for i in result.incidents if i.kind == "crash-detected"
+        )
+        assert sentinel.detected_by == "sentinel"
+        assert "-9" in sentinel.details  # SIGKILL exit code
+
+    def test_survivors_complete_degraded_gossip(self, replanned):
+        _, result = replanned
+        assert result.mode == "replan"
+        assert result.dead == (2,)
+        assert result.coverage == 1.0
+        assert not result.complete  # full gossip did NOT re-complete
+
+    def test_journal_orders_detection_before_resolution(self, replanned):
+        _, result = replanned
+        seqs = [i.seq for i in result.incidents]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        crash = next(i for i in result.incidents if i.kind == "crash-detected")
+        abort = next(i for i in result.incidents if i.kind == "abort")
+        replan = next(
+            i for i in result.incidents if i.kind == "failover-replan"
+        )
+        assert crash.seq < abort.seq < replan.seq
+
+
+class TestSigkillRestart:
+    def test_victim_rejoins_and_full_gossip_recompletes(self, rejoined):
+        _, result = rejoined
+        assert result.mode == "rejoin"
+        assert result.complete and result.coverage == 1.0
+        assert result.restarts == 1
+        assert result.dead == ()
+
+    def test_rejoin_incident_chain(self, rejoined):
+        _, result = rejoined
+        kinds = [i.kind for i in result.incidents]
+        for kind in ("crash-detected", "restart", "resync", "recovered"):
+            assert kind in kinds, f"missing {kind} in {kinds}"
+        restart = next(i for i in result.incidents if i.kind == "restart")
+        assert restart.attempt == 1 and restart.vertex == 4
+
+    def test_rejoin_crash_ladder_climbs_backoff(self):
+        """A restart that dies on boot is retried at the next rung."""
+        result = run_gossip_processes(
+            gossip(FAMILY),
+            chaos=NetChaos(seed=11, sigkill=((1, 1),), rejoin_crashes=1),
+            config=RuntimeConfig(seed=11, **CONFIG),
+            policy=RestartPolicy(mode="restart", max_restarts=3),
+            time_scale=SCALE,
+        )
+        assert result.mode == "rejoin" and result.complete
+        assert result.restarts == 2
+        kinds = [i.kind for i in result.incidents]
+        assert "rejoin-failed" in kinds
+
+    def test_exhausted_restarts_fail_stop_to_replan(self):
+        """Every restart dies: declare fail-stop, finish among survivors."""
+        result = run_gossip_processes(
+            gossip(FAMILY),
+            chaos=NetChaos(seed=13, sigkill=((3, 1),), rejoin_crashes=5),
+            config=RuntimeConfig(seed=13, **CONFIG),
+            policy=RestartPolicy(mode="restart", max_restarts=2),
+            time_scale=SCALE,
+        )
+        assert result.mode == "replan"
+        assert result.dead == (3,) and result.coverage == 1.0
+        kinds = [i.kind for i in result.incidents]
+        assert "fail-stop-declared" in kinds
+        assert "failover-replan" in kinds
+        assert kinds.count("restart") == 2
+
+
+class TestDeadline:
+    def test_impossible_deadline_degrades_to_typed_partial(self):
+        config = RuntimeConfig(seed=7, run_timeout=0.05)
+        with pytest.raises(RuntimeDeadlineError) as err:
+            run_gossip_processes(
+                gossip("path:4"), config=config, time_scale=SCALE
+            )
+        partial = err.value.partial
+        assert partial is not None and partial.mode == "partial"
+        assert not partial.complete
+        assert any(i.kind == "deadline" for i in partial.incidents)
+
+
+class TestDeterminism:
+    def test_same_seed_same_summary_under_sigkill(self):
+        def once():
+            return run_gossip_processes(
+                gossip(FAMILY),
+                chaos=NetChaos(seed=17, sigkill=((5, 2),)),
+                config=RuntimeConfig(seed=17, **CONFIG),
+                time_scale=SCALE,
+            ).deterministic_summary()
+
+        assert once() == once()
+
+
+class TestServiceExecution:
+    def test_execute_runs_the_fleet_and_counts_it(self):
+        from repro.service import GossipService
+
+        with GossipService() as service:
+            outcome = service.execute(
+                "path:4", runtime="processes",
+                config=RuntimeConfig(seed=19, **CONFIG), time_scale=SCALE,
+            )
+            assert outcome.runtime == "processes"
+            assert not outcome.degraded
+            assert outcome.result.complete
+            stats = service.stats()
+            assert stats.executions == 1
+            assert stats.exec_failures == 0
+
+    def test_execute_rejects_unknown_runtime(self):
+        from repro.service import GossipService
+
+        with GossipService() as service:
+            with pytest.raises(ReproError, match="runtime"):
+                service.execute("path:4", runtime="carrier-pigeon")
+
+
+class TestIncidentJournalUnit:
+    """The journal itself, without a fleet."""
+
+    def test_record_assigns_sequential_seq(self):
+        journal = IncidentJournal()
+        a = journal.record("crash-detected", vertex=3)
+        b = journal.record("abort")
+        assert (a.seq, b.seq) == (0, 1)
+        assert len(journal) == 2
+
+    def test_filters(self):
+        journal = IncidentJournal()
+        journal.record("crash-detected", vertex=3, detected_by="sentinel")
+        journal.record("suspicion", vertex=3, detected_by="peer:1")
+        journal.record("abort")
+        assert [i.kind for i in journal.about(3)] == [
+            "crash-detected", "suspicion",
+        ]
+        assert journal.first("abort").vertex == -1
+        assert journal.of_kind("suspicion")[0].detected_by == "peer:1"
+        assert journal.first("recovered") is None
+
+    def test_jsonl_round_trips(self):
+        journal = IncidentJournal()
+        journal.record("restart", vertex=2, attempt=1,
+                       wall_seconds=0.125, details="backoff 0.05s")
+        journal.record("resync", vertex=2, details="source=1")
+        lines = journal.to_jsonl().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert [d["kind"] for d in docs] == ["restart", "resync"]
+        assert docs[0]["attempt"] == 1
+        assert docs[0]["wall_seconds"] == 0.125
