@@ -1,0 +1,79 @@
+"""CHECK — explicit-state exploration throughput of the protocol checker.
+
+Measures what the model checker can afford: states and transitions
+explored per second across the committed small-scope matrix column
+(n=3 for all three families plus ``path:4``), with the invariant gates
+(zero violations, zero deadlocks, zero partial-order-reduction
+fallbacks) asserted on every run.  The per-family state counts are also
+compared against ``CHECK_protocol.json`` — exploration is deterministic,
+so any drift means the model (the specification) changed.
+
+Runs two ways:
+
+* under pytest(-benchmark) with the rest of the suite — records
+  states/s rows in the reproduction summary;
+* standalone: ``python benchmarks/bench_check.py`` prints the table.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.check import check_family
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "CHECK_protocol.json"
+
+#: The tier-1-affordable matrix column (the full matrix runs in CI).
+SPECS = [("path", 3), ("star", 3), ("complete", 3), ("path", 4)]
+
+
+def run():
+    """Explore each spec; return (spec, FamilyCheck, seconds) triples."""
+    cells = []
+    for family, n in SPECS:
+        start = time.perf_counter()
+        result = check_family(family, n, crashes=1)
+        cells.append((f"{family}:{n}", result, time.perf_counter() - start))
+    return cells
+
+
+def _gate(cells):
+    committed = json.loads(ARTIFACT.read_text())["families"]
+    for spec, result, _ in cells:
+        assert result.ok, f"{spec}: {result.counterexample}"
+        assert result.fallback_states == 0, spec
+        assert result.summary() == committed[spec], (
+            f"{spec}: state counts drifted from CHECK_protocol.json"
+        )
+
+
+def test_check_throughput(benchmark, report):
+    """Exploration speed over the matrix column, with invariant gates."""
+    cells = benchmark.pedantic(run, iterations=1, rounds=1)
+    _gate(cells)
+    for spec, result, seconds in cells:
+        report.row(
+            network=spec,
+            scenarios=result.scenarios,
+            states=result.states,
+            transitions=result.transitions,
+            states_per_s=round(result.states / seconds),
+            fallback_states=result.fallback_states,
+        )
+
+
+def main():
+    cells = run()
+    _gate(cells)
+    print(f"{'spec':<12} {'scen':>5} {'states':>8} {'trans':>8} "
+          f"{'sec':>6} {'states/s':>9}")
+    for spec, result, seconds in cells:
+        print(f"{spec:<12} {result.scenarios:>5} {result.states:>8} "
+              f"{result.transitions:>8} {seconds:>6.2f} "
+              f"{result.states / seconds:>9.0f}")
+    print("gates: zero violations, zero deadlocks, zero POR fallbacks, "
+          "state counts match CHECK_protocol.json  OK")
+
+
+if __name__ == "__main__":
+    main()

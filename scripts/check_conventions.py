@@ -1,337 +1,23 @@
-#!/usr/bin/env python
-"""AST-based conventions gate for ``src/repro`` (stdlib only).
+#!/usr/bin/env python3
+"""Back-compat shim: the conventions gate lives in ``repro.check.codelint``.
 
-Enforced conventions:
-
-1. **Typed exceptions** — every ``raise SomeException(...)`` must use an
-   exception defined by the library (all of which derive from
-   ``ReproError``), never a bare builtin.  ``TypeError`` is allowlisted:
-   the deprecated-positional-call shims in ``repro.core.gossip``
-   deliberately mirror Python's own signature errors.  Bare ``raise``
-   re-raises are always fine.
-2. **No ``bin(x).count("1")``** — popcounts use ``int.bit_count()``
-   (Python >= 3.8 baseline was dropped when the planner went
-   bit-parallel; the idiom is both slower and easier to typo).
-3. **Keyword-only public API calls** — calls to ``gossip`` /
-   ``gossip_on_tree`` pass at most one positional argument (the network
-   spec / tree) and ``.execute()`` method calls pass none; everything
-   else is keyword-only.  The deprecated positional shims only exist for
-   *external* callers mid-migration — library code never goes through
-   them.
-4. **No Python loops in core hot paths** — the schedule-construction
-   modules (``core/propagate_up.py``, ``core/propagate_down.py``,
-   ``core/concurrent_updown.py``) build schedules as flat numpy arrays;
-   a ``for``/``while`` over transmissions or vertices silently drags a
-   hot path back to the seed's seconds-per-plan object pipeline.  Loops
-   are only allowed inside functions whose name ends with ``_builder``
-   (the per-vertex reference implementations kept for differential
-   tests) or whose docstring carries a ``hot-loop-ok`` marker next to a
-   justification (e.g. a loop over tree *levels*, not transmissions).
-5. **Clock discipline in the runtime** — inside ``src/repro/runtime``
-   every time-dependent call goes through the injectable
-   :class:`repro.runtime.clock.Clock`; bare ``asyncio.sleep``,
-   ``asyncio.wait_for``, ``time.time`` and ``time.monotonic`` calls are
-   forbidden outside ``clock.py`` itself.  A direct call would bypass
-   the :class:`ScaledClock` test double and silently turn a
-   milliseconds-long failure-detection test back into wall-clock
-   seconds (or, worse, split the runtime across two disagreeing
-   clocks).
-6. **Seeded randomness in the randomized baselines** — inside
-   ``src/repro/core/epidemic.py`` and ``src/repro/core/coded.py`` every
-   coin flip must flow through the splitmix64 streams of
-   ``repro.core.rng``; importing or calling the stdlib ``random``
-   module (or ``numpy.random``) is forbidden.  A single unseeded draw
-   would silently break the byte-for-byte reproducibility the
-   adversarial comparison gates assert.
-7. **Process discipline in the runtime** — inside ``src/repro/runtime``
-   only ``supervisor.py`` and ``proc.py`` may touch process machinery:
-   importing ``multiprocessing`` or ``signal``, or calling ``os.fork``
-   / ``os.kill`` (and variants), is forbidden elsewhere.  Spawning or
-   signalling from a peer/transport module would bypass the
-   supervision tree — deaths the supervisor cannot see, journal, or
-   resolve.
-
-Exit status: 0 when clean, 1 with one ``file:line: message`` per
-violation on stdout.  Run from the repository root::
-
-    python scripts/check_conventions.py
-    python scripts/check_conventions.py src/repro/core  # narrower scope
+Same contract as always — ``python scripts/check_conventions.py [paths...]``
+checks ``src/repro`` (or the given files/directories), prints one
+``file:line: message`` per violation, and exits 1 on any.  The rules
+themselves (the original seven plus the concurrency dataflow rules) are
+defined and tested in :mod:`repro.check.codelint`.
 """
 
 from __future__ import annotations
 
-import ast
-import builtins
 import pathlib
 import sys
-from typing import Iterator, List, Tuple
 
-#: Builtin exception raises that stay legal in library code.
-ALLOWED_BUILTIN_RAISES = {"TypeError"}
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
 
-#: Public API callables whose calls must be keyword-only past the first
-#: positional argument (functions) or past zero (methods).
-KEYWORD_ONLY_FUNCTIONS = {"gossip": 1, "gossip_on_tree": 1}
-KEYWORD_ONLY_METHODS = {"execute": 0}
-
-#: ``core/`` modules where Python-level loops are banned (vectorised
-#: schedule construction) unless explicitly exempted.
-HOT_PATH_MODULES = {
-    "propagate_up.py",
-    "propagate_down.py",
-    "concurrent_updown.py",
-}
-
-#: Docstring marker exempting one function from the hot-path loop rule.
-HOT_LOOP_MARKER = "hot-loop-ok"
-
-#: ``module.attr`` calls forbidden in ``src/repro/runtime`` outside
-#: ``clock.py`` (the injectable-clock discipline, rule 5).
-BARE_CLOCK_CALLS = {
-    ("asyncio", "sleep"),
-    ("asyncio", "wait_for"),
-    ("time", "time"),
-    ("time", "monotonic"),
-}
-
-#: ``core/`` modules whose randomness must come from ``repro.core.rng``
-#: (rule 6): any mention of the stdlib ``random`` / ``numpy.random``
-#: modules is forbidden.
-SEEDED_RNG_MODULES = {
-    "epidemic.py",
-    "coded.py",
-    "rng.py",
-}
-
-#: Runtime modules allowed to touch process machinery (rule 7): the
-#: supervision tree's own two halves.
-PROCESS_MODULES = {"supervisor.py", "proc.py"}
-
-#: Module imports forbidden in the rest of ``src/repro/runtime``.
-PROCESS_IMPORTS = ("multiprocessing", "signal")
-
-#: ``os.<attr>`` calls forbidden there for the same reason.
-PROCESS_OS_CALLS = {"fork", "forkpty", "kill", "killpg"}
-
-Violation = Tuple[pathlib.Path, int, str]
-
-
-def _builtin_exception_names() -> frozenset:
-    return frozenset(
-        name
-        for name in dir(builtins)
-        if isinstance(getattr(builtins, name), type)
-        and issubclass(getattr(builtins, name), BaseException)
-    )
-
-
-BUILTIN_EXCEPTIONS = _builtin_exception_names()
-
-
-def _raised_name(node: ast.Raise) -> str:
-    """The name being raised, or '' for bare/complex raises."""
-    exc = node.exc
-    if exc is None:
-        return ""  # bare re-raise
-    if isinstance(exc, ast.Call):
-        exc = exc.func
-    if isinstance(exc, ast.Name):
-        return exc.id
-    return ""  # attribute raises (module.Error) are library-defined
-
-
-def _is_hot_path(path: pathlib.Path) -> bool:
-    return path.name in HOT_PATH_MODULES and path.parent.name == "core"
-
-
-def _needs_clock_discipline(path: pathlib.Path) -> bool:
-    return path.parent.name == "runtime" and path.name != "clock.py"
-
-
-def _needs_seeded_rng(path: pathlib.Path) -> bool:
-    return path.name in SEEDED_RNG_MODULES and path.parent.name == "core"
-
-
-def _needs_process_discipline(path: pathlib.Path) -> bool:
-    return path.parent.name == "runtime" and path.name not in PROCESS_MODULES
-
-
-def _process_violations(
-    path: pathlib.Path, node: ast.AST
-) -> Iterator[Violation]:
-    """Rule 7: process machinery only in supervisor.py / proc.py."""
-    message = (
-        "process machinery outside the supervision tree; spawning or "
-        "signalling belongs in repro.runtime.supervisor / proc so every "
-        "death is detected, journaled, and resolved"
-    )
-    if isinstance(node, ast.Import):
-        for alias in node.names:
-            if alias.name.split(".")[0] in PROCESS_IMPORTS:
-                yield (path, node.lineno, message)
-    elif isinstance(node, ast.ImportFrom):
-        module = node.module or ""
-        if module.split(".")[0] in PROCESS_IMPORTS:
-            yield (path, node.lineno, message)
-    elif isinstance(node, ast.Call):
-        func = node.func
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in PROCESS_OS_CALLS
-            and isinstance(func.value, ast.Name)
-            and func.value.id == "os"
-        ):
-            yield (path, node.lineno, message)
-
-
-def _seeded_rng_violations(
-    path: pathlib.Path, node: ast.AST
-) -> Iterator[Violation]:
-    """Rule 6: no stdlib/numpy randomness in the randomized baselines."""
-    message = (
-        "unseeded randomness source in a randomized-baseline module; "
-        "use the splitmix64 streams in repro.core.rng"
-    )
-    if isinstance(node, ast.Import):
-        for alias in node.names:
-            if alias.name == "random" or alias.name.startswith("numpy.random"):
-                yield (path, node.lineno, message)
-    elif isinstance(node, ast.ImportFrom):
-        module = node.module or ""
-        if module == "random" or module.startswith("numpy.random"):
-            yield (path, node.lineno, message)
-        elif module == "numpy" and any(a.name == "random" for a in node.names):
-            yield (path, node.lineno, message)
-    elif (
-        isinstance(node, ast.Attribute)
-        and node.attr == "random"
-        and isinstance(node.value, ast.Name)
-        and node.value.id in {"np", "numpy"}
-    ):
-        yield (path, node.lineno, message)
-
-
-def _hot_loop_violations(
-    path: pathlib.Path, scope: ast.AST, exempt: bool
-) -> Iterator[Violation]:
-    """Flag ``for``/``while`` under ``scope`` unless exempted.
-
-    Exemption is per *function* — a ``*_builder`` name or a
-    ``hot-loop-ok`` docstring marker — and extends to functions nested
-    inside an exempt one (helpers of a reference implementation).
-    """
-    for node in ast.iter_child_nodes(scope):
-        child_exempt = exempt
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            doc = ast.get_docstring(node) or ""
-            child_exempt = (
-                exempt
-                or node.name.endswith("_builder")
-                or HOT_LOOP_MARKER in doc
-            )
-        elif isinstance(node, (ast.For, ast.AsyncFor, ast.While)) and not exempt:
-            yield (
-                path,
-                node.lineno,
-                "Python loop in a core hot path; vectorise it, or exempt "
-                "the function (name it *_builder for a reference "
-                f"implementation, or justify a '{HOT_LOOP_MARKER}' marker "
-                "in its docstring)",
-            )
-        yield from _hot_loop_violations(path, node, child_exempt)
-
-
-def check_file(path: pathlib.Path) -> Iterator[Violation]:
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    if _is_hot_path(path):
-        yield from _hot_loop_violations(path, tree, exempt=False)
-    for node in ast.walk(tree):
-        if _needs_seeded_rng(path):
-            yield from _seeded_rng_violations(path, node)
-        if _needs_process_discipline(path):
-            yield from _process_violations(path, node)
-        if isinstance(node, ast.Raise):
-            name = _raised_name(node)
-            if name in BUILTIN_EXCEPTIONS and name not in ALLOWED_BUILTIN_RAISES:
-                yield (
-                    path,
-                    node.lineno,
-                    f"raises builtin {name}; raise a ReproError subclass "
-                    f"from repro.exceptions instead",
-                )
-        elif isinstance(node, ast.Call):
-            yield from _check_call(path, node)
-            if _needs_clock_discipline(path):
-                yield from _check_clock_call(path, node)
-
-
-def _check_clock_call(path: pathlib.Path, node: ast.Call) -> Iterator[Violation]:
-    func = node.func
-    if (
-        isinstance(func, ast.Attribute)
-        and isinstance(func.value, ast.Name)
-        and (func.value.id, func.attr) in BARE_CLOCK_CALLS
-    ):
-        yield (
-            path,
-            node.lineno,
-            f"bare {func.value.id}.{func.attr}() in the runtime; route it "
-            "through the injectable Clock (repro.runtime.clock) so the "
-            "ScaledClock test double still governs every wait",
-        )
-
-
-def _check_call(path: pathlib.Path, node: ast.Call) -> Iterator[Violation]:
-    func = node.func
-    # bin(x).count(...) — the pre-bit_count popcount idiom
-    if (
-        isinstance(func, ast.Attribute)
-        and func.attr == "count"
-        and isinstance(func.value, ast.Call)
-        and isinstance(func.value.func, ast.Name)
-        and func.value.func.id == "bin"
-    ):
-        yield (
-            path,
-            node.lineno,
-            'popcount via bin(x).count("1"); use int.bit_count()',
-        )
-    # keyword-only public API calls
-    if isinstance(func, ast.Name) and func.id in KEYWORD_ONLY_FUNCTIONS:
-        limit = KEYWORD_ONLY_FUNCTIONS[func.id]
-        if len(node.args) > limit:
-            yield (
-                path,
-                node.lineno,
-                f"{func.id}() called with {len(node.args)} positional "
-                f"arguments; everything after the first is keyword-only",
-            )
-    elif isinstance(func, ast.Attribute) and func.attr in KEYWORD_ONLY_METHODS:
-        limit = KEYWORD_ONLY_METHODS[func.attr]
-        if len(node.args) > limit:
-            yield (
-                path,
-                node.lineno,
-                f".{func.attr}() called with positional arguments; "
-                f"its options are keyword-only",
-            )
-
-
-def main(argv: List[str]) -> int:
-    roots = [pathlib.Path(a) for a in argv] or [pathlib.Path("src/repro")]
-    violations: List[Violation] = []
-    for root in roots:
-        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        for path in files:
-            violations.extend(check_file(path))
-    for path, line, message in violations:
-        print(f"{path}:{line}: {message}")
-    if violations:
-        print(f"\n{len(violations)} convention violation(s)")
-        return 1
-    print("conventions: OK")
-    return 0
-
+from repro.check.codelint import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv[1:]))

@@ -24,7 +24,13 @@ Subcommands:
   journal (``--journal`` writes it as JSON Lines);
 * ``lint``        — static schedule analysis (``repro.lint``): verify plans
   against the model, efficiency and paper-invariant rules without executing
-  them (``--json`` for CI, ``--check`` to gate on error diagnostics).
+  them (``--json`` for CI, ``--check`` to gate on error diagnostics,
+  ``--code`` for the AST code-conventions lint instead);
+* ``check-protocol`` — explicit-state model checking of the runtime
+  protocol (``repro.check``): exhaustively explore adversarial
+  interleavings (reorder, crash-at-round) of small instances, checking
+  safety invariants and reachability, with counterexample traces
+  (``--trace``) and a committed state-count matrix gate (``--check``).
 
 Examples
 --------
@@ -44,13 +50,16 @@ Examples
     python -m repro.cli run-net --family grid:16 --drop 0.1 --kill 4:3 --seed 7
     python -m repro.cli run-proc --family path:8 --sigkill 3:2 --policy restart
     python -m repro.cli plan-bench --spec grid:400 --spec torus:1024 --check
+    python -m repro.cli check-protocol --family path:4 --crashes 1 --trace
+    python -m repro.cli check-protocol --check
+    python -m repro.cli lint --code
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .analysis.comparison import comparison_table, format_comparison
 from .analysis.sweep import FAMILIES, family_instance
@@ -443,6 +452,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--check", action="store_true",
         help="exit non-zero if any plan has error-severity diagnostics",
+    )
+    p_lint.add_argument(
+        "--code", action="store_true",
+        help="run the code-conventions lint (repro.check.codelint) over "
+             "src/repro instead of the schedule lint",
+    )
+
+    p_proto = sub.add_parser(
+        "check-protocol",
+        help="explicit-state model checking of the runtime protocol "
+             "(repro.check): exhaustively explore adversarial "
+             "interleavings of small instances",
+    )
+    p_proto.add_argument(
+        "--family", action="append", default=None, metavar="SPEC",
+        help="instance spec 'family:n' with n in 2..8 (repeatable; "
+             "default: the committed path/star/complete x 3..5 matrix)",
+    )
+    p_proto.add_argument(
+        "--crashes", type=int, default=1,
+        help="max simultaneous crash victims per scenario (0 = fault-free "
+             "only; default 1)",
+    )
+    p_proto.add_argument(
+        "--budget", type=int, default=None,
+        help="per-scenario explored-state budget (default 250000)",
+    )
+    p_proto.add_argument(
+        "--no-rejoin", action="store_true",
+        help="skip the rejoin-recompletion certification at abort states",
+    )
+    p_proto.add_argument(
+        "--trace", action="store_true",
+        help="render any counterexample as its full wire-message trace",
+    )
+    p_proto.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document (for CI)",
+    )
+    p_proto.add_argument(
+        "--check", action="store_true",
+        help="compare state counts against the committed "
+             "CHECK_protocol.json and exit non-zero on any violation, "
+             "deadlock, or drift",
+    )
+    p_proto.add_argument(
+        "--update", action="store_true",
+        help="rewrite CHECK_protocol.json with this run's state counts",
     )
     return parser
 
@@ -989,6 +1046,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     from .lint import lint_schedule
 
+    if args.code:
+        import pathlib
+
+        from .check.codelint import (
+            collect_violations,
+            tracked_artifact_violations,
+        )
+
+        package_root = pathlib.Path(__file__).resolve().parent
+        violations = collect_violations([package_root])
+        violations.extend(
+            tracked_artifact_violations(package_root.parents[1])
+        )
+        for path, line, message in violations:
+            print(f"{path}:{line}: {message}")
+        if violations:
+            print(f"\n{len(violations)} convention violation(s)")
+            return 1
+        print("conventions: OK")
+        return 0
+
     if args.all:
         specs = [f"{fam}:{args.n}" for fam in sorted(FAMILIES)]
     elif args.family is not None:
@@ -1039,6 +1117,116 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check_protocol(args: argparse.Namespace) -> int:
+    """Model-check the runtime protocol on small adversarial instances."""
+    import json as json_mod
+    import pathlib
+
+    from .check.explore import (
+        DEFAULT_BUDGET,
+        MATRIX_FAMILIES,
+        MATRIX_SIZES,
+        check_family,
+        parse_family_spec,
+        plan_for,
+    )
+    from .check.model import ProtocolModel
+
+    from .exceptions import ProtocolCheckError
+
+    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+    try:
+        if args.family:
+            specs = [parse_family_spec(spec) for spec in args.family]
+        else:
+            specs = [(fam, n) for fam in MATRIX_FAMILIES for n in MATRIX_SIZES]
+    except ProtocolCheckError as exc:
+        print(f"check-protocol: {exc}", file=sys.stderr)
+        return 2
+    rejoin = not args.no_rejoin
+
+    summaries: Dict[str, Dict[str, int]] = {}
+    total_states = 0
+    total_transitions = 0
+    failed = False
+    for family, n in specs:
+        spec = f"{family}:{n}"
+        try:
+            result = check_family(
+                family, n, crashes=args.crashes, budget=budget, rejoin=rejoin
+            )
+        except ProtocolCheckError as exc:
+            print(f"check-protocol: {spec}: {exc}", file=sys.stderr)
+            return 2
+        summaries[spec] = result.summary()
+        total_states += result.states
+        total_transitions += result.transitions
+        if result.ok:
+            if not args.json:
+                print(
+                    f"{spec:<14} ok    scenarios={result.scenarios:<4} "
+                    f"states={result.states:<8} "
+                    f"transitions={result.transitions:<8} "
+                    f"fallback={result.fallback_states}"
+                )
+        else:
+            failed = True
+            cex = result.counterexample
+            assert cex is not None
+            print(f"{spec:<14} FAIL  {cex.violation}")
+            if args.trace:
+                model = ProtocolModel(plan_for(family, n), crash=cex.scenario)
+                print(cex.render(model))
+            else:
+                print("    (re-run with --trace for the wire-message trace)")
+
+    doc = {
+        "check": "protocol",
+        "crashes": args.crashes,
+        "budget": budget,
+        "ok": not failed,
+        "families": summaries,
+    }
+    artifact = pathlib.Path(__file__).resolve().parents[2] / "CHECK_protocol.json"
+
+    if args.json:
+        print(json_mod.dumps(doc, indent=2))
+    else:
+        print(
+            f"\nchecked {len(specs)} instance(s) "
+            f"(crashes<={args.crashes}): {total_states} states, "
+            f"{total_transitions} transitions"
+        )
+    if failed:
+        return 1
+
+    if args.update:
+        artifact.write_text(json_mod.dumps(doc, indent=2) + "\n",
+                            encoding="utf-8")
+        if not args.json:
+            print(f"wrote {artifact}")
+    if args.check:
+        if not artifact.exists():
+            print(f"check: {artifact} missing; run with --update first")
+            return 1
+        committed = json_mod.loads(artifact.read_text(encoding="utf-8"))
+        drift: List[str] = []
+        for spec, summary in summaries.items():
+            pinned = committed.get("families", {}).get(spec)
+            if pinned is None:
+                drift.append(f"{spec}: not in the committed matrix")
+            elif pinned != summary:
+                drift.append(f"{spec}: committed {pinned} != explored {summary}")
+        if drift:
+            for line in drift:
+                print(f"check: state-count drift — {line}")
+            return 1
+        if not args.json:
+            print("check: all invariants hold and state counts match "
+                  "the committed matrix  OK")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1060,6 +1248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run-proc": _cmd_run_proc,
         "plan-bench": _cmd_plan_bench,
         "lint": _cmd_lint,
+        "check-protocol": _cmd_check_protocol,
     }
     return handlers[args.command](args)
 

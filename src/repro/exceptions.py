@@ -34,6 +34,8 @@ __all__ = [
     "PeerDeadError",
     "RuntimeDeadlineError",
     "SupervisorError",
+    "JournalFormatError",
+    "ProtocolCheckError",
 ]
 
 
@@ -338,3 +340,37 @@ class SupervisorError(GossipRuntimeError):
     def __init__(self, message: str, *, incidents: Iterable[object] = ()) -> None:
         super().__init__(message)
         self.incidents = tuple(incidents)
+
+
+class JournalFormatError(GossipRuntimeError):
+    """An incident-journal JSONL document could not be parsed back.
+
+    Raised by :meth:`repro.runtime.incidents.Incident.from_json` /
+    :meth:`repro.runtime.incidents.IncidentJournal.from_jsonl` for a line
+    that is not valid JSON, is not an object, or lacks (or mistypes) one
+    of the incident fields.  Forensics tooling reading a journal written
+    by an earlier run must get a typed, catchable error naming the bad
+    line — never a bare ``json.JSONDecodeError`` escaping the library.
+
+    Attributes
+    ----------
+    line_number:
+        1-based position of the offending line (0 for a single-object
+        parse outside a JSONL document).
+    """
+
+    def __init__(self, message: str, *, line_number: int = 0) -> None:
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class ProtocolCheckError(ReproError):
+    """The protocol model checker could not run as requested.
+
+    Raised by :mod:`repro.check` for *infrastructure* failures — an
+    unparseable family spec, a state-space budget exceeded mid-search, a
+    conformance recording that cannot be replayed.  Protocol *bugs* are
+    never exceptions: the explorer reports those as
+    :class:`repro.check.explore.Counterexample` records so the trace
+    survives for rendering.
+    """

@@ -46,9 +46,22 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple, Type
+
+from ..exceptions import JournalFormatError
 
 __all__ = ["Incident", "IncidentJournal"]
+
+#: Field name -> required JSON type for one journal line.
+_FIELD_TYPES: Tuple[Tuple[str, Type[object]], ...] = (
+    ("seq", int),
+    ("kind", str),
+    ("vertex", int),
+    ("detected_by", str),
+    ("attempt", int),
+    ("wall_seconds", float),
+    ("details", str),
+)
 
 
 @dataclass(frozen=True)
@@ -95,6 +108,57 @@ class Incident:
                 "details": self.details,
             },
             sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str, *, line_number: int = 0) -> "Incident":
+        """Parse one JSONL line back into an equal :class:`Incident`.
+
+        Raises :class:`~repro.exceptions.JournalFormatError` (never a
+        bare ``json.JSONDecodeError``) when the line is not valid JSON,
+        not an object, or lacks / mistypes an incident field.
+        """
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalFormatError(
+                f"journal line is not valid JSON: {exc}",
+                line_number=line_number,
+            ) from exc
+        if not isinstance(doc, dict):
+            raise JournalFormatError(
+                f"journal line is not a JSON object: {type(doc).__name__}",
+                line_number=line_number,
+            )
+        for name, expected in _FIELD_TYPES:
+            if name not in doc:
+                raise JournalFormatError(
+                    f"journal line lacks the {name!r} field",
+                    line_number=line_number,
+                )
+            value = doc[name]
+            if expected is float and isinstance(value, int):
+                value = float(value)  # JSON writes 0.0 as 0
+            if not isinstance(value, expected) or isinstance(value, bool):
+                raise JournalFormatError(
+                    f"journal field {name!r} is {type(value).__name__}, "
+                    f"expected {expected.__name__}",
+                    line_number=line_number,
+                )
+        unknown = sorted(set(doc) - {name for name, _ in _FIELD_TYPES})
+        if unknown:
+            raise JournalFormatError(
+                f"journal line carries unknown field(s): {', '.join(unknown)}",
+                line_number=line_number,
+            )
+        return cls(
+            seq=doc["seq"],
+            kind=doc["kind"],
+            vertex=doc["vertex"],
+            detected_by=doc["detected_by"],
+            attempt=doc["attempt"],
+            wall_seconds=float(doc["wall_seconds"]),
+            details=doc["details"],
         )
 
 
@@ -156,3 +220,21 @@ class IncidentJournal:
     def to_jsonl(self) -> str:
         """The whole journal as JSON Lines (one incident per line)."""
         return "\n".join(i.to_json() for i in self._incidents)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "IncidentJournal":
+        """Parse a :meth:`to_jsonl` document back into an equal journal.
+
+        Blank lines are skipped (a trailing newline is fine); any
+        malformed line raises a typed
+        :class:`~repro.exceptions.JournalFormatError` whose
+        ``line_number`` names it (1-based).
+        """
+        journal = cls()
+        for number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            journal._incidents.append(
+                Incident.from_json(line, line_number=number)
+            )
+        return journal

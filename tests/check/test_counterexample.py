@@ -1,0 +1,51 @@
+"""A deliberately broken model must yield a minimal, readable trace.
+
+The ``fence_skew=1`` test-only mutation makes every barrier willing to
+admit a round-``t-1+skew`` message into round ``t`` — exactly the
+off-by-one a broken fence implementation would exhibit.  The checker
+must refute it with a counterexample that names the violating wire
+message and the rounds involved (ISSUE 10, satellite 4).
+"""
+
+import pytest
+
+from repro.check import check_family
+from repro.check.explore import explore, plan_for
+from repro.check.model import ProtocolModel
+
+
+@pytest.fixture(scope="module")
+def broken():
+    return check_family("path", 4, crashes=0, fence_skew=1)
+
+
+class TestFenceMutationIsCaught:
+    def test_counterexample_found(self, broken):
+        assert not broken.ok
+
+    def test_violation_names_wire_message_and_round(self, broken):
+        violation = broken.counterexample.violation
+        # the culprit is rendered as a wire message with its round …
+        assert "FENCE(" in violation or "DATA(" in violation
+        assert "round" in violation
+        # … and the report says which barrier it slipped through
+        assert "admitted into round" in violation
+
+    def test_trace_is_minimal(self, broken):
+        # BFS order guarantees a shortest path to the violation; the
+        # path:4 witness needs no more than a dozen actions.
+        assert 1 <= len(broken.counterexample.trace) <= 12
+
+    def test_render_replays_the_wire_sequence(self, broken):
+        cex = broken.counterexample
+        model = ProtocolModel(
+            plan_for("path", 4), crash=cex.scenario, fence_skew=1
+        )
+        rendered = cex.render(model)
+        assert "VIOLATION:" in rendered
+        assert "deliver" in rendered or "step" in rendered
+
+    def test_clean_model_unaffected(self):
+        # the same instance with no mutation explores clean
+        report = explore(ProtocolModel(plan_for("path", 4)))
+        assert report.ok

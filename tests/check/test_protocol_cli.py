@@ -1,0 +1,49 @@
+"""CLI surface of the model checker: ``repro-gossip check-protocol``."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def run(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"),
+             "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+
+
+class TestCheckProtocolCommand:
+    def test_single_family_fault_free(self):
+        proc = run("check-protocol", "--family", "path:3", "--crashes", "0")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "path:3" in proc.stdout
+        assert " ok " in proc.stdout
+
+    def test_json_document(self):
+        proc = run("check-protocol", "--family", "star:3", "--crashes", "0",
+                   "--json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        doc = json.loads(proc.stdout)
+        assert doc["ok"] is True
+        assert doc["crashes"] == 0
+        assert "star:3" in doc["families"]
+        assert doc["families"]["star:3"]["states"] > 0
+
+    def test_check_against_committed_subset(self):
+        # one family of the committed matrix recomputed and compared
+        proc = run("check-protocol", "--family", "path:3", "--check")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "state counts match" in proc.stdout
+
+    def test_bad_spec_is_a_clean_error(self):
+        proc = run("check-protocol", "--family", "path:99")
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "bounded" in proc.stderr

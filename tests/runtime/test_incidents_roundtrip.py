@@ -1,0 +1,98 @@
+"""IncidentJournal JSONL round-trip and typed parse errors (ISSUE 10).
+
+Forensics tooling must be able to read back a journal written by an
+earlier run: ``from_jsonl(to_jsonl(j))`` reproduces equal incidents for
+every kind, and any malformed line raises
+:class:`~repro.exceptions.JournalFormatError` naming the line — never a
+bare ``json.JSONDecodeError``.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import JournalFormatError, ReproError
+from repro.runtime.incidents import Incident, IncidentJournal
+
+ALL_KINDS = [
+    "crash-detected", "suspicion", "abort", "restart", "rejoin-failed",
+    "fail-stop-declared", "resync", "recovered", "failover-replan",
+    "deadline", "child-error",
+]
+
+
+def full_journal():
+    journal = IncidentJournal()
+    for k, kind in enumerate(ALL_KINDS):
+        journal.record(
+            kind,
+            vertex=k - 1,  # -1 fleet-wide first, then real peers
+            detected_by="sentinel" if k % 2 else f"peer:{k}",
+            attempt=k % 4,
+            wall_seconds=0.125 * k,
+            details=f"detail #{k} with spaces and 'quotes'",
+        )
+    return journal
+
+
+class TestRoundTrip:
+    def test_all_kinds_round_trip_equal(self):
+        journal = full_journal()
+        back = IncidentJournal.from_jsonl(journal.to_jsonl())
+        assert back.incidents == journal.incidents
+        assert [i.kind for i in back] == ALL_KINDS
+
+    def test_trailing_newline_and_blank_lines_ignored(self):
+        journal = full_journal()
+        text = journal.to_jsonl() + "\n\n"
+        assert IncidentJournal.from_jsonl(text).incidents == journal.incidents
+
+    def test_empty_document_is_empty_journal(self):
+        assert len(IncidentJournal.from_jsonl("")) == 0
+
+    def test_single_incident_round_trip(self):
+        incident = Incident(
+            seq=0, kind="resync", vertex=3, detected_by="supervisor",
+            attempt=1, wall_seconds=2.5, details="from peer 4",
+        )
+        assert Incident.from_json(incident.to_json()) == incident
+
+
+GOOD_LINE = (
+    '{"attempt": 0, "details": "", "detected_by": "sentinel", '
+    '"kind": "abort", "seq": 0, "vertex": -1, "wall_seconds": 0.0}'
+)
+
+
+class TestMalformedLines:
+    @pytest.mark.parametrize("bad,needle", [
+        ("{truncated", "not valid JSON"),
+        ("[1, 2, 3]", "not a JSON object"),
+        ('"a string"', "not a JSON object"),
+        ('{"seq": 0}', "lacks"),
+        (GOOD_LINE.replace('"seq": 0', '"seq": "zero"'), "expected int"),
+        (GOOD_LINE.replace('"vertex": -1', '"vertex": true'), "expected int"),
+        (GOOD_LINE.replace('"seq": 0,', '"seq": 0, "rogue": 1,'), "unknown"),
+    ])
+    def test_typed_error_not_json_decode_error(self, bad, needle):
+        with pytest.raises(JournalFormatError, match=needle) as info:
+            Incident.from_json(bad, line_number=7)
+        assert info.value.line_number == 7
+        assert isinstance(info.value, ReproError)
+        assert not isinstance(info.value, json.JSONDecodeError)
+
+    def test_from_jsonl_names_the_bad_line(self):
+        journal = full_journal()
+        lines = journal.to_jsonl().splitlines()
+        lines[4] = "{broken"
+        with pytest.raises(JournalFormatError) as info:
+            IncidentJournal.from_jsonl("\n".join(lines))
+        assert info.value.line_number == 5
+
+    def test_integral_wall_seconds_accepted(self):
+        # json emits 0.0 as 0; parsing must widen it back to float
+        incident = Incident.from_json(
+            GOOD_LINE.replace('"wall_seconds": 0.0', '"wall_seconds": 3')
+        )
+        assert incident.wall_seconds == 3.0
+        assert isinstance(incident.wall_seconds, float)
